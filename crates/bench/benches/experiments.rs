@@ -1,0 +1,49 @@
+//! Criterion harness: one benchmark per paper experiment (E1–E5,
+//! E7–E10; E6's microbenches live in `stack_micro.rs`).
+//!
+//! Each benchmark runs a reduced but structurally identical
+//! configuration of the corresponding experiment in `catenet-bench`;
+//! the full tables are produced by `cargo run --release --bin
+//! reproduce`. Benchmarking the experiment itself keeps the whole
+//! simulation path (wire codecs, event loop, TCP machinery, routing)
+//! under continuous performance observation.
+
+use catenet_bench::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+
+    group.bench_function("e1_survivability_quick", |b| {
+        b.iter(|| e1_survivability::quick(std::hint::black_box(7)))
+    });
+    group.bench_function("e2_type_of_service_quick", |b| {
+        b.iter(|| e2_type_of_service::quick(std::hint::black_box(7)))
+    });
+    group.bench_function("e3_variety_quick", |b| {
+        b.iter(|| e3_variety::quick(std::hint::black_box(7)))
+    });
+    group.bench_function("e4_distributed_mgmt_quick", |b| {
+        b.iter(|| e4_distributed_mgmt::quick(std::hint::black_box(7)))
+    });
+    group.bench_function("e5_cost_quick", |b| {
+        b.iter(|| e5_cost::quick(std::hint::black_box(7)))
+    });
+    group.bench_function("e7_accounting_quick", |b| {
+        b.iter(|| e7_accounting::quick(std::hint::black_box(7)))
+    });
+    group.bench_function("e8_soft_state_quick", |b| {
+        b.iter(|| e8_soft_state::quick(std::hint::black_box(7)))
+    });
+    group.bench_function("e9_byte_sequencing_quick", |b| {
+        b.iter(|| e9_byte_sequencing::quick(std::hint::black_box(7)))
+    });
+    group.bench_function("e10_realizations_quick", |b| {
+        b.iter(|| e10_realizations::quick(std::hint::black_box(7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

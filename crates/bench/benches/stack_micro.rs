@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks for experiment E6 (host attachment cost):
+//! the per-packet and per-connection processing prices the architecture
+//! makes every host pay.
+
+use catenet_bench::e6_host_cost;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_wire");
+    for &size in &[64usize, 576, 1460] {
+        let datagram = e6_host_cost::sample_datagram(size);
+        group.throughput(Throughput::Bytes(datagram.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("ipv4_parse_verify", size),
+            &datagram,
+            |b, d| b.iter(|| e6_host_cost::op_parse(std::hint::black_box(d))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("internet_checksum", size),
+            &datagram,
+            |b, d| b.iter(|| e6_host_cost::op_checksum(std::hint::black_box(d))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_fragmentation(c: &mut Criterion) {
+    let datagram = e6_host_cost::sample_datagram(1460);
+    c.bench_function("e6_fragment_reassemble_1480_to_576", |b| {
+        b.iter(|| e6_host_cost::op_fragment_reassemble(std::hint::black_box(&datagram)))
+    });
+}
+
+fn bench_tcp_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_tcp_session");
+    group.sample_size(20);
+    for &bytes in &[1_024usize, 10_240, 102_400] {
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_with_input(
+            BenchmarkId::new("syn_transfer_close", bytes),
+            &bytes,
+            |b, &bytes| b.iter(|| e6_host_cost::op_tcp_session(bytes)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire, bench_fragmentation, bench_tcp_session);
+criterion_main!(benches);

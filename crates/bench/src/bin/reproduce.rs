@@ -1,0 +1,77 @@
+//! Regenerate every experiment table in `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run --release --bin reproduce            # all experiments
+//! cargo run --release --bin reproduce -- e1 e5   # a subset
+//! cargo run --release --bin reproduce -- --fast  # fewer seeds
+//! ```
+
+use catenet_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let seeds: Vec<u64> = if fast {
+        SEEDS[..2].to_vec()
+    } else {
+        SEEDS.to_vec()
+    };
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
+
+    println!("# catenet experiment reproduction");
+    println!();
+    println!(
+        "Seeds: {:?}. Every number below is deterministic given the seed set.",
+        seeds
+    );
+    println!();
+
+    let run = |id: &str, name: &str, f: &dyn Fn(&[u64]) -> Table| {
+        if want(id) {
+            eprintln!("running {id} ({name})...");
+            let start = std::time::Instant::now();
+            let table = f(&seeds);
+            eprintln!("  {id} done in {:.1}s", start.elapsed().as_secs_f64());
+            println!("{table}");
+        }
+    };
+
+    run("e1", "survivability", &|s| {
+        e1_survivability::default_table(s)
+    });
+    run("e2", "types of service", &|s| {
+        e2_type_of_service::default_table(s)
+    });
+    run("e3", "variety of networks", &|s| e3_variety::default_table(s));
+    run("e4", "distributed management", &|s| {
+        e4_distributed_mgmt::default_table(s)
+    });
+    if want("e5") {
+        eprintln!("running e5 (cost effectiveness)...");
+        println!("{}", e5_cost::overhead_table());
+        println!("{}", e5_cost::arq_table(&seeds));
+    }
+    run("e6", "host attachment cost", &|s| {
+        e6_host_cost::default_table(s)
+    });
+    run("e7", "accounting", &|s| e7_accounting::default_table(s));
+    run("e8", "soft state", &|s| e8_soft_state::default_table(s));
+    run("e9", "byte sequencing", &|s| {
+        e9_byte_sequencing::default_table(s)
+    });
+    run("e10", "realizations", &|s| {
+        e10_realizations::default_table(s)
+    });
+    if want("ablations") || selected.is_empty() {
+        eprintln!("running ablations A1–A4...");
+        println!("{}", ablations::collapse_table(&seeds));
+        println!("{}", ablations::count_to_infinity_table());
+        println!("{}", ablations::nagle_table(&seeds));
+        println!("{}", ablations::quench_table(&seeds));
+    }
+}

@@ -1,0 +1,347 @@
+//! An abstract lossy channel for transport-level A/B comparisons.
+//!
+//! Experiment E9 compares TCP's byte sequencing against the
+//! packet-sequenced baseline. To make that comparison *mechanism-pure*,
+//! both transports are driven through this identical channel: fixed
+//! one-way delay, independent per-segment loss from a seeded RNG, FIFO
+//! delivery. (The full network stack would be fair too, but the channel
+//! removes every confound except the sequencing design itself.)
+
+use catenet_sim::{Duration, Instant, Rng, Scheduler};
+use catenet_tcp::{Endpoint, Socket, SocketConfig};
+use catenet_wire::Ipv4Address;
+
+/// Channel parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelParams {
+    /// One-way delay.
+    pub delay: Duration,
+    /// Independent per-segment loss probability (each direction).
+    pub loss: f64,
+    /// Random seed.
+    pub seed: u64,
+    /// Wall-clock budget in virtual time before giving up.
+    pub deadline: Instant,
+    /// Spacing between application writes (ZERO = all buffered up
+    /// front). Pacing matters for Nagle comparisons: an interactive
+    /// source produces bytes over time, not in one burst.
+    pub write_interval: Duration,
+}
+
+impl Default for ChannelParams {
+    fn default() -> ChannelParams {
+        ChannelParams {
+            delay: Duration::from_millis(20),
+            loss: 0.0,
+            seed: 1,
+            deadline: Instant::from_secs(600),
+            write_interval: Duration::ZERO,
+        }
+    }
+}
+
+/// Result of pushing a workload through a transport over the channel.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferReport {
+    /// All application data arrived intact and in order.
+    pub completed: bool,
+    /// Virtual time at completion.
+    pub finished_at: Instant,
+    /// Data segments transmitted (including retransmissions).
+    pub segs_sent: u64,
+    /// Wire bytes transmitted, headers included.
+    pub wire_bytes: u64,
+    /// Retransmitted segments.
+    pub retransmits: u64,
+}
+
+const TCP_HEADERS: u64 = 40; // IP (20) + TCP (20), options ignored
+
+/// Drive a TCP connection carrying `writes` (each an application write)
+/// through the channel, Nagle per `nagle`. Returns the report for the
+/// sending side.
+pub fn run_tcp(
+    params: ChannelParams,
+    writes: &[Vec<u8>],
+    nagle: bool,
+    mss: usize,
+) -> TransferReport {
+    let a_addr = Ipv4Address::new(10, 0, 0, 1);
+    let b_addr = Ipv4Address::new(10, 0, 0, 2);
+    let mut client = Socket::new(SocketConfig {
+        initial_seq: 1000,
+        mss,
+        nagle,
+        delayed_ack: None,
+        tx_capacity: 1 << 20,
+        ..SocketConfig::default()
+    });
+    let mut server = Socket::new(SocketConfig {
+        initial_seq: 2000,
+        mss,
+        delayed_ack: None,
+        rx_capacity: 1 << 20,
+        ..SocketConfig::default()
+    });
+    server
+        .listen(Endpoint::new(b_addr, 80))
+        .expect("fresh socket");
+    client
+        .connect(Endpoint::new(a_addr, 9999), Endpoint::new(b_addr, 80), Instant::ZERO)
+        .expect("fresh socket");
+
+    enum Ev {
+        ToServer(catenet_wire::TcpRepr, Vec<u8>),
+        ToClient(catenet_wire::TcpRepr, Vec<u8>),
+        Tick,
+    }
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    let mut rng = Rng::from_seed(params.seed);
+    let total: usize = writes.iter().map(|w| w.len()).sum();
+    let mut write_cursor = 0usize;
+    let mut received = 0usize;
+    let mut report = TransferReport {
+        completed: false,
+        finished_at: Instant::ZERO,
+        segs_sent: 0,
+        wire_bytes: 0,
+        retransmits: 0,
+    };
+    sched.schedule_at(Instant::ZERO, Ev::Tick);
+    // Deduplicate timer ticks: scheduling one per event iteration would
+    // grow the queue quadratically.
+    let mut next_tick: Option<Instant> = Some(Instant::ZERO);
+
+    let drain =
+        |sock: &mut Socket,
+         now: Instant,
+         to_server: bool,
+         sched: &mut Scheduler<Ev>,
+         rng: &mut Rng,
+         report: &mut TransferReport| {
+            while let Some((repr, payload)) = sock.dispatch(now) {
+                if to_server {
+                    report.segs_sent += 1;
+                    report.wire_bytes += TCP_HEADERS + payload.len() as u64;
+                }
+                if rng.chance(params.loss) {
+                    continue;
+                }
+                let ev = if to_server {
+                    Ev::ToServer(repr, payload)
+                } else {
+                    Ev::ToClient(repr, payload)
+                };
+                sched.schedule_at(now + params.delay, ev);
+            }
+        };
+
+    while let Some((now, ev)) = sched.pop() {
+        if now > params.deadline {
+            break;
+        }
+        if next_tick.is_some_and(|at| at <= now) {
+            next_tick = None;
+        }
+        match ev {
+            Ev::ToServer(repr, payload) => {
+                server.process(now, b_addr, a_addr, &repr, &payload);
+                let mut buf = [0u8; 4096];
+                while let Ok(n) = server.recv_slice(&mut buf) {
+                    if n == 0 {
+                        break;
+                    }
+                    received += n;
+                }
+                drain(&mut server, now, false, &mut sched, &mut rng, &mut report);
+            }
+            Ev::ToClient(repr, payload) => {
+                client.process(now, a_addr, b_addr, &repr, &payload);
+                drain(&mut client, now, true, &mut sched, &mut rng, &mut report);
+            }
+            Ev::Tick => {}
+        }
+        // Feed writes that are due (paced by write_interval).
+        while write_cursor < writes.len() {
+            let due = Instant::ZERO + params.write_interval * write_cursor as u32;
+            if now < due {
+                if next_tick.is_none_or(|pending| due < pending) {
+                    next_tick = Some(due);
+                    sched.schedule_at(due, Ev::Tick);
+                }
+                break;
+            }
+            let write = &writes[write_cursor];
+            match client.send_slice(write) {
+                Ok(n) if n == write.len() => write_cursor += 1,
+                _ => break,
+            }
+        }
+        drain(&mut client, now, true, &mut sched, &mut rng, &mut report);
+        report.retransmits = client.stats.retransmits;
+        if received >= total && write_cursor == writes.len() {
+            report.completed = true;
+            report.finished_at = now;
+            break;
+        }
+        // Keep timers alive: schedule the next poll point (deduped).
+        if let Some(at) = client.poll_at() {
+            let at = if at <= now {
+                now + Duration::from_micros(1)
+            } else {
+                at
+            };
+            if next_tick.is_none_or(|pending| at < pending) {
+                next_tick = Some(at);
+                sched.schedule_at(at, Ev::Tick);
+            }
+        }
+    }
+    report
+}
+
+/// Drive the packet-sequenced baseline through the same channel.
+pub fn run_pktseq(
+    params: ChannelParams,
+    writes: &[Vec<u8>],
+    window: u64,
+) -> TransferReport {
+    use catenet_core::baseline::pktseq::{PktReceiver, PktSegment, PktSender, PKT_HEADER};
+
+    let mut tx = PktSender::new(window, Duration::from_millis(100).max(params.delay * 3));
+    let mut rx = PktReceiver::new();
+    for write in writes {
+        tx.send(write);
+    }
+    enum Ev {
+        Data(PktSegment),
+        Ack(u64),
+        Tick,
+    }
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    let mut rng = Rng::from_seed(params.seed);
+    let mut report = TransferReport {
+        completed: false,
+        finished_at: Instant::ZERO,
+        segs_sent: 0,
+        wire_bytes: 0,
+        retransmits: 0,
+    };
+    sched.schedule_at(Instant::ZERO, Ev::Tick);
+    let mut next_tick: Option<Instant> = Some(Instant::ZERO);
+    while let Some((now, ev)) = sched.pop() {
+        if now > params.deadline {
+            break;
+        }
+        if next_tick.is_some_and(|at| at <= now) {
+            next_tick = None;
+        }
+        match ev {
+            Ev::Data(seg) => {
+                let ack = rx.process(seg);
+                if !rng.chance(params.loss) {
+                    sched.schedule_at(now + params.delay, Ev::Ack(ack));
+                }
+            }
+            Ev::Ack(ack) => tx.process_ack(ack, now),
+            Ev::Tick => {}
+        }
+        while let Some(seg) = tx.dispatch(now) {
+            report.segs_sent += 1;
+            report.wire_bytes += PKT_HEADER as u64 + seg.payload.len() as u64;
+            if !rng.chance(params.loss) {
+                sched.schedule_at(now + params.delay, Ev::Data(seg));
+            }
+        }
+        report.retransmits = tx.stats.retransmits;
+        if tx.all_acked() {
+            report.completed = true;
+            report.finished_at = now;
+            break;
+        }
+        if let Some(at) = tx.poll_at() {
+            let at = if at <= now {
+                now + Duration::from_micros(1)
+            } else {
+                at
+            };
+            if next_tick.is_none_or(|pending| at < pending) {
+                next_tick = Some(at);
+                sched.schedule_at(at, Ev::Tick);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn writes(n: usize, size: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| vec![(i % 251) as u8; size]).collect()
+    }
+
+    #[test]
+    fn tcp_completes_lossless() {
+        let report = run_tcp(ChannelParams::default(), &writes(10, 500), true, 1000);
+        assert!(report.completed);
+        assert_eq!(report.retransmits, 0);
+        assert!(report.segs_sent >= 5);
+    }
+
+    #[test]
+    fn tcp_completes_under_loss() {
+        let params = ChannelParams {
+            loss: 0.1,
+            seed: 5,
+            ..ChannelParams::default()
+        };
+        // Enough segments that 10% loss is statistically certain to bite.
+        let report = run_tcp(params, &writes(100, 500), true, 1000);
+        assert!(report.completed, "TCP recovered from loss");
+        assert!(report.retransmits > 0);
+    }
+
+    #[test]
+    fn pktseq_completes_lossless_and_lossy() {
+        let clean = run_pktseq(ChannelParams::default(), &writes(10, 500), 8);
+        assert!(clean.completed);
+        assert_eq!(clean.retransmits, 0);
+        let params = ChannelParams {
+            loss: 0.1,
+            seed: 5,
+            ..ChannelParams::default()
+        };
+        let lossy = run_pktseq(params, &writes(20, 500), 8);
+        assert!(lossy.completed);
+        assert!(lossy.retransmits > 0);
+    }
+
+    #[test]
+    fn tcp_coalesces_tinygrams_pktseq_cannot() {
+        // 200 ten-byte writes: Nagle packs them; pktseq sends 200 packets.
+        let tcp = run_tcp(ChannelParams::default(), &writes(200, 10), true, 1000);
+        let pkt = run_pktseq(ChannelParams::default(), &writes(200, 10), 8);
+        assert!(tcp.completed && pkt.completed);
+        assert!(
+            tcp.segs_sent * 3 < pkt.segs_sent,
+            "TCP {} segs vs pktseq {} segs",
+            tcp.segs_sent,
+            pkt.segs_sent
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let params = ChannelParams {
+            loss: 0.07,
+            seed: 9,
+            ..ChannelParams::default()
+        };
+        let a = run_tcp(params, &writes(30, 300), true, 536);
+        let b = run_tcp(params, &writes(30, 300), true, 536);
+        assert_eq!(a.segs_sent, b.segs_sent);
+        assert_eq!(a.finished_at, b.finished_at);
+    }
+}

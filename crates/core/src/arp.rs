@@ -1,0 +1,233 @@
+//! The ARP cache: hardware-address resolution on Ethernet-framed links.
+//!
+//! Part of the "host attachment with low effort" goal (§8): on a
+//! broadcast LAN a host needs to know only its own IP address; everything
+//! else is discovered. Entries expire (smoltcp uses one minute; so do
+//! we), requests are rate-limited to one per second per target, and a
+//! short queue holds datagrams awaiting resolution.
+
+use catenet_sim::{Duration, Instant};
+use catenet_wire::{EthernetAddress, Ipv4Address};
+use std::collections::HashMap;
+
+/// How long a learned entry stays valid.
+pub const ENTRY_LIFETIME: Duration = Duration::from_secs(60);
+/// Minimum spacing between requests for the same address.
+pub const REQUEST_INTERVAL: Duration = Duration::from_secs(1);
+/// Datagrams queued per unresolved address.
+pub const PENDING_LIMIT: usize = 4;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    hardware: EthernetAddress,
+    expires_at: Instant,
+}
+
+/// The cache plus pending-datagram queue.
+#[derive(Debug, Default)]
+pub struct ArpCache {
+    entries: HashMap<Ipv4Address, Entry>,
+    /// Datagrams waiting for resolution, per target.
+    pending: HashMap<Ipv4Address, Vec<Vec<u8>>>,
+    /// Last request time per target (rate limiting).
+    last_request: HashMap<Ipv4Address, Instant>,
+}
+
+/// The outcome of a transmit-side lookup.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Resolution {
+    /// The hardware address is known.
+    Known(EthernetAddress),
+    /// Unknown; the datagram was queued and a request should be sent.
+    RequestAndWait,
+    /// Unknown; the datagram was queued, a request was sent recently.
+    Wait,
+    /// Unknown and the pending queue is full; the datagram was dropped.
+    QueueFull,
+}
+
+impl ArpCache {
+    /// An empty cache.
+    pub fn new() -> ArpCache {
+        ArpCache::default()
+    }
+
+    /// Number of live entries at `now`.
+    pub fn len(&self, now: Instant) -> usize {
+        self.entries
+            .values()
+            .filter(|entry| entry.expires_at > now)
+            .count()
+    }
+
+    /// Whether the cache holds no live entries.
+    pub fn is_empty(&self, now: Instant) -> bool {
+        self.len(now) == 0
+    }
+
+    /// Look up without side effects.
+    pub fn get(&self, target: Ipv4Address, now: Instant) -> Option<EthernetAddress> {
+        self.entries
+            .get(&target)
+            .filter(|entry| entry.expires_at > now)
+            .map(|entry| entry.hardware)
+    }
+
+    /// Transmit-side resolution: returns the hardware address or queues
+    /// `datagram` for later and says whether to emit a request.
+    pub fn resolve(
+        &mut self,
+        target: Ipv4Address,
+        datagram: Vec<u8>,
+        now: Instant,
+    ) -> Resolution {
+        if let Some(hw) = self.get(target, now) {
+            return Resolution::Known(hw);
+        }
+        let queue = self.pending.entry(target).or_default();
+        if queue.len() >= PENDING_LIMIT {
+            return Resolution::QueueFull;
+        }
+        queue.push(datagram);
+        let may_request = self
+            .last_request
+            .get(&target)
+            .is_none_or(|&at| now >= at + REQUEST_INTERVAL);
+        if may_request {
+            self.last_request.insert(target, now);
+            Resolution::RequestAndWait
+        } else {
+            Resolution::Wait
+        }
+    }
+
+    /// Learn (or refresh) a mapping; returns any datagrams that were
+    /// waiting for it.
+    pub fn learn(
+        &mut self,
+        protocol: Ipv4Address,
+        hardware: EthernetAddress,
+        now: Instant,
+    ) -> Vec<Vec<u8>> {
+        self.entries.insert(
+            protocol,
+            Entry {
+                hardware,
+                expires_at: now + ENTRY_LIFETIME,
+            },
+        );
+        self.last_request.remove(&protocol);
+        self.pending.remove(&protocol).unwrap_or_default()
+    }
+
+    /// Drop expired entries and stale pending queues.
+    pub fn flush_expired(&mut self, now: Instant) {
+        self.entries.retain(|_, entry| entry.expires_at > now);
+        // Pending datagrams for targets we've been asking about for more
+        // than a lifetime are hopeless.
+        let last_request = &self.last_request;
+        self.pending.retain(|target, _| {
+            last_request
+                .get(target)
+                .is_none_or(|&at| now < at + ENTRY_LIFETIME)
+        });
+    }
+
+    /// Forget everything (node reboot).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.pending.clear();
+        self.last_request.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IP: Ipv4Address = Ipv4Address::new(10, 0, 0, 9);
+    const HW: EthernetAddress = EthernetAddress::new(2, 0, 0, 0, 0, 9);
+
+    #[test]
+    fn miss_queues_and_requests() {
+        let mut cache = ArpCache::new();
+        let r = cache.resolve(IP, b"pkt1".to_vec(), Instant::ZERO);
+        assert_eq!(r, Resolution::RequestAndWait);
+        // Second miss within the rate-limit window queues silently.
+        let r = cache.resolve(IP, b"pkt2".to_vec(), Instant::from_millis(100));
+        assert_eq!(r, Resolution::Wait);
+        // After the interval, we may ask again.
+        let r = cache.resolve(IP, b"pkt3".to_vec(), Instant::from_millis(1100));
+        assert_eq!(r, Resolution::RequestAndWait);
+    }
+
+    #[test]
+    fn learn_returns_pending_in_order() {
+        let mut cache = ArpCache::new();
+        cache.resolve(IP, b"pkt1".to_vec(), Instant::ZERO);
+        cache.resolve(IP, b"pkt2".to_vec(), Instant::ZERO);
+        let released = cache.learn(IP, HW, Instant::from_millis(5));
+        assert_eq!(released, vec![b"pkt1".to_vec(), b"pkt2".to_vec()]);
+        assert_eq!(cache.get(IP, Instant::from_millis(5)), Some(HW));
+        // Subsequent resolution is a straight hit.
+        assert_eq!(
+            cache.resolve(IP, b"pkt3".to_vec(), Instant::from_millis(6)),
+            Resolution::Known(HW)
+        );
+    }
+
+    #[test]
+    fn entries_expire() {
+        let mut cache = ArpCache::new();
+        cache.learn(IP, HW, Instant::ZERO);
+        assert!(cache.get(IP, Instant::from_secs(59)).is_some());
+        assert!(cache.get(IP, Instant::from_secs(61)).is_none());
+        cache.flush_expired(Instant::from_secs(61));
+        assert!(cache.is_empty(Instant::from_secs(61)));
+    }
+
+    #[test]
+    fn queue_caps_at_limit() {
+        let mut cache = ArpCache::new();
+        for i in 0..PENDING_LIMIT {
+            let r = cache.resolve(IP, vec![i as u8], Instant::ZERO);
+            assert_ne!(r, Resolution::QueueFull);
+        }
+        assert_eq!(
+            cache.resolve(IP, b"overflow".to_vec(), Instant::ZERO),
+            Resolution::QueueFull
+        );
+        // Learning releases exactly the queued ones.
+        assert_eq!(cache.learn(IP, HW, Instant::ZERO).len(), PENDING_LIMIT);
+    }
+
+    #[test]
+    fn refresh_extends_lifetime() {
+        let mut cache = ArpCache::new();
+        cache.learn(IP, HW, Instant::ZERO);
+        cache.learn(IP, HW, Instant::from_secs(50));
+        assert!(cache.get(IP, Instant::from_secs(100)).is_some());
+    }
+
+    #[test]
+    fn clear_forgets_all() {
+        let mut cache = ArpCache::new();
+        cache.learn(IP, HW, Instant::ZERO);
+        cache.resolve(Ipv4Address::new(10, 0, 0, 8), b"x".to_vec(), Instant::ZERO);
+        cache.clear();
+        assert!(cache.get(IP, Instant::ZERO).is_none());
+        assert!(cache.is_empty(Instant::ZERO));
+    }
+
+    #[test]
+    fn distinct_targets_independent() {
+        let other_ip = Ipv4Address::new(10, 0, 0, 10);
+        let other_hw = EthernetAddress::new(2, 0, 0, 0, 0, 10);
+        let mut cache = ArpCache::new();
+        cache.learn(IP, HW, Instant::ZERO);
+        cache.learn(other_ip, other_hw, Instant::ZERO);
+        assert_eq!(cache.get(IP, Instant::ZERO), Some(HW));
+        assert_eq!(cache.get(other_ip, Instant::ZERO), Some(other_hw));
+        assert_eq!(cache.len(Instant::ZERO), 2);
+    }
+}

@@ -1,0 +1,12 @@
+//! The architectures the paper *rejected*, implemented so the rejection
+//! can be measured instead of taken on faith.
+//!
+//! | Module | Rejected design | Paper's argument against it |
+//! |--------|-----------------|------------------------------|
+//! | [`vc`] | Per-connection state in gateways (virtual circuits, X.25-style) | §3: state in the network dies with the network; fate-sharing puts it at the endpoints instead |
+//! | [`linkarq`] | Hop-by-hop reliable links | §5/§7: reliability is not something the internet layer may demand of a network; end-to-end retransmission is the architecture's answer, at a measurable cost |
+//! | [`pktseq`] | Packet-based transport sequencing | §"TCP": byte sequencing permits repacketization and coalescing; packet sequencing forbids both |
+
+pub mod linkarq;
+pub mod pktseq;
+pub mod vc;

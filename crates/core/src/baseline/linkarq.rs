@@ -1,0 +1,415 @@
+//! Hop-by-hop reliable links: the end-to-end counterfactual.
+//!
+//! The paper (§5) insists the internet layer must *not* require
+//! reliability of its networks, and accepts (§7) that the price is
+//! end-to-end retransmission: "lost packets ... must be retransmitted
+//! from one end ... the retransmission passes once again over the same
+//! \[upstream\] links, consuming their capacity a second time."
+//!
+//! The rejected alternative — each link runs its own ARQ so losses are
+//! repaired where they happen — is implemented here as a stop-and-wait
+//! link protocol driven by a self-contained event simulation over the
+//! same [`catenet_sim::Link`] models the full stack uses. Experiment E5
+//! compares transmissions-per-delivered-packet and delivery latency of
+//! the two strategies as loss and path length grow.
+
+use catenet_sim::{Duration, Instant, Link, LinkOutcome, LinkParams, Rng, Scheduler};
+
+/// Outcome of pushing a batch of packets across a path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathStats {
+    /// Packets delivered end to end.
+    pub delivered: u64,
+    /// Total link-level transmissions (data frames only, all hops).
+    pub link_transmissions: u64,
+    /// ACK frames sent (hop-by-hop only; zero for end-to-end).
+    pub ack_transmissions: u64,
+    /// Virtual time when the last packet arrived.
+    pub finished_at: Instant,
+}
+
+impl PathStats {
+    /// Link data-transmissions per delivered packet — the paper's cost
+    /// metric. An ideal lossless path of `h` hops scores exactly `h`.
+    pub fn cost_per_packet(&self) -> f64 {
+        if self.delivered == 0 {
+            return f64::INFINITY;
+        }
+        self.link_transmissions as f64 / self.delivered as f64
+    }
+}
+
+fn make_links(hops: usize, loss: f64) -> Vec<Link> {
+    (0..hops)
+        .map(|_| {
+            Link::new(LinkParams {
+                name: "arq-hop",
+                bandwidth_bps: 1_544_000,
+                propagation: Duration::from_millis(10),
+                jitter: Duration::ZERO,
+                loss,
+                corruption: 0.0,
+                mtu: 1500,
+                queue_limit: 1000,
+            })
+        })
+        .collect()
+}
+
+/// **Hop-by-hop**: every hop runs stop-and-wait ARQ with per-hop ACKs
+/// and timeout retransmission. A packet is handed to hop `i+1` only once
+/// hop `i` has it safely.
+pub fn run_hop_by_hop(
+    hops: usize,
+    loss: f64,
+    packets: u64,
+    packet_len: usize,
+    seed: u64,
+) -> PathStats {
+    assert!(hops >= 1);
+    #[derive(Debug)]
+    enum Ev {
+        /// Data frame for packet `id` arrives at node `node` (hop index).
+        Data { node: usize, id: u64 },
+        /// ACK for packet `id` arrives back at node `node`.
+        Ack { node: usize, id: u64 },
+        /// Retransmission timer at node `node` for packet `id`.
+        Timer { node: usize, id: u64 },
+    }
+    let mut rng = Rng::from_seed(seed);
+    let mut links = make_links(hops, loss);
+    // Reverse direction for ACKs (lossless ACK channel would flatter the
+    // baseline; ACKs cross the same lossy medium).
+    let mut acks = make_links(hops, loss);
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    let timeout = Duration::from_millis(60);
+    let mut stats = PathStats {
+        delivered: 0,
+        link_transmissions: 0,
+        ack_transmissions: 0,
+        finished_at: Instant::ZERO,
+    };
+    // Per node: the id of the packet it currently holds/awaits acking.
+    // waiting_ack[node] = Some(id) while node has an unacked frame out.
+    let mut waiting_ack: Vec<Option<u64>> = vec![None; hops];
+    // Packets queued at each node (node 0 = the source).
+    let mut queues: Vec<std::collections::VecDeque<u64>> =
+        vec![std::collections::VecDeque::new(); hops];
+    // Receiver-side dedup: highest id delivered + per-node last accepted.
+    let mut accepted: Vec<Option<u64>> = vec![None; hops + 1];
+    for id in 0..packets {
+        queues[0].push_back(id);
+    }
+
+    // Try to launch the head-of-queue frame at `node`.
+    #[allow(clippy::too_many_arguments)]
+    fn launch(
+        node: usize,
+        now: Instant,
+        links: &mut [Link],
+        rng: &mut Rng,
+        sched: &mut Scheduler<Ev>,
+        queues: &mut [std::collections::VecDeque<u64>],
+        waiting_ack: &mut [Option<u64>],
+        stats: &mut PathStats,
+        packet_len: usize,
+        timeout: Duration,
+    ) {
+        if waiting_ack[node].is_some() {
+            return; // stop-and-wait: one frame at a time
+        }
+        let Some(&id) = queues[node].front() else {
+            return;
+        };
+        waiting_ack[node] = Some(id);
+        stats.link_transmissions += 1;
+        let mut frame = vec![0u8; packet_len];
+        match links[node].transmit(now, &mut frame, rng) {
+            LinkOutcome::Delivered { at, .. } => {
+                sched.schedule_at(at, Ev::Data { node: node + 1, id });
+            }
+            LinkOutcome::Dropped(_) => {}
+        }
+        sched.schedule_at(now + timeout, Ev::Timer { node, id });
+    }
+
+    let now = Instant::ZERO;
+    launch(
+        0, now, &mut links, &mut rng, &mut sched, &mut queues, &mut waiting_ack, &mut stats,
+        packet_len, timeout,
+    );
+
+    while let Some((now, ev)) = sched.pop() {
+        match ev {
+            Ev::Data { node, id } => {
+                // Send an ACK back regardless (dedup happens here).
+                stats.ack_transmissions += 1;
+                let mut ack_frame = vec![0u8; 20];
+                match acks[node - 1].transmit(now, &mut ack_frame, &mut rng) {
+                    LinkOutcome::Delivered { at, .. } => {
+                        sched.schedule_at(at, Ev::Ack { node: node - 1, id });
+                    }
+                    LinkOutcome::Dropped(_) => {}
+                }
+                // Accept if new.
+                if accepted[node] != Some(id) {
+                    accepted[node] = Some(id);
+                    if node == hops {
+                        stats.delivered += 1;
+                        stats.finished_at = now;
+                    } else {
+                        queues[node].push_back(id);
+                        launch(
+                            node, now, &mut links, &mut rng, &mut sched, &mut queues,
+                            &mut waiting_ack, &mut stats, packet_len, timeout,
+                        );
+                    }
+                }
+            }
+            Ev::Ack { node, id } => {
+                if waiting_ack[node] == Some(id) {
+                    waiting_ack[node] = None;
+                    queues[node].pop_front();
+                    launch(
+                        node, now, &mut links, &mut rng, &mut sched, &mut queues,
+                        &mut waiting_ack, &mut stats, packet_len, timeout,
+                    );
+                }
+            }
+            Ev::Timer { node, id } => {
+                if waiting_ack[node] == Some(id) {
+                    // Still unacked: retransmit.
+                    waiting_ack[node] = None;
+                    launch(
+                        node, now, &mut links, &mut rng, &mut sched, &mut queues,
+                        &mut waiting_ack, &mut stats, packet_len, timeout,
+                    );
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// **End-to-end**: links carry frames best-effort; only the source
+/// retransmits, on a full-path timeout, and every retransmission crosses
+/// *every* hop again. (This is the architecture's choice, isolated from
+/// TCP's windowing so the comparison is mechanism-pure: both sides here
+/// are stop-and-wait.)
+pub fn run_end_to_end(
+    hops: usize,
+    loss: f64,
+    packets: u64,
+    packet_len: usize,
+    seed: u64,
+) -> PathStats {
+    assert!(hops >= 1);
+    #[derive(Debug)]
+    enum Ev {
+        /// Frame for packet `id` arrives at node `node`.
+        Data { node: usize, id: u64 },
+        /// End-to-end ACK arrives back at the source.
+        Ack { id: u64 },
+        /// Source retransmission timer.
+        Timer { id: u64 },
+    }
+    let mut rng = Rng::from_seed(seed);
+    let mut links = make_links(hops, loss);
+    let mut acks = make_links(hops, loss); // ACK path, also lossy
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    // Timeout must cover the whole path.
+    let timeout = Duration::from_millis(60) * (hops as u32);
+    let mut stats = PathStats {
+        delivered: 0,
+        link_transmissions: 0,
+        ack_transmissions: 0,
+        finished_at: Instant::ZERO,
+    };
+    let mut next_to_send: u64 = 0;
+    let mut awaiting: Option<u64> = None;
+    let mut delivered_ids: Option<u64> = None; // highest delivered (in-order ids)
+
+    #[allow(clippy::too_many_arguments)]
+    fn source_send(
+        id: u64,
+        now: Instant,
+        links: &mut [Link],
+        rng: &mut Rng,
+        sched: &mut Scheduler<Ev>,
+        stats: &mut PathStats,
+        packet_len: usize,
+        timeout: Duration,
+    ) {
+        stats.link_transmissions += 1;
+        let mut frame = vec![0u8; packet_len];
+        match links[0].transmit(now, &mut frame, rng) {
+            LinkOutcome::Delivered { at, .. } => {
+                sched.schedule_at(at, Ev::Data { node: 1, id });
+            }
+            LinkOutcome::Dropped(_) => {}
+        }
+        sched.schedule_at(now + timeout, Ev::Timer { id });
+    }
+
+    if packets > 0 {
+        awaiting = Some(0);
+        next_to_send = 1;
+        source_send(
+            0,
+            Instant::ZERO,
+            &mut links,
+            &mut rng,
+            &mut sched,
+            &mut stats,
+            packet_len,
+            timeout,
+        );
+    }
+
+    while let Some((now, ev)) = sched.pop() {
+        match ev {
+            Ev::Data { node, id } => {
+                if node == hops {
+                    // Destination: dedup, deliver, ACK end to end.
+                    if delivered_ids != Some(id) {
+                        delivered_ids = Some(id);
+                        stats.delivered += 1;
+                        stats.finished_at = now;
+                    }
+                    // E2E ACK crosses the whole reverse path; model it as
+                    // one traversal whose success requires every hop.
+                    stats.ack_transmissions += 1;
+                    let mut ok = true;
+                    let mut at = now;
+                    for ack_link in acks.iter_mut() {
+                        let mut ack_frame = vec![0u8; 20];
+                        match ack_link.transmit(at, &mut ack_frame, &mut rng) {
+                            LinkOutcome::Delivered { at: arrival, .. } => at = arrival,
+                            LinkOutcome::Dropped(_) => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        sched.schedule_at(at, Ev::Ack { id });
+                    }
+                } else {
+                    // A stateless gateway: forward, never store.
+                    stats.link_transmissions += 1;
+                    let mut frame = vec![0u8; packet_len];
+                    match links[node].transmit(now, &mut frame, &mut rng) {
+                        LinkOutcome::Delivered { at, .. } => {
+                            sched.schedule_at(at, Ev::Data { node: node + 1, id });
+                        }
+                        LinkOutcome::Dropped(_) => {}
+                    }
+                }
+            }
+            Ev::Ack { id } => {
+                if awaiting == Some(id) {
+                    awaiting = if next_to_send < packets {
+                        let next = next_to_send;
+                        next_to_send += 1;
+                        source_send(
+                            next, now, &mut links, &mut rng, &mut sched, &mut stats,
+                            packet_len, timeout,
+                        );
+                        Some(next)
+                    } else {
+                        None
+                    };
+                }
+            }
+            Ev::Timer { id } => {
+                if awaiting == Some(id) {
+                    source_send(
+                        id, now, &mut links, &mut rng, &mut sched, &mut stats, packet_len,
+                        timeout,
+                    );
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_path_costs_exactly_hops() {
+        for hops in [1, 3, 5] {
+            let hbh = run_hop_by_hop(hops, 0.0, 50, 1000, 1);
+            assert_eq!(hbh.delivered, 50);
+            assert!((hbh.cost_per_packet() - hops as f64).abs() < 1e-9);
+            let e2e = run_end_to_end(hops, 0.0, 50, 1000, 1);
+            assert_eq!(e2e.delivered, 50);
+            assert!((e2e.cost_per_packet() - hops as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_packets_delivered_under_loss() {
+        let hbh = run_hop_by_hop(4, 0.1, 100, 1000, 2);
+        assert_eq!(hbh.delivered, 100);
+        let e2e = run_end_to_end(4, 0.1, 100, 1000, 2);
+        assert_eq!(e2e.delivered, 100);
+    }
+
+    #[test]
+    fn end_to_end_costs_more_under_loss_on_long_paths() {
+        // The paper's concession, quantified: with per-link loss p and h
+        // hops, hop-by-hop costs ~h/(1-p) transmissions; end-to-end costs
+        // ~h/(1-p)^h. At p=10%, h=6 the gap is large.
+        let hops = 6;
+        let loss = 0.10;
+        let hbh = run_hop_by_hop(hops, loss, 200, 1000, 3);
+        let e2e = run_end_to_end(hops, loss, 200, 1000, 3);
+        assert!(
+            e2e.cost_per_packet() > hbh.cost_per_packet() * 1.2,
+            "e2e {:.2} vs hbh {:.2}",
+            e2e.cost_per_packet(),
+            hbh.cost_per_packet()
+        );
+    }
+
+    #[test]
+    fn costs_match_theory_roughly() {
+        let hops = 4;
+        let loss = 0.05;
+        let hbh = run_hop_by_hop(hops, loss, 400, 1000, 4);
+        // Theory: h / (1-p) = 4.21 (ignoring lost ACK retransmits, which
+        // add a little).
+        let expected = hops as f64 / (1.0 - loss);
+        assert!(
+            hbh.cost_per_packet() >= expected * 0.95 && hbh.cost_per_packet() <= expected * 1.35,
+            "hbh cost {:.2}, theory {:.2}",
+            hbh.cost_per_packet(),
+            expected
+        );
+        let e2e = run_end_to_end(hops, loss, 400, 1000, 4);
+        let expected_e2e = hops as f64 / (1.0 - loss_pow(loss, hops));
+        assert!(
+            e2e.cost_per_packet() >= expected_e2e * 0.9,
+            "e2e cost {:.2}, theory ≥ {:.2}",
+            e2e.cost_per_packet(),
+            expected_e2e
+        );
+    }
+
+    fn loss_pow(loss: f64, hops: usize) -> f64 {
+        1.0 - (1.0 - loss).powi(hops as i32)
+    }
+
+    #[test]
+    fn determinism() {
+        let a = run_hop_by_hop(3, 0.08, 100, 800, 9);
+        let b = run_hop_by_hop(3, 0.08, 100, 800, 9);
+        assert_eq!(a, b);
+        let c = run_end_to_end(3, 0.08, 100, 800, 9);
+        let d = run_end_to_end(3, 0.08, 100, 800, 9);
+        assert_eq!(c, d);
+    }
+}

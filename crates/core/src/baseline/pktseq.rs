@@ -1,0 +1,342 @@
+//! A packet-sequenced reliable transport: TCP's rejected sibling.
+//!
+//! The paper's TCP section recounts the debate: "TCP was originally
+//! designed to deliver packets ... the decision to use bytes \[permits\]
+//! the packets to be repacketized and combined." This module implements
+//! the road not taken — a go-back-N transport whose sequence numbers
+//! count *packets*:
+//!
+//! - every application write becomes exactly one packet, forever
+//!   (tinygrams can never be coalesced), and
+//! - a retransmission must resend the original packet byte-for-byte
+//!   (no repacketization when the path MSS shrinks or when many small
+//!   packets could ride together).
+//!
+//! The interface mirrors the sans-IO shape of [`catenet_tcp::Socket`]
+//! (`send` / `dispatch` / `process` / `poll_at`) so experiment E9 can
+//! drive both transports through an identical lossy channel and compare
+//! packets sent, bytes carried, and completion time.
+
+use catenet_sim::{Duration, Instant};
+use std::collections::VecDeque;
+
+/// A wire segment of the packet-sequenced protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PktSegment {
+    /// Packet sequence number.
+    pub seq: u64,
+    /// Cumulative acknowledgment: all packets below this are received.
+    pub ack: u64,
+    /// Payload (empty for pure ACKs).
+    pub payload: Vec<u8>,
+}
+
+/// Per-packet header overhead on the wire, for byte accounting
+/// (seq + ack + length, a plausible 1970s header).
+pub const PKT_HEADER: usize = 20;
+
+/// Counters for the comparison harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PktStats {
+    /// Data segments transmitted (including retransmissions).
+    pub segs_sent: u64,
+    /// Payload bytes transmitted (including retransmissions).
+    pub bytes_sent: u64,
+    /// Retransmitted segments.
+    pub retransmits: u64,
+    /// Pure ACK segments sent.
+    pub acks_sent: u64,
+}
+
+/// The sending side.
+#[derive(Debug)]
+pub struct PktSender {
+    /// Packets as the application wrote them — immutable forever.
+    packets: Vec<Vec<u8>>,
+    /// Next packet index to transmit (cursor; rewound on timeout).
+    snd_nxt: u64,
+    /// Oldest unacknowledged packet.
+    snd_una: u64,
+    /// Window, in packets.
+    window: u64,
+    /// Highest packet index ever transmitted (+1).
+    max_sent: u64,
+    rto: Duration,
+    retransmit_at: Option<Instant>,
+    /// Counters.
+    pub stats: PktStats,
+}
+
+impl PktSender {
+    /// A sender with a fixed window (packets) and retransmission timeout.
+    pub fn new(window: u64, rto: Duration) -> PktSender {
+        PktSender {
+            packets: Vec::new(),
+            snd_nxt: 0,
+            snd_una: 0,
+            window: window.max(1),
+            max_sent: 0,
+            rto,
+            retransmit_at: None,
+            stats: PktStats::default(),
+        }
+    }
+
+    /// One write = one packet = one sequence number. Forever.
+    pub fn send(&mut self, data: &[u8]) {
+        self.packets.push(data.to_vec());
+    }
+
+    /// Whether every packet has been acknowledged.
+    pub fn all_acked(&self) -> bool {
+        self.snd_una == self.packets.len() as u64
+    }
+
+    /// Produce the next segment to transmit, if the window allows.
+    pub fn dispatch(&mut self, now: Instant) -> Option<PktSegment> {
+        // Timeout: go-back-N.
+        if let Some(at) = self.retransmit_at {
+            if now >= at && self.snd_una < self.snd_highest() {
+                self.snd_nxt = self.snd_una;
+                self.retransmit_at = Some(now + self.rto);
+            }
+        }
+        if self.snd_nxt >= self.packets.len() as u64 {
+            return None;
+        }
+        if self.snd_nxt >= self.snd_una + self.window {
+            return None;
+        }
+        let index = self.snd_nxt as usize;
+        let payload = self.packets[index].clone();
+        let is_retransmit = self.snd_nxt < self.snd_highest();
+        let seg = PktSegment {
+            seq: self.snd_nxt,
+            ack: 0,
+            payload,
+        };
+        self.stats.segs_sent += 1;
+        self.stats.bytes_sent += seg.payload.len() as u64;
+        if is_retransmit {
+            self.stats.retransmits += 1;
+        }
+        self.snd_nxt += 1;
+        self.max_sent = self.max_sent.max(self.snd_nxt);
+        if self.retransmit_at.is_none() {
+            self.retransmit_at = Some(now + self.rto);
+        }
+        Some(seg)
+    }
+
+    fn snd_highest(&self) -> u64 {
+        self.max_sent
+    }
+
+    /// Process a cumulative ACK.
+    pub fn process_ack(&mut self, ack: u64, now: Instant) {
+        if ack > self.snd_una {
+            self.snd_una = ack.min(self.packets.len() as u64);
+            if self.snd_nxt < self.snd_una {
+                self.snd_nxt = self.snd_una;
+            }
+            self.retransmit_at = if self.all_acked() {
+                None
+            } else {
+                Some(now + self.rto)
+            };
+        }
+    }
+
+    /// When the sender next needs `dispatch` called.
+    pub fn poll_at(&self) -> Option<Instant> {
+        self.retransmit_at
+    }
+}
+
+/// The receiving side.
+#[derive(Debug, Default)]
+pub struct PktReceiver {
+    /// Next packet expected.
+    rcv_nxt: u64,
+    /// Out-of-order stash.
+    stash: std::collections::BTreeMap<u64, Vec<u8>>,
+    /// In-order packets awaiting the application.
+    delivered: VecDeque<Vec<u8>>,
+    /// Total packets accepted in order.
+    pub accepted: u64,
+}
+
+impl PktReceiver {
+    /// A fresh receiver.
+    pub fn new() -> PktReceiver {
+        PktReceiver::default()
+    }
+
+    /// Process a data segment; returns the cumulative ACK to send back.
+    pub fn process(&mut self, seg: PktSegment) -> u64 {
+        if seg.seq == self.rcv_nxt {
+            self.delivered.push_back(seg.payload);
+            self.rcv_nxt += 1;
+            self.accepted += 1;
+            // Drain the stash.
+            while let Some(payload) = self.stash.remove(&self.rcv_nxt) {
+                self.delivered.push_back(payload);
+                self.rcv_nxt += 1;
+                self.accepted += 1;
+            }
+        } else if seg.seq > self.rcv_nxt {
+            self.stash.insert(seg.seq, seg.payload);
+        }
+        // Duplicates fall through to a repeat ACK.
+        self.rcv_nxt
+    }
+
+    /// Take the next in-order packet.
+    pub fn recv(&mut self) -> Option<Vec<u8>> {
+        self.delivered.pop_front()
+    }
+
+    /// Next expected sequence number.
+    pub fn rcv_nxt(&self) -> u64 {
+        self.rcv_nxt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rto() -> Duration {
+        Duration::from_millis(100)
+    }
+
+    #[test]
+    fn in_order_transfer() {
+        let mut tx = PktSender::new(4, rto());
+        let mut rx = PktReceiver::new();
+        for chunk in [&b"aa"[..], b"bbb", b"c"] {
+            tx.send(chunk);
+        }
+        let mut now = Instant::ZERO;
+        while !tx.all_acked() {
+            while let Some(seg) = tx.dispatch(now) {
+                let ack = rx.process(seg);
+                tx.process_ack(ack, now);
+            }
+            now += Duration::from_millis(10);
+        }
+        assert_eq!(rx.recv().unwrap(), b"aa");
+        assert_eq!(rx.recv().unwrap(), b"bbb");
+        assert_eq!(rx.recv().unwrap(), b"c");
+        assert!(rx.recv().is_none());
+        assert_eq!(tx.stats.retransmits, 0);
+    }
+
+    #[test]
+    fn window_limits_flight() {
+        let mut tx = PktSender::new(2, rto());
+        for _ in 0..5 {
+            tx.send(b"x");
+        }
+        let now = Instant::ZERO;
+        assert!(tx.dispatch(now).is_some());
+        assert!(tx.dispatch(now).is_some());
+        assert!(tx.dispatch(now).is_none(), "window of 2");
+        tx.process_ack(1, now);
+        assert!(tx.dispatch(now).is_some());
+    }
+
+    #[test]
+    fn timeout_goes_back_n_resending_identical_packets() {
+        let mut tx = PktSender::new(4, rto());
+        tx.send(b"one");
+        tx.send(b"two");
+        let now = Instant::ZERO;
+        let first = tx.dispatch(now).unwrap();
+        let second = tx.dispatch(now).unwrap();
+        // Both lost. After RTO, the cursor rewinds and the SAME packets
+        // come out — no coalescing into one segment, ever.
+        let later = now + Duration::from_millis(150);
+        let re_first = tx.dispatch(later).unwrap();
+        let re_second = tx.dispatch(later).unwrap();
+        assert_eq!(re_first, first);
+        assert_eq!(re_second, second);
+        assert_eq!(tx.stats.retransmits, 2);
+        assert_eq!(tx.stats.segs_sent, 4);
+    }
+
+    #[test]
+    fn receiver_reorders_and_dedups() {
+        let mut rx = PktReceiver::new();
+        let seg = |seq: u64, data: &[u8]| PktSegment {
+            seq,
+            ack: 0,
+            payload: data.to_vec(),
+        };
+        assert_eq!(rx.process(seg(1, b"second")), 0, "hole: ack still 0");
+        assert_eq!(rx.process(seg(0, b"first")), 2, "hole filled");
+        assert_eq!(rx.process(seg(0, b"first")), 2, "duplicate re-acked");
+        assert_eq!(rx.recv().unwrap(), b"first");
+        assert_eq!(rx.recv().unwrap(), b"second");
+        assert_eq!(rx.accepted, 2);
+    }
+
+    #[test]
+    fn lossy_channel_completes_with_retransmission() {
+        // Deterministic loss: every 3rd data segment vanishes.
+        let mut tx = PktSender::new(4, rto());
+        let mut rx = PktReceiver::new();
+        for i in 0..20u8 {
+            tx.send(&[i; 10]);
+        }
+        let mut now = Instant::ZERO;
+        let mut counter = 0u64;
+        for _ in 0..10_000 {
+            if tx.all_acked() {
+                break;
+            }
+            let mut sent_any = false;
+            while let Some(seg) = tx.dispatch(now) {
+                sent_any = true;
+                counter += 1;
+                if !counter.is_multiple_of(3) {
+                    let ack = rx.process(seg);
+                    tx.process_ack(ack, now);
+                }
+            }
+            let _ = sent_any;
+            now += Duration::from_millis(20);
+        }
+        assert!(tx.all_acked());
+        assert_eq!(rx.accepted, 20);
+        assert!(tx.stats.retransmits > 0);
+        let mut received = Vec::new();
+        while let Some(p) = rx.recv() {
+            received.push(p);
+        }
+        assert_eq!(received.len(), 20);
+        for (i, p) in received.iter().enumerate() {
+            assert_eq!(p, &vec![i as u8; 10]);
+        }
+    }
+
+    #[test]
+    fn tinygrams_stay_tiny() {
+        // 100 one-byte writes = 100 packets = 100 × PKT_HEADER overhead.
+        // (TCP with byte sequencing would coalesce; this cannot.)
+        let mut tx = PktSender::new(100, rto());
+        for _ in 0..100 {
+            tx.send(b"x");
+        }
+        let now = Instant::ZERO;
+        let mut segs = 0;
+        while tx.dispatch(now).is_some() {
+            segs += 1;
+        }
+        assert_eq!(segs, 100);
+        assert_eq!(tx.stats.bytes_sent, 100);
+        // Wire bytes including headers: 100 packets × (20 + 1).
+        let wire = tx.stats.segs_sent * PKT_HEADER as u64 + tx.stats.bytes_sent;
+        assert_eq!(wire, 2_100);
+    }
+}

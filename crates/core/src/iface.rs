@@ -1,0 +1,97 @@
+//! Network interfaces: a node's attachment points.
+//!
+//! An interface binds an IP address + prefix to a link and knows the
+//! link's framing. Point-to-point trunks (ARPANET, SATNET, serial lines)
+//! carry bare IP datagrams; LAN links use Ethernet framing with ARP.
+
+use catenet_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
+
+/// How datagrams are framed on the attached link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Framing {
+    /// Bare IP datagrams (point-to-point trunks).
+    RawIp,
+    /// Ethernet II frames with ARP resolution.
+    Ethernet,
+}
+
+impl Framing {
+    /// Link-layer overhead per frame, in bytes.
+    pub const fn overhead(self) -> usize {
+        match self {
+            Framing::RawIp => 0,
+            Framing::Ethernet => catenet_wire::ethernet::HEADER_LEN,
+        }
+    }
+}
+
+/// One attachment point.
+#[derive(Debug, Clone)]
+pub struct Iface {
+    /// Our IP address on this network.
+    pub addr: Ipv4Address,
+    /// The network this interface sits on.
+    pub cidr: Ipv4Cidr,
+    /// Our hardware address (meaningful with Ethernet framing).
+    pub hardware: EthernetAddress,
+    /// The peer's IP address (point-to-point links have exactly one).
+    pub peer: Ipv4Address,
+    /// MTU of the attached link, in *IP datagram* bytes (link MTU minus
+    /// framing overhead).
+    pub ip_mtu: usize,
+    /// Framing on this link.
+    pub framing: Framing,
+    /// Administrative state.
+    pub up: bool,
+}
+
+impl Iface {
+    /// Whether `dst` is on this interface's network.
+    pub fn on_link(&self, dst: Ipv4Address) -> bool {
+        self.cidr.contains(dst)
+    }
+
+    /// Whether `dst` is this network's directed broadcast (or limited
+    /// broadcast).
+    pub fn is_broadcast(&self, dst: Ipv4Address) -> bool {
+        dst.is_broadcast() || dst == self.cidr.broadcast()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iface() -> Iface {
+        Iface {
+            addr: Ipv4Address::new(10, 0, 0, 1),
+            cidr: Ipv4Cidr::new(Ipv4Address::new(10, 0, 0, 0), 30),
+            hardware: EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            peer: Ipv4Address::new(10, 0, 0, 2),
+            ip_mtu: 1500,
+            framing: Framing::RawIp,
+            up: true,
+        }
+    }
+
+    #[test]
+    fn on_link_detection() {
+        let iface = iface();
+        assert!(iface.on_link(Ipv4Address::new(10, 0, 0, 2)));
+        assert!(!iface.on_link(Ipv4Address::new(10, 0, 0, 5)));
+    }
+
+    #[test]
+    fn broadcast_detection() {
+        let iface = iface();
+        assert!(iface.is_broadcast(Ipv4Address::BROADCAST));
+        assert!(iface.is_broadcast(Ipv4Address::new(10, 0, 0, 3))); // /30 broadcast
+        assert!(!iface.is_broadcast(Ipv4Address::new(10, 0, 0, 2)));
+    }
+
+    #[test]
+    fn framing_overhead() {
+        assert_eq!(Framing::RawIp.overhead(), 0);
+        assert_eq!(Framing::Ethernet.overhead(), 14);
+    }
+}

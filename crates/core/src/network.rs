@@ -1,0 +1,757 @@
+//! The internetwork: nodes wired together over simulated links, driven
+//! by one deterministic event loop.
+//!
+//! The network owns the scheduler, the links, and the failure switches
+//! (node crash/reboot, link up/down) that the survivability experiments
+//! script. It never looks inside a datagram: everything above the link
+//! is the nodes' business — the same layering discipline the
+//! architecture itself prescribes.
+
+use crate::app::Application;
+use crate::iface::{Framing, Iface};
+use crate::node::{Node, NodeRole};
+use catenet_sim::{Duration, Instant, Link, LinkClass, LinkOutcome, LinkParams, Rng, Scheduler};
+use catenet_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
+use std::collections::HashMap;
+
+/// Index of a node within the network.
+pub type NodeId = usize;
+/// A frame observer installed with [`Network::set_tap`].
+pub type FrameTap = Box<dyn FnMut(Instant, &[u8])>;
+/// Index of a (duplex) link within the network.
+pub type LinkId = usize;
+
+#[derive(Debug, Clone, Copy)]
+struct LinkEnd {
+    node: NodeId,
+    iface: usize,
+}
+
+struct DuplexLink {
+    a: LinkEnd,
+    b: LinkEnd,
+    /// a → b direction.
+    ab: Link,
+    /// b → a direction.
+    ba: Link,
+}
+
+enum Event {
+    Frame {
+        to: NodeId,
+        iface: usize,
+        frame: Vec<u8>,
+    },
+    Wake {
+        node: NodeId,
+    },
+}
+
+/// The simulated internetwork.
+pub struct Network {
+    nodes: Vec<Node>,
+    apps: Vec<Vec<Box<dyn Application>>>,
+    links: Vec<DuplexLink>,
+    endpoint_index: HashMap<(NodeId, usize), (LinkId, bool)>,
+    sched: Scheduler<Event>,
+    rng: Rng,
+    now: Instant,
+    next_wake: Vec<Option<Instant>>,
+    subnet_counter: u16,
+    /// Optional frame tap (e.g. a pcap writer) observing every frame
+    /// offered to any link.
+    tap: Option<FrameTap>,
+    /// Total frames offered to links.
+    pub frames_offered: u64,
+}
+
+impl Network {
+    /// A fresh network. All randomness derives from `seed`.
+    pub fn new(seed: u64) -> Network {
+        Network {
+            nodes: Vec::new(),
+            apps: Vec::new(),
+            links: Vec::new(),
+            endpoint_index: HashMap::new(),
+            sched: Scheduler::new(),
+            rng: Rng::from_seed(seed),
+            now: Instant::ZERO,
+            next_wake: Vec::new(),
+            subnet_counter: 0,
+            tap: None,
+            frames_offered: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Add a host.
+    pub fn add_host(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(Node::new(name, NodeRole::Host))
+    }
+
+    /// Add a gateway.
+    pub fn add_gateway(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(Node::new(name, NodeRole::Gateway))
+    }
+
+    /// Add a pre-built node.
+    pub fn add_node(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        self.apps.push(Vec::new());
+        self.next_wake.push(None);
+        self.nodes.len() - 1
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Borrow a node mutably.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Attach an application to a node.
+    pub fn attach_app(&mut self, node: NodeId, app: Box<dyn Application>) {
+        self.apps[node].push(app);
+        // Give it a chance to schedule its first wake.
+        self.kick(node);
+    }
+
+    /// Install a frame tap observing every transmitted frame.
+    pub fn set_tap(&mut self, tap: FrameTap) {
+        self.tap = Some(tap);
+    }
+
+    // -------------------------------------------------------- topology
+
+    /// Connect two nodes with a link of the given class, auto-assigning
+    /// a /30 subnet. Hosts get a default route via the new peer if they
+    /// have none yet. Returns the link id.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, class: LinkClass) -> LinkId {
+        let framing = match class {
+            LinkClass::EthernetLan | LinkClass::ModernLan => Framing::Ethernet,
+            _ => Framing::RawIp,
+        };
+        self.connect_with(a, b, class.params(), framing)
+    }
+
+    /// Connect with explicit link parameters and framing.
+    pub fn connect_with(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        params: LinkParams,
+        framing: Framing,
+    ) -> LinkId {
+        assert_ne!(a, b, "no self-links");
+        let k = self.subnet_counter;
+        self.subnet_counter += 1;
+        // Each link gets 10.(128 + k/256).(k%256).0/30; hosts .1 and .2.
+        let third = (k % 256) as u8;
+        let second = 128 + (k / 256) as u8;
+        let net = Ipv4Address::new(10, second, third, 0);
+        let addr_a = Ipv4Address::new(10, second, third, 1);
+        let addr_b = Ipv4Address::new(10, second, third, 2);
+        let cidr = Ipv4Cidr::new(net, 30);
+        let ip_mtu = params.mtu - framing.overhead();
+
+        let hw_a = hw_addr(a, self.nodes[a].ifaces.len());
+        let iface_a = self.nodes[a].attach_iface(Iface {
+            addr: addr_a,
+            cidr,
+            hardware: hw_a,
+            peer: addr_b,
+            ip_mtu,
+            framing,
+            up: true,
+        });
+        let hw_b = hw_addr(b, self.nodes[b].ifaces.len());
+        let iface_b = self.nodes[b].attach_iface(Iface {
+            addr: addr_b,
+            cidr,
+            hardware: hw_b,
+            peer: addr_a,
+            ip_mtu,
+            framing,
+            up: true,
+        });
+
+        // Hosts: default route via the first gateway they attach to.
+        for (node, iface, peer) in [(a, iface_a, addr_b), (b, iface_b, addr_a)] {
+            if self.nodes[node].role == NodeRole::Host {
+                let default = Ipv4Cidr::new(Ipv4Address::UNSPECIFIED, 0);
+                if self.nodes[node].static_routes.get(&default).is_none() {
+                    self.nodes[node]
+                        .static_routes
+                        .insert(default, (iface, Some(peer)));
+                }
+            }
+        }
+
+        let link_id = self.links.len();
+        self.links.push(DuplexLink {
+            a: LinkEnd { node: a, iface: iface_a },
+            b: LinkEnd { node: b, iface: iface_b },
+            ab: Link::new(params.clone()),
+            ba: Link::new(params),
+        });
+        self.endpoint_index.insert((a, iface_a), (link_id, true));
+        self.endpoint_index.insert((b, iface_b), (link_id, false));
+        // New topology: let routing notice immediately.
+        self.kick(a);
+        self.kick(b);
+        link_id
+    }
+
+    /// The subnet of a link.
+    pub fn link_subnet(&self, link: LinkId) -> Ipv4Cidr {
+        let end = self.links[link].a;
+        self.nodes[end.node].ifaces[end.iface].cidr
+    }
+
+    /// Address of `node` on `link`.
+    pub fn addr_on_link(&self, node: NodeId, link: LinkId) -> Ipv4Address {
+        let duplex = &self.links[link];
+        let end = if duplex.a.node == node {
+            duplex.a
+        } else {
+            assert_eq!(duplex.b.node, node, "node not on link");
+            duplex.b
+        };
+        self.nodes[end.node].ifaces[end.iface].addr
+    }
+
+    // -------------------------------------------------------- failures
+
+    /// Take a link down (both directions) or bring it back up.
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        let (a, b) = {
+            let duplex = &mut self.links[link];
+            duplex.ab.set_up(up);
+            duplex.ba.set_up(up);
+            (duplex.a, duplex.b)
+        };
+        self.nodes[a.node].ifaces[a.iface].up = up;
+        self.nodes[b.node].ifaces[b.iface].up = up;
+        let now = self.now;
+        for end in [a, b] {
+            let cidr = self.nodes[end.node].ifaces[end.iface].cidr.network();
+            if let Some(dv) = &mut self.nodes[end.node].dv {
+                if up {
+                    dv.add_connected(cidr, end.iface);
+                } else {
+                    // Connected prefix and every route learned over the
+                    // interface die together.
+                    dv.remove_connected(&cidr);
+                    dv.fail_iface(end.iface, now);
+                }
+            }
+            self.kick(end.node);
+        }
+    }
+
+    /// Crash a node: all volatile state is lost, frames in its queues
+    /// vanish, and attached links stop accepting traffic toward it.
+    pub fn crash_node(&mut self, id: NodeId) {
+        self.nodes[id].crash();
+    }
+
+    /// Reboot a crashed node.
+    pub fn restart_node(&mut self, id: NodeId) {
+        self.nodes[id].restart();
+        self.kick(id);
+    }
+
+    // ------------------------------------------------------------- run
+
+    /// Run the event loop until virtual time `t`.
+    pub fn run_until(&mut self, t: Instant) {
+        while let Some(at) = self.sched.peek_time() {
+            if at > t {
+                break;
+            }
+            let (at, event) = self.sched.pop().expect("peeked");
+            self.now = at;
+            match event {
+                Event::Frame { to, iface, frame } => {
+                    self.nodes[to].handle_frame(at, iface, frame);
+                    self.service_node(to);
+                }
+                Event::Wake { node } => {
+                    if self.next_wake[node] == Some(at) {
+                        self.next_wake[node] = None;
+                    }
+                    self.service_node(node);
+                }
+            }
+        }
+        self.now = t;
+    }
+
+    /// Run for a duration from the current time.
+    pub fn run_for(&mut self, d: Duration) {
+        self.run_until(self.now + d);
+    }
+
+    /// Run until no events remain or `limit` is reached.
+    pub fn run_to_quiescence(&mut self, limit: Instant) {
+        while self.sched.peek_time().is_some_and(|at| at <= limit) {
+            let next = self.sched.peek_time().expect("checked");
+            self.run_until(next);
+        }
+    }
+
+    /// Force a service pass on a node right now (used after the caller
+    /// mutated its sockets or apps from outside the loop).
+    pub fn kick(&mut self, id: NodeId) {
+        // Don't advance time: just service at the current instant.
+        self.service_node(id);
+    }
+
+    fn service_node(&mut self, id: NodeId) {
+        let now = self.now;
+        // Applications first: they may write into sockets.
+        let mut apps = core::mem::take(&mut self.apps[id]);
+        for app in &mut apps {
+            app.poll(&mut self.nodes[id], now);
+        }
+        self.apps[id] = apps;
+        // Protocol machinery: timers, routing, socket dispatch.
+        self.nodes[id].service(now);
+        // Push produced frames onto links.
+        let outbox = self.nodes[id].take_outbox();
+        for (iface, frame) in outbox {
+            self.transmit(id, iface, frame);
+        }
+        // Timer wake scheduling.
+        let mut want = self.nodes[id].poll_at(now);
+        for app in &self.apps[id] {
+            if let Some(at) = app.next_wake() {
+                let at = at.max(now);
+                want = Some(match want {
+                    Some(current) => current.min(at),
+                    None => at,
+                });
+            }
+        }
+        if let Some(at) = want {
+            let at = if at <= now {
+                // "Immediately": schedule a hair later to let the event
+                // loop breathe (prevents zero-delay spin).
+                now + Duration::from_micros(1)
+            } else {
+                at
+            };
+            if self.next_wake[id].is_none_or(|pending| at < pending) {
+                self.next_wake[id] = Some(at);
+                self.sched.schedule_at(at, Event::Wake { node: id });
+            }
+        }
+    }
+
+    fn transmit(&mut self, from: NodeId, iface: usize, mut frame: Vec<u8>) {
+        let Some(&(link_id, is_a)) = self.endpoint_index.get(&(from, iface)) else {
+            return; // unconnected interface
+        };
+        if let Some(tap) = &mut self.tap {
+            tap(self.now, &frame);
+        }
+        self.frames_offered += 1;
+        let duplex = &mut self.links[link_id];
+        let (link, dest) = if is_a {
+            (&mut duplex.ab, duplex.b)
+        } else {
+            (&mut duplex.ba, duplex.a)
+        };
+        match link.transmit(self.now, &mut frame, &mut self.rng) {
+            LinkOutcome::Delivered { at, .. } => {
+                self.sched.schedule_at(
+                    at,
+                    Event::Frame {
+                        to: dest.node,
+                        iface: dest.iface,
+                        frame,
+                    },
+                );
+            }
+            LinkOutcome::Dropped(reason) => {
+                // Datagram service: the DESTINATION is never told. But
+                // the offering node knows its own queue overflowed —
+                // 1988 gateways answered that with ICMP source quench.
+                if reason == catenet_sim::DropReason::QueueFull {
+                    let now = self.now;
+                    self.nodes[from].on_queue_drop(now, iface, &frame);
+                    let outbox = self.nodes[from].take_outbox();
+                    for (out_iface, out_frame) in outbox {
+                        // One level of recursion at most: quenches are
+                        // ICMP errors, and errors about errors are
+                        // suppressed by `icmp_error_for`.
+                        self.transmit(from, out_iface, out_frame);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Aggregate link statistics: (frames offered, frames delivered,
+    /// frames lost to loss/corruption-drop, frames overflowed).
+    pub fn link_totals(&self) -> (u64, u64, u64, u64) {
+        let mut offered = 0;
+        let mut delivered = 0;
+        let mut lost = 0;
+        let mut overflowed = 0;
+        for duplex in &self.links {
+            for link in [&duplex.ab, &duplex.ba] {
+                let stats = link.stats();
+                offered += stats.tx_frames;
+                delivered += stats.delivered;
+                lost += stats.lost;
+                overflowed += stats.overflowed;
+            }
+        }
+        (offered, delivered, lost, overflowed)
+    }
+
+    /// Run until every gateway's routing table is stable for one full
+    /// update interval (or until `limit`). Returns the convergence time.
+    pub fn converge_routing(&mut self, limit: Duration) -> Duration {
+        let start = self.now;
+        let deadline = start + limit;
+        let mut last_change = self.routing_fingerprint();
+        let mut stable_since = self.now;
+        let step = Duration::from_millis(500);
+        while self.now < deadline {
+            self.run_for(step);
+            let fp = self.routing_fingerprint();
+            if fp != last_change {
+                last_change = fp;
+                stable_since = self.now;
+            } else if self.now.duration_since(stable_since) >= Duration::from_secs(7) {
+                return stable_since.duration_since(start);
+            }
+        }
+        limit
+    }
+
+    fn routing_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        for node in &self.nodes {
+            if let Some(dv) = &node.dv {
+                for (prefix, route) in dv.routes() {
+                    prefix.address().to_u32().hash(&mut hasher);
+                    prefix.prefix_len().hash(&mut hasher);
+                    route.metric.hash(&mut hasher);
+                    route.next_hop.iface().hash(&mut hasher);
+                }
+            }
+        }
+        hasher.finish()
+    }
+}
+
+fn hw_addr(node: NodeId, iface: usize) -> EthernetAddress {
+    EthernetAddress::new(
+        0x02,
+        0x00,
+        (node >> 8) as u8,
+        (node & 0xff) as u8,
+        0x00,
+        iface as u8,
+    )
+}
+
+impl core::fmt::Debug for Network {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Network")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("pending_events", &self.sched.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catenet_wire::Icmpv4Message;
+
+    /// h1 — g — h2 over T1 trunks.
+    fn small_net() -> (Network, NodeId, NodeId, NodeId) {
+        let mut net = Network::new(1);
+        let h1 = net.add_host("h1");
+        let g = net.add_gateway("g");
+        let h2 = net.add_host("h2");
+        net.connect(h1, g, LinkClass::T1Terrestrial);
+        net.connect(g, h2, LinkClass::T1Terrestrial);
+        (net, h1, g, h2)
+    }
+
+    #[test]
+    fn ping_across_one_gateway() {
+        let (mut net, h1, _g, h2) = small_net();
+        let dst = net.node(h2).primary_addr();
+        let now = net.now();
+        net.node_mut(h1).send_ping(dst, 1, 1, 32, now);
+        net.kick(h1);
+        net.run_for(Duration::from_secs(2));
+        let events = net.node_mut(h1).take_icmp_events();
+        assert_eq!(events.len(), 1, "one echo reply");
+        assert!(matches!(
+            events[0].message,
+            Icmpv4Message::EchoReply { ident: 1, seq_no: 1 }
+        ));
+        assert_eq!(events[0].from, dst);
+        // RTT sanity: two T1 hops each way ≈ 120 ms + serialization.
+        let rtt = events[0].at;
+        assert!(rtt >= Instant::from_millis(120), "rtt {rtt}");
+        assert!(rtt <= Instant::from_millis(200), "rtt {rtt}");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = |seed: u64| {
+            let mut net = Network::new(seed);
+            let h1 = net.add_host("h1");
+            let g = net.add_gateway("g");
+            let h2 = net.add_host("h2");
+            net.connect(h1, g, LinkClass::ArpanetTrunk);
+            net.connect(g, h2, LinkClass::PacketRadio);
+            let dst = net.node(h2).primary_addr();
+            for seq in 0..20 {
+                let now = net.now();
+                net.node_mut(h1).send_ping(dst, 1, seq, 32, now);
+                net.kick(h1);
+                net.run_for(Duration::from_millis(500));
+            }
+            let events = net.node_mut(h1).take_icmp_events();
+            events
+                .iter()
+                .map(|e| (e.at.total_micros(), e.message))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "same seed, same universe");
+        assert_ne!(run(7), run(8), "different seed, different losses");
+    }
+
+    #[test]
+    fn udp_delivery_across_network() {
+        let (mut net, h1, _g, h2) = small_net();
+        let dst_addr = net.node(h2).primary_addr();
+        net.node_mut(h2).udp_bind(7000);
+        let sock = net.node_mut(h1).udp_bind(7001);
+        net.node_mut(h1).udp_sockets[sock]
+            .send_to(crate::Endpoint::new(dst_addr, 7000), b"datagram service");
+        net.kick(h1);
+        net.run_for(Duration::from_secs(1));
+        let received = net.node_mut(h2).udp_sockets[0].recv().unwrap();
+        assert_eq!(received.payload, b"datagram service");
+    }
+
+    #[test]
+    fn tcp_transfer_across_network() {
+        let (mut net, h1, _g, h2) = small_net();
+        let dst_addr = net.node(h2).primary_addr();
+        net.node_mut(h2).tcp_listen(80, Default::default());
+        let now = net.now();
+        let handle = net
+            .node_mut(h1)
+            .tcp_connect(crate::Endpoint::new(dst_addr, 80), Default::default(), now)
+            .unwrap();
+        net.kick(h1);
+        net.run_for(Duration::from_secs(2));
+        assert_eq!(
+            net.node(h1).tcp_sockets[handle].state(),
+            catenet_tcp::State::Established
+        );
+        let payload = vec![0x42u8; 5_000];
+        net.node_mut(h1).tcp_sockets[handle]
+            .send_slice(&payload)
+            .unwrap();
+        net.kick(h1);
+        net.run_for(Duration::from_secs(10));
+        let server = &mut net.node_mut(h2).tcp_sockets[0];
+        let mut buf = vec![0u8; 8_192];
+        let mut received = Vec::new();
+        loop {
+            match server.recv_slice(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => received.extend_from_slice(&buf[..n]),
+            }
+        }
+        assert_eq!(received, payload);
+    }
+
+    #[test]
+    fn ethernet_lan_with_arp_works() {
+        let mut net = Network::new(3);
+        let h1 = net.add_host("h1");
+        let h2 = net.add_host("h2");
+        net.connect(h1, h2, LinkClass::EthernetLan); // Ethernet framing + ARP
+        let dst = net.node(h2).primary_addr();
+        let now = net.now();
+        net.node_mut(h1).send_ping(dst, 9, 0, 16, now);
+        net.kick(h1);
+        net.run_for(Duration::from_secs(1));
+        let events = net.node_mut(h1).take_icmp_events();
+        assert_eq!(events.len(), 1, "ARP resolved, ping succeeded");
+    }
+
+    #[test]
+    fn link_down_partitions() {
+        let (mut net, h1, _g, h2) = small_net();
+        let dst = net.node(h2).primary_addr();
+        net.set_link_up(1, false);
+        let now = net.now();
+        net.node_mut(h1).send_ping(dst, 1, 1, 16, now);
+        net.kick(h1);
+        net.run_for(Duration::from_secs(2));
+        let events = net.node_mut(h1).take_icmp_events();
+        // Either silence or a net-unreachable from the gateway; never a
+        // reply.
+        assert!(events
+            .iter()
+            .all(|e| !matches!(e.message, Icmpv4Message::EchoReply { .. })));
+    }
+
+    #[test]
+    fn routing_converges_on_triangle_and_heals() {
+        // g1 — g2, g2 — g3, g1 — g3: full triangle with hosts on g1/g3.
+        let mut net = Network::new(5);
+        let h1 = net.add_host("h1");
+        let g1 = net.add_gateway("g1");
+        let g2 = net.add_gateway("g2");
+        let g3 = net.add_gateway("g3");
+        let h2 = net.add_host("h2");
+        net.connect(h1, g1, LinkClass::EthernetLan);
+        let direct = net.connect(g1, g3, LinkClass::T1Terrestrial);
+        net.connect(g1, g2, LinkClass::T1Terrestrial);
+        net.connect(g2, g3, LinkClass::T1Terrestrial);
+        net.connect(g3, h2, LinkClass::EthernetLan);
+        net.converge_routing(Duration::from_secs(60));
+        let dst = net.node(h2).primary_addr();
+
+        // Ping works over the direct g1—g3 edge.
+        let now = net.now();
+        net.node_mut(h1).send_ping(dst, 1, 1, 16, now);
+        net.kick(h1);
+        net.run_for(Duration::from_secs(2));
+        assert_eq!(net.node_mut(h1).take_icmp_events().len(), 1);
+
+        // Sever the direct edge; DV must reroute via g2.
+        net.set_link_up(direct, false);
+        net.converge_routing(Duration::from_secs(120));
+        let now = net.now();
+        net.node_mut(h1).send_ping(dst, 1, 2, 16, now);
+        net.kick(h1);
+        net.run_for(Duration::from_secs(3));
+        let events = net.node_mut(h1).take_icmp_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.message, Icmpv4Message::EchoReply { .. })),
+            "rerouted around the dead link: {events:?}"
+        );
+    }
+
+    #[test]
+    fn gateway_crash_and_reboot_relearns_routes() {
+        let (mut net, h1, g, h2) = small_net();
+        net.converge_routing(Duration::from_secs(30));
+        let routes_before = net.node(g).dv.as_ref().unwrap().live_routes();
+        assert!(routes_before >= 2);
+        net.crash_node(g);
+        assert_eq!(net.node(g).dv.as_ref().unwrap().live_routes(), 0);
+        net.restart_node(g);
+        net.run_for(Duration::from_secs(15));
+        assert!(
+            net.node(g).dv.as_ref().unwrap().live_routes() >= 2,
+            "gateway relearned its world from configuration + neighbors"
+        );
+        // And traffic flows again.
+        let dst = net.node(h2).primary_addr();
+        let now = net.now();
+        net.node_mut(h1).send_ping(dst, 1, 9, 16, now);
+        net.kick(h1);
+        net.run_for(Duration::from_secs(2));
+        assert_eq!(net.node_mut(h1).take_icmp_events().len(), 1);
+    }
+
+    #[test]
+    fn gateway_quenches_overload_and_sender_slows() {
+        // h1 --fast ethernet--> g --tiny-queue slow trunk--> h2:
+        // the gateway's output queue overflows, it emits source quench,
+        // and the TCP sender's congestion window collapses in response.
+        let mut net = Network::new(77);
+        let h1 = net.add_host("h1");
+        let g = net.add_gateway("g");
+        let h2 = net.add_host("h2");
+        net.connect(h1, g, LinkClass::EthernetLan);
+        net.connect_with(
+            g,
+            h2,
+            catenet_sim::LinkParams {
+                queue_limit: 2,
+                loss: 0.0,
+                corruption: 0.0,
+                ..LinkClass::ArpanetTrunk.params()
+            },
+            Framing::RawIp,
+        );
+        net.converge_routing(Duration::from_secs(30));
+        let dst = net.node(h2).primary_addr();
+        net.node_mut(h2).tcp_listen(80, Default::default());
+        let now = net.now();
+        let handle = net
+            .node_mut(h1)
+            .tcp_connect(crate::Endpoint::new(dst, 80), Default::default(), now)
+            .unwrap();
+        net.kick(h1);
+        net.run_for(Duration::from_secs(2));
+        // Blast data; the 56 kb/s trunk with queue 2 must overflow.
+        let blob = vec![0x11u8; 60_000];
+        net.node_mut(h1).tcp_sockets[handle].send_slice(&blob).unwrap();
+        net.kick(h1);
+        net.run_for(Duration::from_secs(30));
+        assert!(net.node(g).stats.quench_sent > 0, "gateway quenched");
+        assert!(
+            net.node(h1).tcp_sockets[handle].stats.quenches > 0,
+            "sender applied the quench"
+        );
+        assert!(net.node(h1).stats.quench_applied > 0);
+    }
+
+    #[test]
+    fn fragmentation_across_small_mtu_path() {
+        // h1 —(1500)— g —(296)— h2: large UDP datagrams must fragment.
+        let mut net = Network::new(11);
+        let h1 = net.add_host("h1");
+        let g = net.add_gateway("g");
+        let h2 = net.add_host("h2");
+        net.connect(h1, g, LinkClass::T1Terrestrial);
+        net.connect(g, h2, LinkClass::SlipLine);
+        let dst = net.node(h2).primary_addr();
+        net.node_mut(h2).udp_bind(9000);
+        let sock = net.node_mut(h1).udp_bind(9001);
+        let payload = vec![0x5Au8; 1200];
+        net.node_mut(h1).udp_sockets[sock].send_to(crate::Endpoint::new(dst, 9000), &payload);
+        net.kick(h1);
+        net.run_for(Duration::from_secs(5));
+        let received = net.node_mut(h2).udp_sockets[0].recv().expect("reassembled");
+        assert_eq!(received.payload, payload);
+        assert!(net.node(g).stats.frags_created >= 4);
+        assert_eq!(net.node(h2).stats.reassembled, 1);
+    }
+}

@@ -1,0 +1,1483 @@
+//! A node: host or gateway.
+//!
+//! The same struct plays both roles because the architecture says they
+//! differ in exactly one bit — whether the node forwards datagrams that
+//! are not addressed to it. What each *keeps* differs profoundly:
+//!
+//! - A **gateway** keeps topology state (routing tables, learned by the
+//!   distance-vector protocol) and *optionally* soft flow state and an
+//!   accounting ledger. None of it describes any conversation; all of it
+//!   is reconstructible. Crash a gateway and reboot it: connections
+//!   running through it stall briefly and resume (experiment E1).
+//! - A **host** keeps every byte of conversation state: TCP sockets,
+//!   reassembly buffers, estimators. Crash a host and its conversations
+//!   die *with* it — which is precisely fate-sharing's promise: state is
+//!   lost only when the entity that cared about it is gone too.
+
+use crate::accounting::Ledger;
+use crate::arp::{ArpCache, Resolution};
+use crate::flow::{FlowId, FlowTable};
+use crate::iface::{Framing, Iface};
+use crate::socket::UdpSocket;
+use catenet_ip::{fragment, icmp, FragError, Reassembler, RoutingTable};
+use catenet_routing::{DvEngine, ExportPolicy, RipMessage, RIP_PORT};
+use catenet_sim::{Duration, Instant};
+use catenet_tcp::{Endpoint, Socket as TcpSocket, SocketConfig as TcpConfig, State as TcpState};
+use catenet_wire::{
+    ArpOperation, ArpPacket, ArpRepr, DstUnreachable, EtherType, EthernetAddress, EthernetFrame,
+    EthernetRepr, Icmpv4Message, Icmpv4Packet, Icmpv4Repr, IpProtocol, Ipv4Address, Ipv4Packet,
+    Ipv4Repr, TcpControl, TcpPacket, TcpRepr, TcpSeqNumber, TimeExceeded, Tos, UdpPacket, UdpRepr,
+};
+use std::collections::HashMap;
+
+/// Host or gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// End system: terminates transports, never forwards.
+    Host,
+    /// Packet switch: forwards, runs routing, holds no conversation state.
+    Gateway,
+}
+
+/// Counters a node keeps about its own behavior.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeStats {
+    /// IP datagrams handed up from links.
+    pub ip_received: u64,
+    /// Datagrams delivered to local protocols.
+    pub ip_delivered: u64,
+    /// Datagrams forwarded toward other nodes.
+    pub ip_forwarded: u64,
+    /// Datagrams originated by local sockets/protocols.
+    pub ip_originated: u64,
+    /// Drops: bad header checksum or unparseable.
+    pub dropped_malformed: u64,
+    /// Drops: no route to destination.
+    pub dropped_no_route: u64,
+    /// Drops: TTL expired in transit.
+    pub dropped_ttl: u64,
+    /// Drops: node was dead.
+    pub dropped_dead: u64,
+    /// Drops: DF set but fragmentation required.
+    pub dropped_df: u64,
+    /// Drops: virtual-circuit gateway had no circuit (baseline mode).
+    pub dropped_no_circuit: u64,
+    /// Drops: transport checksum failures.
+    pub dropped_transport_checksum: u64,
+    /// Fragments created while forwarding or originating.
+    pub frags_created: u64,
+    /// Whole datagrams rebuilt by reassembly.
+    pub reassembled: u64,
+    /// Reassemblies abandoned on timeout.
+    pub reassembly_timeouts: u64,
+    /// ICMP messages generated.
+    pub icmp_sent: u64,
+    /// ICMP messages received for local consumption.
+    pub icmp_received: u64,
+    /// RSTs sent for segments with no matching socket.
+    pub rst_sent: u64,
+    /// ICMP source quenches emitted on queue overflow.
+    pub quench_sent: u64,
+    /// ICMP source quenches received and applied to local sockets.
+    pub quench_applied: u64,
+}
+
+/// An ICMP message delivered to this node (for ping apps and error
+/// reporting).
+#[derive(Debug, Clone)]
+pub struct IcmpEvent {
+    /// Arrival time.
+    pub at: Instant,
+    /// Source of the ICMP datagram.
+    pub from: Ipv4Address,
+    /// The message.
+    pub message: Icmpv4Message,
+    /// The ICMP payload (echo data, or the quoted original datagram).
+    pub payload: Vec<u8>,
+}
+
+/// A host or gateway with its interfaces, sockets and protocol state.
+pub struct Node {
+    /// Display name.
+    pub name: String,
+    /// Host or gateway.
+    pub role: NodeRole,
+    /// False while crashed.
+    pub alive: bool,
+    /// Attachment points. Index = interface number everywhere.
+    pub ifaces: Vec<Iface>,
+    /// Per-interface ARP caches (used by Ethernet framing).
+    arp: Vec<ArpCache>,
+    /// Static routes (hosts; also gateway fallback).
+    pub static_routes: RoutingTable<(usize, Option<Ipv4Address>)>,
+    /// The distance-vector engine (gateways).
+    pub dv: Option<DvEngine>,
+    /// Export policy per interface (multi-AS boundaries).
+    pub dv_policies: Vec<ExportPolicy>,
+    reassembler: Reassembler,
+    /// UDP sockets.
+    pub udp_sockets: Vec<UdpSocket>,
+    /// TCP sockets.
+    pub tcp_sockets: Vec<TcpSocket>,
+    /// Soft-state flow table (gateways, when enabled).
+    pub flows: Option<FlowTable>,
+    /// Accounting ledger (gateways, when enabled).
+    pub ledger: Option<Ledger>,
+    /// Virtual-circuit mode (baseline): per-connection forwarding state.
+    pub vc_table: Option<HashMap<FlowId, usize>>,
+    /// ICMP messages awaiting the application.
+    icmp_inbox: Vec<IcmpEvent>,
+    /// Frames ready for the network to push onto links.
+    outbox: Vec<(usize, Vec<u8>)>,
+    ip_ident: u16,
+    next_ephemeral: u16,
+    isn_counter: u32,
+    /// Counters.
+    pub stats: NodeStats,
+    /// Default TTL for originated datagrams.
+    pub default_ttl: u8,
+    /// Whether this node emits ICMP source quench on queue overflow
+    /// (RFC 792's congestion signal — gateways only, on by default).
+    pub source_quench_enabled: bool,
+    /// Rate limiter: last quench emission time.
+    last_quench: Instant,
+}
+
+impl Node {
+    /// A node with no interfaces yet (the network builder attaches them).
+    pub fn new(name: impl Into<String>, role: NodeRole) -> Node {
+        let dv = match role {
+            NodeRole::Gateway => Some(DvEngine::new(catenet_routing::DvConfig::fast())),
+            NodeRole::Host => None,
+        };
+        Node {
+            name: name.into(),
+            role,
+            alive: true,
+            ifaces: Vec::new(),
+            arp: Vec::new(),
+            static_routes: RoutingTable::new(),
+            dv,
+            dv_policies: Vec::new(),
+            reassembler: Reassembler::new(),
+            udp_sockets: Vec::new(),
+            tcp_sockets: Vec::new(),
+            flows: None,
+            ledger: None,
+            vc_table: None,
+            icmp_inbox: Vec::new(),
+            outbox: Vec::new(),
+            ip_ident: 1,
+            next_ephemeral: 49_152,
+            isn_counter: 0x0001_0000,
+            stats: NodeStats::default(),
+            default_ttl: 64,
+            source_quench_enabled: role == NodeRole::Gateway,
+            last_quench: Instant::ZERO,
+        }
+    }
+
+    /// Attach an interface; returns its index.
+    pub fn attach_iface(&mut self, iface: Iface) -> usize {
+        let index = self.ifaces.len();
+        if let Some(dv) = &mut self.dv {
+            dv.add_connected(iface.cidr.network(), index);
+        }
+        self.ifaces.push(iface);
+        self.arp.push(ArpCache::new());
+        self.dv_policies.push(ExportPolicy::All);
+        index
+    }
+
+    /// Whether `addr` is one of our addresses.
+    pub fn owns_addr(&self, addr: Ipv4Address) -> bool {
+        self.ifaces.iter().any(|iface| iface.addr == addr)
+    }
+
+    /// Our address on interface `iface`.
+    pub fn addr(&self, iface: usize) -> Ipv4Address {
+        self.ifaces[iface].addr
+    }
+
+    /// The primary (first-interface) address.
+    pub fn primary_addr(&self) -> Ipv4Address {
+        self.ifaces.first().map(|i| i.addr).unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------ fate
+
+    /// Crash: all volatile state dies. What a node loses here is the
+    /// paper's survivability story in one function.
+    pub fn crash(&mut self) {
+        self.alive = false;
+        // Conversation state (host): gone, and *should* be.
+        self.tcp_sockets.clear();
+        self.udp_sockets.clear();
+        self.reassembler = Reassembler::new();
+        self.icmp_inbox.clear();
+        self.outbox.clear();
+        // Topology state (gateway): gone, but reconstructible.
+        if let Some(dv) = &mut self.dv {
+            dv.clear();
+        }
+        for cache in &mut self.arp {
+            cache.clear();
+        }
+        // Soft state: gone, rebuilds from traffic.
+        if let Some(flows) = &mut self.flows {
+            flows.lose();
+        }
+        if let Some(ledger) = &mut self.ledger {
+            ledger.clear();
+        }
+        // Hard state in the network (VC baseline): gone, NOT
+        // reconstructible — that is the point of experiment E1.
+        if let Some(vc) = &mut self.vc_table {
+            vc.clear();
+        }
+    }
+
+    /// Reboot: interfaces come back, connected routes are re-declared
+    /// (configuration, not conversation), and everything else re-learns.
+    pub fn restart(&mut self) {
+        self.alive = true;
+        if let Some(dv) = &mut self.dv {
+            dv.clear();
+            for (index, iface) in self.ifaces.iter().enumerate() {
+                dv.add_connected(iface.cidr.network(), index);
+            }
+        }
+    }
+
+    // --------------------------------------------------------- sockets
+
+    /// Replace the distance-vector configuration (gateways only),
+    /// re-declaring connected networks into the fresh engine.
+    pub fn set_dv_config(&mut self, config: catenet_routing::DvConfig) {
+        if self.dv.is_none() {
+            return;
+        }
+        let mut dv = DvEngine::new(config);
+        for (index, iface) in self.ifaces.iter().enumerate() {
+            dv.add_connected(iface.cidr.network(), index);
+        }
+        self.dv = Some(dv);
+    }
+
+    /// Bind a UDP socket; returns its handle.
+    pub fn udp_bind(&mut self, port: u16) -> usize {
+        self.udp_sockets.push(UdpSocket::bind(port));
+        self.udp_sockets.len() - 1
+    }
+
+    /// Open a TCP connection; returns the socket handle.
+    pub fn tcp_connect(
+        &mut self,
+        remote: Endpoint,
+        mut config: TcpConfig,
+        now: Instant,
+    ) -> Result<usize, catenet_tcp::TcpError> {
+        let (iface, _) = self
+            .route(remote.addr)
+            .ok_or(catenet_tcp::TcpError::InvalidState)?;
+        let local = Endpoint::new(self.ifaces[iface].addr, self.alloc_port());
+        config.initial_seq = self.next_isn();
+        let mut socket = TcpSocket::new(config);
+        socket.connect(local, remote, now)?;
+        self.tcp_sockets.push(socket);
+        Ok(self.tcp_sockets.len() - 1)
+    }
+
+    /// Open a listening TCP socket on `port`; returns the handle.
+    pub fn tcp_listen(&mut self, port: u16, mut config: TcpConfig) -> usize {
+        config.initial_seq = self.next_isn();
+        let mut socket = TcpSocket::new(config);
+        socket
+            .listen(Endpoint::new(Ipv4Address::UNSPECIFIED, port))
+            .expect("fresh socket listens");
+        self.tcp_sockets.push(socket);
+        self.tcp_sockets.len() - 1
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        let port = self.next_ephemeral;
+        self.next_ephemeral = if self.next_ephemeral == u16::MAX {
+            49_152
+        } else {
+            self.next_ephemeral + 1
+        };
+        port
+    }
+
+    fn next_isn(&mut self) -> u32 {
+        // RFC 793's 4 µs clock would also do; a strided counter keeps
+        // distinct connections apart deterministically.
+        self.isn_counter = self.isn_counter.wrapping_add(64_007);
+        self.isn_counter
+    }
+
+    /// Send an ICMP echo request (ping).
+    pub fn send_ping(
+        &mut self,
+        dst: Ipv4Address,
+        ident: u16,
+        seq_no: u16,
+        payload_len: usize,
+        now: Instant,
+    ) {
+        let repr = Icmpv4Repr {
+            message: Icmpv4Message::EchoRequest { ident, seq_no },
+            payload_len,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut packet = Icmpv4Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut packet);
+        for (i, byte) in packet.payload_mut().iter_mut().enumerate() {
+            *byte = (i % 251) as u8;
+        }
+        packet.fill_checksum();
+        let src = self
+            .route(dst)
+            .map(|(iface, _)| self.ifaces[iface].addr)
+            .unwrap_or_else(|| self.primary_addr());
+        let datagram = self.build_ip(src, dst, IpProtocol::Icmp, Tos::default(), &buf);
+        self.route_and_send(now, datagram);
+    }
+
+    /// Drain the ICMP inbox.
+    pub fn take_icmp_events(&mut self) -> Vec<IcmpEvent> {
+        core::mem::take(&mut self.icmp_inbox)
+    }
+
+    // --------------------------------------------------------- routing
+
+    /// Forwarding decision: which interface, and the next hop's address.
+    pub fn route(&self, dst: Ipv4Address) -> Option<(usize, Ipv4Address)> {
+        // Directly attached networks win.
+        for (index, iface) in self.ifaces.iter().enumerate() {
+            if iface.up && iface.on_link(dst) {
+                return Some((index, dst));
+            }
+        }
+        if let Some(dv) = &self.dv {
+            if let Some(route) = dv.lookup(dst) {
+                let iface = route.next_hop.iface();
+                if self.ifaces.get(iface).is_some_and(|i| i.up) {
+                    return Some((iface, route.next_hop.gateway().unwrap_or(dst)));
+                }
+            }
+        }
+        if let Some((iface, gateway)) = self.static_routes.lookup(dst) {
+            if self.ifaces.get(*iface).is_some_and(|i| i.up) {
+                return Some((*iface, gateway.unwrap_or(dst)));
+            }
+        }
+        None
+    }
+
+    fn build_ip(
+        &mut self,
+        src: Ipv4Address,
+        dst: Ipv4Address,
+        protocol: IpProtocol,
+        tos: Tos,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let ident = self.ip_ident;
+        self.ip_ident = self.ip_ident.wrapping_add(1);
+        self.stats.ip_originated += 1;
+        catenet_ip::build_ipv4(
+            &Ipv4Repr {
+                src_addr: src,
+                dst_addr: dst,
+                protocol,
+                payload_len: payload.len(),
+                hop_limit: self.default_ttl,
+                tos,
+            },
+            ident,
+            false,
+            payload,
+        )
+    }
+
+    /// Route a locally originated datagram and transmit it.
+    pub fn route_and_send(&mut self, now: Instant, datagram: Vec<u8>) {
+        let dst = match Ipv4Packet::new_checked(&datagram[..]) {
+            Ok(packet) => packet.dst_addr(),
+            Err(_) => {
+                self.stats.dropped_malformed += 1;
+                return;
+            }
+        };
+        match self.route(dst) {
+            Some((iface, next_hop)) => self.output_datagram(now, iface, next_hop, datagram),
+            None => self.stats.dropped_no_route += 1,
+        }
+    }
+
+    /// Fragment (if needed), frame, and queue a datagram on `iface`.
+    fn output_datagram(
+        &mut self,
+        now: Instant,
+        iface: usize,
+        next_hop: Ipv4Address,
+        datagram: Vec<u8>,
+    ) {
+        if !self.alive || !self.ifaces[iface].up {
+            self.stats.dropped_dead += 1;
+            return;
+        }
+        let mtu = self.ifaces[iface].ip_mtu;
+        if datagram.len() <= mtu {
+            self.frame_and_push(now, iface, next_hop, datagram);
+            return;
+        }
+        match fragment(&datagram, mtu) {
+            Ok(pieces) => {
+                self.stats.frags_created += pieces.len() as u64;
+                for piece in pieces {
+                    self.frame_and_push(now, iface, next_hop, piece);
+                }
+            }
+            Err(FragError::DontFragment) => {
+                self.stats.dropped_df += 1;
+                self.send_icmp_error(
+                    now,
+                    &datagram,
+                    Icmpv4Message::DstUnreachable(DstUnreachable::FragRequired),
+                );
+            }
+            Err(_) => self.stats.dropped_malformed += 1,
+        }
+    }
+
+    fn frame_and_push(
+        &mut self,
+        now: Instant,
+        iface: usize,
+        next_hop: Ipv4Address,
+        datagram: Vec<u8>,
+    ) {
+        match self.ifaces[iface].framing {
+            Framing::RawIp => self.outbox.push((iface, datagram)),
+            Framing::Ethernet => {
+                if let Some(hw) = self.arp[iface].get(next_hop, now) {
+                    let frame = self.build_ethernet(iface, hw, EtherType::Ipv4, &datagram);
+                    self.outbox.push((iface, frame));
+                    return;
+                }
+                match self.arp[iface].resolve(next_hop, datagram, now) {
+                    Resolution::Known(_) => unreachable!("get() above covered this"),
+                    Resolution::RequestAndWait => {
+                        let request = self.build_arp_request(iface, next_hop);
+                        self.outbox.push((iface, request));
+                    }
+                    Resolution::Wait | Resolution::QueueFull => {}
+                }
+            }
+        }
+    }
+
+    fn build_arp_request(&self, iface: usize, target: Ipv4Address) -> Vec<u8> {
+        let arp = ArpRepr {
+            operation: ArpOperation::Request,
+            source_hardware_addr: self.ifaces[iface].hardware,
+            source_protocol_addr: self.ifaces[iface].addr,
+            target_hardware_addr: EthernetAddress::default(),
+            target_protocol_addr: target,
+        };
+        let mut arp_buf = vec![0u8; arp.buffer_len()];
+        arp.emit(&mut ArpPacket::new_unchecked(&mut arp_buf[..]));
+        self.build_ethernet(iface, EthernetAddress::BROADCAST, EtherType::Arp, &arp_buf)
+    }
+
+    fn build_ethernet(
+        &self,
+        iface: usize,
+        dst: EthernetAddress,
+        ethertype: EtherType,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let repr = EthernetRepr {
+            src_addr: self.ifaces[iface].hardware,
+            dst_addr: dst,
+            ethertype,
+        };
+        let mut buf = vec![0u8; repr.buffer_len() + payload.len()];
+        let mut frame = EthernetFrame::new_unchecked(&mut buf[..]);
+        repr.emit(&mut frame);
+        frame.payload_mut().copy_from_slice(payload);
+        buf
+    }
+
+    /// Take the frames queued for transmission.
+    pub fn take_outbox(&mut self) -> Vec<(usize, Vec<u8>)> {
+        core::mem::take(&mut self.outbox)
+    }
+
+    // ------------------------------------------------------- reception
+
+    /// A frame arrived on `iface`.
+    pub fn handle_frame(&mut self, now: Instant, iface: usize, frame: Vec<u8>) {
+        if !self.alive {
+            self.stats.dropped_dead += 1;
+            return;
+        }
+        match self.ifaces[iface].framing {
+            Framing::RawIp => self.handle_datagram(now, frame),
+            Framing::Ethernet => {
+                let Ok(parsed) = EthernetFrame::new_checked(&frame[..]) else {
+                    self.stats.dropped_malformed += 1;
+                    return;
+                };
+                // Address filter: us or broadcast/multicast.
+                let dst = parsed.dst_addr();
+                if dst != self.ifaces[iface].hardware && dst.is_unicast() {
+                    return;
+                }
+                match parsed.ethertype() {
+                    EtherType::Arp => {
+                        let payload = parsed.payload().to_vec();
+                        self.handle_arp(now, iface, &payload);
+                    }
+                    EtherType::Ipv4 => {
+                        let payload = parsed.payload().to_vec();
+                        self.handle_datagram(now, payload);
+                    }
+                    EtherType::Unknown(_) => {}
+                }
+            }
+        }
+    }
+
+    fn handle_arp(&mut self, now: Instant, iface: usize, payload: &[u8]) {
+        let Ok(packet) = ArpPacket::new_checked(payload) else {
+            self.stats.dropped_malformed += 1;
+            return;
+        };
+        let Ok(repr) = ArpRepr::parse(&packet) else {
+            self.stats.dropped_malformed += 1;
+            return;
+        };
+        // Learn the sender either way (gratuitous or directed).
+        let released =
+            self.arp[iface].learn(repr.source_protocol_addr, repr.source_hardware_addr, now);
+        for datagram in released {
+            let frame = self.build_ethernet(
+                iface,
+                repr.source_hardware_addr,
+                EtherType::Ipv4,
+                &datagram,
+            );
+            self.outbox.push((iface, frame));
+        }
+        if repr.operation == ArpOperation::Request
+            && repr.target_protocol_addr == self.ifaces[iface].addr
+        {
+            let reply = ArpRepr {
+                operation: ArpOperation::Reply,
+                source_hardware_addr: self.ifaces[iface].hardware,
+                source_protocol_addr: self.ifaces[iface].addr,
+                target_hardware_addr: repr.source_hardware_addr,
+                target_protocol_addr: repr.source_protocol_addr,
+            };
+            let mut buf = vec![0u8; reply.buffer_len()];
+            reply.emit(&mut ArpPacket::new_unchecked(&mut buf[..]));
+            let frame =
+                self.build_ethernet(iface, repr.source_hardware_addr, EtherType::Arp, &buf);
+            self.outbox.push((iface, frame));
+        }
+    }
+
+    /// An IP datagram arrived (already stripped of framing).
+    pub fn handle_datagram(&mut self, now: Instant, datagram: Vec<u8>) {
+        self.stats.ip_received += 1;
+        let (dst, is_fragment, header_ok) = match Ipv4Packet::new_checked(&datagram[..]) {
+            Ok(packet) => (packet.dst_addr(), packet.is_fragment(), packet.verify_checksum()),
+            Err(_) => {
+                self.stats.dropped_malformed += 1;
+                return;
+            }
+        };
+        if !header_ok {
+            self.stats.dropped_malformed += 1;
+            return;
+        }
+
+        // Observation points (gateways): ledger and soft flow state see
+        // every datagram that transits, local or forwarded.
+        if let Some(ledger) = &mut self.ledger {
+            ledger.record(&datagram);
+        }
+        if let Some(flows) = &mut self.flows {
+            flows.observe(&datagram, now);
+        }
+
+        let local = self.owns_addr(dst)
+            || self
+                .ifaces
+                .iter()
+                .any(|iface| iface.up && iface.is_broadcast(dst));
+
+        if local {
+            if is_fragment {
+                match self.reassembler.push(&datagram, now) {
+                    Ok(Some(whole)) => {
+                        self.stats.reassembled += 1;
+                        self.deliver_local(now, whole);
+                    }
+                    Ok(None) => {}
+                    Err(_) => self.stats.dropped_malformed += 1,
+                }
+            } else {
+                self.deliver_local(now, datagram);
+            }
+            return;
+        }
+
+        if self.role == NodeRole::Gateway {
+            self.forward(now, datagram);
+        }
+        // Hosts silently drop strangers' datagrams.
+    }
+
+    fn forward(&mut self, now: Instant, mut datagram: Vec<u8>) {
+        // Virtual-circuit baseline: no circuit, no forwarding.
+        if self.vc_table.is_some() && !self.vc_admit(&datagram) {
+            self.stats.dropped_no_circuit += 1;
+            return;
+        }
+        let (dst, expired) = {
+            let mut packet = Ipv4Packet::new_unchecked(&mut datagram[..]);
+            let ttl = packet.decrement_hop_limit();
+            (packet.dst_addr(), ttl == 0)
+        };
+        if expired {
+            self.stats.dropped_ttl += 1;
+            self.send_icmp_error(
+                now,
+                &datagram,
+                Icmpv4Message::TimeExceeded(TimeExceeded::TtlExpired),
+            );
+            return;
+        }
+        match self.route(dst) {
+            Some((iface, next_hop)) => {
+                self.stats.ip_forwarded += 1;
+                self.output_datagram(now, iface, next_hop, datagram);
+            }
+            None => {
+                self.stats.dropped_no_route += 1;
+                self.send_icmp_error(
+                    now,
+                    &datagram,
+                    Icmpv4Message::DstUnreachable(DstUnreachable::NetUnreachable),
+                );
+            }
+        }
+    }
+
+    /// Virtual-circuit admission (baseline `vc`): TCP SYNs install
+    /// circuits; everything else needs one. Non-TCP traffic is admitted
+    /// (the baseline pins *connection* state, the paper's §3 target).
+    fn vc_admit(&mut self, datagram: &[u8]) -> bool {
+        let Ok(packet) = Ipv4Packet::new_checked(datagram) else {
+            return false;
+        };
+        if packet.protocol() != IpProtocol::Tcp || packet.is_fragment() {
+            return true;
+        }
+        let Ok(tcp) = TcpPacket::new_checked(packet.payload()) else {
+            return true;
+        };
+        let Some(id) = FlowId::of_datagram(datagram) else {
+            return true;
+        };
+        let out_iface = self.route(packet.dst_addr()).map(|(iface, _)| iface);
+        let vc = self.vc_table.as_mut().expect("checked by caller");
+        if tcp.syn() {
+            if let Some(iface) = out_iface {
+                vc.insert(id, iface);
+            }
+            true
+        } else {
+            vc.contains_key(&id)
+        }
+    }
+
+    /// The network layer reports that a frame this node offered to a
+    /// link was tail-dropped (queue overflow). A 1988 gateway answers
+    /// with ICMP source quench toward the datagram's source — the era's
+    /// only explicit congestion signal (rate-limited here, as RFC 1122
+    /// demands of all ICMP error generation).
+    pub fn on_queue_drop(&mut self, now: Instant, iface: usize, frame: &[u8]) {
+        if !self.source_quench_enabled || !self.alive {
+            return;
+        }
+        // Rate limit: at most one quench per 2 ms.
+        if now.duration_since(self.last_quench) < Duration::from_millis(2)
+            && self.last_quench != Instant::ZERO
+        {
+            return;
+        }
+        let datagram = match self.ifaces[iface].framing {
+            Framing::RawIp => frame,
+            Framing::Ethernet => {
+                let Ok(eth) = EthernetFrame::new_checked(frame) else {
+                    return;
+                };
+                if eth.ethertype() != EtherType::Ipv4 {
+                    return;
+                }
+                &frame[catenet_wire::ethernet::HEADER_LEN..]
+            }
+        };
+        // Don't quench our own originations (the socket already sees
+        // the loss); only transit traffic.
+        if let Ok(packet) = Ipv4Packet::new_checked(datagram) {
+            if self.owns_addr(packet.src_addr()) {
+                return;
+            }
+        }
+        self.last_quench = now;
+        self.stats.quench_sent += 1;
+        let datagram = datagram.to_vec();
+        self.send_icmp_error(now, &datagram, Icmpv4Message::SourceQuench);
+    }
+
+    /// Parse the datagram quote inside an ICMP error: returns
+    /// (src, dst, protocol, src_port, dst_port). The quote is only the
+    /// header + 8 bytes, so full packet validation is impossible —
+    /// exactly the situation real stacks face.
+    fn parse_icmp_quote(quote: &[u8]) -> Option<(Ipv4Address, Ipv4Address, IpProtocol, u16, u16)> {
+        if quote.len() < 20 || quote[0] >> 4 != 4 {
+            return None;
+        }
+        let ihl = usize::from(quote[0] & 0x0f) * 4;
+        if ihl < 20 || quote.len() < ihl + 4 {
+            return None;
+        }
+        let src = Ipv4Address::from_bytes(&quote[12..16]);
+        let dst = Ipv4Address::from_bytes(&quote[16..20]);
+        let protocol = IpProtocol::from(quote[9]);
+        let src_port = u16::from_be_bytes([quote[ihl], quote[ihl + 1]]);
+        let dst_port = u16::from_be_bytes([quote[ihl + 2], quote[ihl + 3]]);
+        Some((src, dst, protocol, src_port, dst_port))
+    }
+
+    fn send_icmp_error(&mut self, now: Instant, original: &[u8], message: Icmpv4Message) {
+        // Source the error from the interface facing the sender.
+        let replier = match Ipv4Packet::new_checked(original) {
+            Ok(packet) => self
+                .route(packet.src_addr())
+                .map(|(iface, _)| self.ifaces[iface].addr)
+                .unwrap_or_else(|| self.primary_addr()),
+            Err(_) => return,
+        };
+        if let Some(error) = icmp::icmp_error_for(original, message, replier) {
+            self.stats.icmp_sent += 1;
+            self.route_and_send(now, error);
+        }
+    }
+
+    fn deliver_local(&mut self, now: Instant, datagram: Vec<u8>) {
+        self.stats.ip_delivered += 1;
+        let Ok(packet) = Ipv4Packet::new_checked(&datagram[..]) else {
+            self.stats.dropped_malformed += 1;
+            return;
+        };
+        let src = packet.src_addr();
+        let dst = packet.dst_addr();
+        let protocol = packet.protocol();
+        let payload = packet.payload().to_vec();
+
+        match protocol {
+            IpProtocol::Icmp => self.deliver_icmp(now, src, dst, &datagram, &payload),
+            IpProtocol::Udp => self.deliver_udp(now, src, dst, &datagram, &payload),
+            IpProtocol::Tcp => self.deliver_tcp(now, src, dst, &payload),
+            IpProtocol::Unknown(_) => {
+                self.send_icmp_error(
+                    now,
+                    &datagram,
+                    Icmpv4Message::DstUnreachable(DstUnreachable::ProtoUnreachable),
+                );
+            }
+        }
+    }
+
+    fn deliver_icmp(
+        &mut self,
+        now: Instant,
+        src: Ipv4Address,
+        dst: Ipv4Address,
+        _datagram: &[u8],
+        payload: &[u8],
+    ) {
+        let Ok(packet) = Icmpv4Packet::new_checked(payload) else {
+            self.stats.dropped_malformed += 1;
+            return;
+        };
+        let Ok(repr) = Icmpv4Repr::parse(&packet) else {
+            self.stats.dropped_transport_checksum += 1;
+            return;
+        };
+        self.stats.icmp_received += 1;
+        match repr.message {
+            Icmpv4Message::EchoRequest { ident, seq_no } => {
+                // Answer with an echo reply carrying the same payload.
+                let reply = Icmpv4Repr {
+                    message: Icmpv4Message::EchoReply { ident, seq_no },
+                    payload_len: repr.payload_len,
+                };
+                let mut buf = vec![0u8; reply.buffer_len()];
+                let mut out = Icmpv4Packet::new_unchecked(&mut buf[..]);
+                reply.emit(&mut out);
+                out.payload_mut().copy_from_slice(packet.payload());
+                out.fill_checksum();
+                self.stats.icmp_sent += 1;
+                let datagram = self.build_ip(dst, src, IpProtocol::Icmp, Tos::default(), &buf);
+                self.route_and_send(now, datagram);
+            }
+            Icmpv4Message::SourceQuench => {
+                // Steer the quench to the TCP connection it quotes: the
+                // quoted datagram is one WE sent, so its source is our
+                // local endpoint.
+                if let Some((q_src, q_dst, proto, sport, dport)) =
+                    Self::parse_icmp_quote(packet.payload())
+                {
+                    if proto == IpProtocol::Tcp {
+                        let target = self.tcp_sockets.iter_mut().find(|socket| {
+                            socket.local() == Endpoint::new(q_src, sport)
+                                && socket.remote() == Endpoint::new(q_dst, dport)
+                        });
+                        if let Some(socket) = target {
+                            socket.on_source_quench();
+                            self.stats.quench_applied += 1;
+                        }
+                    }
+                }
+                self.icmp_inbox.push(IcmpEvent {
+                    at: now,
+                    from: src,
+                    message: Icmpv4Message::SourceQuench,
+                    payload: packet.payload().to_vec(),
+                });
+            }
+            message => {
+                self.icmp_inbox.push(IcmpEvent {
+                    at: now,
+                    from: src,
+                    message,
+                    payload: packet.payload().to_vec(),
+                });
+            }
+        }
+    }
+
+    fn deliver_udp(
+        &mut self,
+        now: Instant,
+        src: Ipv4Address,
+        dst: Ipv4Address,
+        datagram: &[u8],
+        payload: &[u8],
+    ) {
+        let Ok(packet) = UdpPacket::new_checked(payload) else {
+            self.stats.dropped_malformed += 1;
+            return;
+        };
+        let Ok(repr) = UdpRepr::parse(&packet, src, dst) else {
+            self.stats.dropped_transport_checksum += 1;
+            return;
+        };
+        // Routing advertisements are consumed by the gateway itself;
+        // hosts ignore routing chatter silently (RFC 1058 §3.1 — they
+        // may listen passively, but never answer with ICMP errors).
+        if repr.dst_port == RIP_PORT {
+            if self.dv.is_some() {
+                self.handle_rip(now, src, packet.payload());
+            }
+            return;
+        }
+        let from = Endpoint::new(src, repr.src_port);
+        match self
+            .udp_sockets
+            .iter_mut()
+            .find(|socket| socket.local_port == repr.dst_port)
+        {
+            Some(socket) => socket.deliver(from, now, packet.payload().to_vec()),
+            None => {
+                self.send_icmp_error(
+                    now,
+                    datagram,
+                    Icmpv4Message::DstUnreachable(DstUnreachable::PortUnreachable),
+                );
+            }
+        }
+    }
+
+    fn handle_rip(&mut self, now: Instant, from: Ipv4Address, payload: &[u8]) {
+        let Ok(message) = RipMessage::decode(payload) else {
+            self.stats.dropped_malformed += 1;
+            return;
+        };
+        // Which interface faces this neighbor?
+        let Some(iface) = self
+            .ifaces
+            .iter()
+            .position(|i| i.up && i.on_link(from))
+        else {
+            return;
+        };
+        if let Some(dv) = &mut self.dv {
+            dv.handle_update(from, iface, &message.entries, now);
+        }
+    }
+
+    fn deliver_tcp(&mut self, now: Instant, src: Ipv4Address, dst: Ipv4Address, payload: &[u8]) {
+        let Ok(packet) = TcpPacket::new_checked(payload) else {
+            self.stats.dropped_malformed += 1;
+            return;
+        };
+        let Ok(repr) = TcpRepr::parse(&packet, src, dst) else {
+            self.stats.dropped_transport_checksum += 1;
+            return;
+        };
+        let data = packet.payload().to_vec();
+        // Synchronized sockets first, then listeners.
+        let target = self
+            .tcp_sockets
+            .iter()
+            .position(|s| s.state() != TcpState::Listen && s.accepts(dst, src, &repr))
+            .or_else(|| {
+                self.tcp_sockets
+                    .iter()
+                    .position(|s| s.state() == TcpState::Listen && s.accepts(dst, src, &repr))
+            });
+        match target {
+            Some(index) => {
+                self.tcp_sockets[index].process(now, dst, src, &repr, &data);
+            }
+            None => {
+                // RFC 793: a segment to nowhere earns an RST (unless it
+                // is itself an RST).
+                if repr.control != TcpControl::Rst {
+                    self.send_tcp_rst(now, src, dst, &repr, data.len());
+                }
+            }
+        }
+    }
+
+    fn send_tcp_rst(
+        &mut self,
+        now: Instant,
+        src: Ipv4Address,
+        dst: Ipv4Address,
+        offending: &TcpRepr,
+        payload_len: usize,
+    ) {
+        self.stats.rst_sent += 1;
+        let rst = match offending.ack_number {
+            Some(ack) => TcpRepr {
+                src_port: offending.dst_port,
+                dst_port: offending.src_port,
+                control: TcpControl::Rst,
+                seq_number: ack,
+                ack_number: None,
+                window_len: 0,
+                max_seg_size: None,
+                payload_len: 0,
+            },
+            None => TcpRepr {
+                src_port: offending.dst_port,
+                dst_port: offending.src_port,
+                control: TcpControl::Rst,
+                seq_number: TcpSeqNumber(0),
+                ack_number: Some(
+                    offending.seq_number + payload_len + offending.control.len(),
+                ),
+                window_len: 0,
+                max_seg_size: None,
+                payload_len: 0,
+            },
+        };
+        let segment = self.build_tcp_segment(&rst, &[], dst, src);
+        let datagram = self.build_ip(dst, src, IpProtocol::Tcp, Tos::default(), &segment);
+        self.route_and_send(now, datagram);
+    }
+
+    fn build_tcp_segment(
+        &self,
+        repr: &TcpRepr,
+        payload: &[u8],
+        src: Ipv4Address,
+        dst: Ipv4Address,
+    ) -> Vec<u8> {
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut packet = TcpPacket::new_unchecked(&mut buf[..]);
+        repr.emit(&mut packet);
+        packet.payload_mut().copy_from_slice(payload);
+        packet.fill_checksum(src, dst);
+        buf
+    }
+
+    // --------------------------------------------------------- service
+
+    /// Run the node's periodic machinery and drain socket output.
+    /// Called by the network after event delivery and on timer wakes.
+    pub fn service(&mut self, now: Instant) {
+        if !self.alive {
+            return;
+        }
+        // Reassembly timeouts.
+        let expired = self.reassembler.expire(now);
+        self.stats.reassembly_timeouts += expired.len() as u64;
+        for cache in &mut self.arp {
+            cache.flush_expired(now);
+        }
+        if let Some(flows) = &mut self.flows {
+            flows.expire_idle(now);
+        }
+        // Routing protocol.
+        self.service_dv(now);
+        // Transports.
+        self.service_tcp(now);
+        self.service_udp(now);
+    }
+
+    fn service_dv(&mut self, now: Instant) {
+        let Some(dv) = &mut self.dv else {
+            return;
+        };
+        dv.tick(now);
+        let periodic = dv.periodic_due(now);
+        let triggered = dv.triggered_due();
+        if !periodic && !triggered {
+            return;
+        }
+        let mut to_send: Vec<(usize, Vec<u8>)> = Vec::new();
+        for (index, iface) in self.ifaces.iter().enumerate() {
+            if !iface.up {
+                continue;
+            }
+            let entries =
+                dv.advertisement_for(index, &self.dv_policies[index], periodic);
+            if entries.is_empty() && !periodic {
+                continue;
+            }
+            for message in RipMessage::paginate(entries) {
+                to_send.push((index, message.encode()));
+            }
+        }
+        dv.advertisements_sent(now);
+        for (iface, payload) in to_send {
+            let datagram = self.build_udp_datagram(
+                self.ifaces[iface].addr,
+                RIP_PORT,
+                Endpoint::new(self.ifaces[iface].peer, RIP_PORT),
+                Tos::default(),
+                &payload,
+            );
+            let next_hop = self.ifaces[iface].peer;
+            self.output_datagram(now, iface, next_hop, datagram);
+        }
+    }
+
+    fn build_udp_datagram(
+        &mut self,
+        src: Ipv4Address,
+        src_port: u16,
+        to: Endpoint,
+        tos: Tos,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let udp_repr = UdpRepr {
+            src_port,
+            dst_port: to.port,
+            payload_len: payload.len(),
+        };
+        let mut udp_buf = vec![0u8; udp_repr.buffer_len()];
+        {
+            let mut udp = UdpPacket::new_unchecked(&mut udp_buf[..]);
+            udp_repr.emit(&mut udp);
+            udp.payload_mut().copy_from_slice(payload);
+            udp.fill_checksum(src, to.addr);
+        }
+        self.build_ip(src, to.addr, IpProtocol::Udp, tos, &udp_buf)
+    }
+
+    fn service_tcp(&mut self, now: Instant) {
+        for index in 0..self.tcp_sockets.len() {
+            while let Some((repr, payload)) = self.tcp_sockets[index].dispatch(now) {
+                let local = self.tcp_sockets[index].local();
+                let remote = self.tcp_sockets[index].remote();
+                let segment = self.build_tcp_segment(&repr, &payload, local.addr, remote.addr);
+                let datagram =
+                    self.build_ip(local.addr, remote.addr, IpProtocol::Tcp, Tos::default(), &segment);
+                self.route_and_send(now, datagram);
+            }
+        }
+    }
+
+    fn service_udp(&mut self, now: Instant) {
+        for index in 0..self.udp_sockets.len() {
+            while let Some((to, payload)) = self.udp_sockets[index].take_tx() {
+                let Some((iface, _)) = self.route(to.addr) else {
+                    self.stats.dropped_no_route += 1;
+                    continue;
+                };
+                let src = self.ifaces[iface].addr;
+                let (src_port, tos) = {
+                    let socket = &self.udp_sockets[index];
+                    (socket.local_port, socket.tos)
+                };
+                let datagram = self.build_udp_datagram(src, src_port, to, tos, &payload);
+                self.route_and_send(now, datagram);
+            }
+        }
+    }
+
+    /// When this node next needs a timer wake.
+    pub fn poll_at(&self, now: Instant) -> Option<Instant> {
+        if !self.alive {
+            return None;
+        }
+        let mut earliest: Option<Instant> = None;
+        let mut consider = |at: Instant| {
+            earliest = Some(match earliest {
+                Some(current) => current.min(at),
+                None => at,
+            });
+        };
+        for socket in &self.tcp_sockets {
+            if let Some(at) = socket.poll_at() {
+                // `Instant::ZERO` means "immediately".
+                consider(if at <= now { now } else { at });
+            }
+        }
+        if let Some(dv) = &self.dv {
+            consider(dv.poll_at().max(now));
+        }
+        if self.reassembler.in_progress() > 0 {
+            consider(now + Duration::from_secs(1));
+        }
+        earliest
+    }
+}
+
+impl core::fmt::Debug for Node {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Node")
+            .field("name", &self.name)
+            .field("role", &self.role)
+            .field("alive", &self.alive)
+            .field("ifaces", &self.ifaces.len())
+            .field("tcp_sockets", &self.tcp_sockets.len())
+            .field("udp_sockets", &self.udp_sockets.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catenet_wire::Ipv4Cidr;
+
+    fn host_with_iface() -> Node {
+        let mut node = Node::new("h", NodeRole::Host);
+        node.attach_iface(Iface {
+            addr: Ipv4Address::new(10, 0, 0, 1),
+            cidr: Ipv4Cidr::new(Ipv4Address::new(10, 0, 0, 0), 30),
+            hardware: EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            peer: Ipv4Address::new(10, 0, 0, 2),
+            ip_mtu: 1500,
+            framing: Framing::RawIp,
+            up: true,
+        });
+        node.static_routes.insert(
+            Ipv4Cidr::new(Ipv4Address::UNSPECIFIED, 0),
+            (0, Some(Ipv4Address::new(10, 0, 0, 2))),
+        );
+        node
+    }
+
+    #[test]
+    fn route_prefers_on_link() {
+        let node = host_with_iface();
+        let (iface, next_hop) = node.route(Ipv4Address::new(10, 0, 0, 2)).unwrap();
+        assert_eq!(iface, 0);
+        assert_eq!(next_hop, Ipv4Address::new(10, 0, 0, 2));
+        // Off-link goes via the default gateway.
+        let (_, next_hop) = node.route(Ipv4Address::new(192, 0, 2, 1)).unwrap();
+        assert_eq!(next_hop, Ipv4Address::new(10, 0, 0, 2));
+    }
+
+    #[test]
+    fn echo_request_generates_reply_in_outbox() {
+        let mut node = host_with_iface();
+        // Hand-build an echo request addressed to the node.
+        let icmp_repr = Icmpv4Repr {
+            message: Icmpv4Message::EchoRequest { ident: 7, seq_no: 1 },
+            payload_len: 4,
+        };
+        let mut icmp_buf = vec![0u8; icmp_repr.buffer_len()];
+        let mut icmp = Icmpv4Packet::new_unchecked(&mut icmp_buf[..]);
+        icmp_repr.emit(&mut icmp);
+        icmp.payload_mut().copy_from_slice(b"ping");
+        icmp.fill_checksum();
+        let datagram = catenet_ip::build_ipv4(
+            &Ipv4Repr {
+                src_addr: Ipv4Address::new(10, 0, 0, 2),
+                dst_addr: Ipv4Address::new(10, 0, 0, 1),
+                protocol: IpProtocol::Icmp,
+                payload_len: icmp_buf.len(),
+                hop_limit: 64,
+                tos: Tos::default(),
+            },
+            9,
+            false,
+            &icmp_buf,
+        );
+        node.handle_frame(Instant::ZERO, 0, datagram);
+        let outbox = node.take_outbox();
+        assert_eq!(outbox.len(), 1);
+        let reply = Ipv4Packet::new_checked(&outbox[0].1[..]).unwrap();
+        assert_eq!(reply.dst_addr(), Ipv4Address::new(10, 0, 0, 2));
+        let reply_icmp = Icmpv4Packet::new_checked(reply.payload()).unwrap();
+        let parsed = Icmpv4Repr::parse(&reply_icmp).unwrap();
+        assert_eq!(
+            parsed.message,
+            Icmpv4Message::EchoReply { ident: 7, seq_no: 1 }
+        );
+        assert_eq!(reply_icmp.payload(), b"ping");
+    }
+
+    #[test]
+    fn udp_to_closed_port_earns_port_unreachable() {
+        let mut node = host_with_iface();
+        let datagram = {
+            let mut tmp = Node::new("x", NodeRole::Host);
+            tmp.build_udp_datagram(
+                Ipv4Address::new(10, 0, 0, 2),
+                5000,
+                Endpoint::new(Ipv4Address::new(10, 0, 0, 1), 4444),
+                Tos::default(),
+                b"anyone home?",
+            )
+        };
+        node.handle_frame(Instant::ZERO, 0, datagram);
+        let outbox = node.take_outbox();
+        assert_eq!(outbox.len(), 1);
+        let error = Ipv4Packet::new_checked(&outbox[0].1[..]).unwrap();
+        assert_eq!(error.protocol(), IpProtocol::Icmp);
+        let icmp = Icmpv4Packet::new_checked(error.payload()).unwrap();
+        let parsed = Icmpv4Repr::parse(&icmp).unwrap();
+        assert_eq!(
+            parsed.message,
+            Icmpv4Message::DstUnreachable(DstUnreachable::PortUnreachable)
+        );
+        assert_eq!(node.stats.icmp_sent, 1);
+    }
+
+    #[test]
+    fn udp_to_open_port_delivered() {
+        let mut node = host_with_iface();
+        let handle = node.udp_bind(4444);
+        let datagram = {
+            let mut tmp = Node::new("x", NodeRole::Host);
+            tmp.build_udp_datagram(
+                Ipv4Address::new(10, 0, 0, 2),
+                5000,
+                Endpoint::new(Ipv4Address::new(10, 0, 0, 1), 4444),
+                Tos::default(),
+                b"hello",
+            )
+        };
+        node.handle_frame(Instant::from_millis(3), 0, datagram);
+        let received = node.udp_sockets[handle].recv().unwrap();
+        assert_eq!(received.payload, b"hello");
+        assert_eq!(received.from, Endpoint::new(Ipv4Address::new(10, 0, 0, 2), 5000));
+        assert_eq!(received.at, Instant::from_millis(3));
+    }
+
+    #[test]
+    fn tcp_to_closed_port_earns_rst() {
+        let mut node = host_with_iface();
+        let syn = TcpRepr {
+            src_port: 1234,
+            dst_port: 80,
+            control: TcpControl::Syn,
+            seq_number: TcpSeqNumber(1000),
+            ack_number: None,
+            window_len: 100,
+            max_seg_size: None,
+            payload_len: 0,
+        };
+        let segment = node.build_tcp_segment(
+            &syn,
+            &[],
+            Ipv4Address::new(10, 0, 0, 2),
+            Ipv4Address::new(10, 0, 0, 1),
+        );
+        let datagram = catenet_ip::build_ipv4(
+            &Ipv4Repr {
+                src_addr: Ipv4Address::new(10, 0, 0, 2),
+                dst_addr: Ipv4Address::new(10, 0, 0, 1),
+                protocol: IpProtocol::Tcp,
+                payload_len: segment.len(),
+                hop_limit: 64,
+                tos: Tos::default(),
+            },
+            1,
+            false,
+            &segment,
+        );
+        node.handle_frame(Instant::ZERO, 0, datagram);
+        assert_eq!(node.stats.rst_sent, 1);
+        let outbox = node.take_outbox();
+        assert_eq!(outbox.len(), 1);
+        let ip = Ipv4Packet::new_checked(&outbox[0].1[..]).unwrap();
+        let tcp = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert!(tcp.rst());
+        // RST to a SYN without ACK must ack seq+1.
+        assert_eq!(tcp.ack_number(), TcpSeqNumber(1001));
+    }
+
+    #[test]
+    fn dead_node_drops_everything() {
+        let mut node = host_with_iface();
+        node.crash();
+        node.handle_frame(Instant::ZERO, 0, vec![0u8; 40]);
+        assert_eq!(node.stats.dropped_dead, 1);
+        assert!(node.take_outbox().is_empty());
+    }
+
+    #[test]
+    fn crash_destroys_sockets_restart_does_not_restore_them() {
+        let mut node = host_with_iface();
+        node.udp_bind(9);
+        node.tcp_listen(80, TcpConfig::default());
+        node.crash();
+        node.restart();
+        assert!(node.udp_sockets.is_empty(), "fate-sharing: sockets died");
+        assert!(node.tcp_sockets.is_empty());
+        assert!(node.alive);
+    }
+
+    #[test]
+    fn gateway_restart_relearns_connected_routes() {
+        let mut gw = Node::new("g", NodeRole::Gateway);
+        gw.attach_iface(Iface {
+            addr: Ipv4Address::new(10, 0, 0, 2),
+            cidr: Ipv4Cidr::new(Ipv4Address::new(10, 0, 0, 0), 30),
+            hardware: EthernetAddress::new(2, 0, 0, 0, 0, 2),
+            peer: Ipv4Address::new(10, 0, 0, 1),
+            ip_mtu: 1500,
+            framing: Framing::RawIp,
+            up: true,
+        });
+        assert_eq!(gw.dv.as_ref().unwrap().live_routes(), 1);
+        gw.crash();
+        assert_eq!(gw.dv.as_ref().unwrap().live_routes(), 0);
+        gw.restart();
+        assert_eq!(gw.dv.as_ref().unwrap().live_routes(), 1);
+    }
+
+    #[test]
+    fn ephemeral_ports_and_isns_distinct() {
+        let mut node = host_with_iface();
+        let p1 = node.alloc_port();
+        let p2 = node.alloc_port();
+        assert_ne!(p1, p2);
+        let isn1 = node.next_isn();
+        let isn2 = node.next_isn();
+        assert_ne!(isn1, isn2);
+    }
+
+    #[test]
+    fn ttl_expiry_generates_time_exceeded() {
+        let mut gw = Node::new("g", NodeRole::Gateway);
+        gw.attach_iface(Iface {
+            addr: Ipv4Address::new(10, 0, 0, 2),
+            cidr: Ipv4Cidr::new(Ipv4Address::new(10, 0, 0, 0), 30),
+            hardware: EthernetAddress::default(),
+            peer: Ipv4Address::new(10, 0, 0, 1),
+            ip_mtu: 1500,
+            framing: Framing::RawIp,
+            up: true,
+        });
+        gw.attach_iface(Iface {
+            addr: Ipv4Address::new(10, 0, 1, 1),
+            cidr: Ipv4Cidr::new(Ipv4Address::new(10, 0, 1, 0), 30),
+            hardware: EthernetAddress::default(),
+            peer: Ipv4Address::new(10, 0, 1, 2),
+            ip_mtu: 1500,
+            framing: Framing::RawIp,
+            up: true,
+        });
+        // A datagram with TTL 1 destined beyond the gateway.
+        let datagram = catenet_ip::build_ipv4(
+            &Ipv4Repr {
+                src_addr: Ipv4Address::new(10, 0, 0, 1),
+                dst_addr: Ipv4Address::new(10, 0, 1, 2),
+                protocol: IpProtocol::Udp,
+                payload_len: 8,
+                hop_limit: 1,
+                tos: Tos::default(),
+            },
+            1,
+            false,
+            &[0u8; 8],
+        );
+        gw.handle_frame(Instant::ZERO, 0, datagram);
+        assert_eq!(gw.stats.dropped_ttl, 1);
+        let outbox = gw.take_outbox();
+        assert_eq!(outbox.len(), 1, "ICMP time exceeded emitted");
+        assert_eq!(outbox[0].0, 0, "sent back toward the source");
+        let ip = Ipv4Packet::new_checked(&outbox[0].1[..]).unwrap();
+        assert_eq!(ip.protocol(), IpProtocol::Icmp);
+    }
+
+    #[test]
+    fn forwarding_fragments_to_smaller_mtu() {
+        let mut gw = Node::new("g", NodeRole::Gateway);
+        gw.attach_iface(Iface {
+            addr: Ipv4Address::new(10, 0, 0, 2),
+            cidr: Ipv4Cidr::new(Ipv4Address::new(10, 0, 0, 0), 30),
+            hardware: EthernetAddress::default(),
+            peer: Ipv4Address::new(10, 0, 0, 1),
+            ip_mtu: 1500,
+            framing: Framing::RawIp,
+            up: true,
+        });
+        gw.attach_iface(Iface {
+            addr: Ipv4Address::new(10, 0, 1, 1),
+            cidr: Ipv4Cidr::new(Ipv4Address::new(10, 0, 1, 0), 30),
+            hardware: EthernetAddress::default(),
+            peer: Ipv4Address::new(10, 0, 1, 2),
+            ip_mtu: 296,
+            framing: Framing::RawIp,
+            up: true,
+        });
+        let datagram = catenet_ip::build_ipv4(
+            &Ipv4Repr {
+                src_addr: Ipv4Address::new(10, 0, 0, 1),
+                dst_addr: Ipv4Address::new(10, 0, 1, 2),
+                protocol: IpProtocol::Udp,
+                payload_len: 1000,
+                hop_limit: 64,
+                tos: Tos::default(),
+            },
+            42,
+            false,
+            &vec![0xAB; 1000],
+        );
+        gw.handle_frame(Instant::ZERO, 0, datagram);
+        let outbox = gw.take_outbox();
+        assert!(outbox.len() >= 4, "fragmented: got {}", outbox.len());
+        assert!(outbox.iter().all(|(iface, frame)| *iface == 1 && frame.len() <= 296));
+        assert_eq!(gw.stats.frags_created as usize, outbox.len());
+        assert_eq!(gw.stats.ip_forwarded, 1);
+    }
+}

@@ -1,0 +1,263 @@
+//! "Realizations": canned instantiations of the architecture.
+//!
+//! The paper (§"Architecture and Implementation") stresses that the
+//! architecture deliberately under-specifies: the same protocols must
+//! "realize" everything from a lab LAN to a transcontinental mesh with
+//! satellite hops. These constructors build the realizations every
+//! experiment in `EXPERIMENTS.md` runs on, so the topology under each
+//! number is explicit and reusable.
+
+use crate::network::{LinkId, Network, NodeId};
+use catenet_routing::ExportPolicy;
+use catenet_sim::{Duration, LinkClass};
+
+/// The classic two-hosts-two-gateways dumbbell.
+pub struct Dumbbell {
+    /// The network.
+    pub net: Network,
+    /// Client host.
+    pub h1: NodeId,
+    /// Client-side gateway.
+    pub g1: NodeId,
+    /// Server-side gateway.
+    pub g2: NodeId,
+    /// Server host.
+    pub h2: NodeId,
+    /// The bottleneck (g1—g2) link.
+    pub bottleneck: LinkId,
+}
+
+/// Build `h1 — g1 ==trunk== g2 — h2` with LAN access links and the given
+/// trunk class, and converge routing.
+pub fn dumbbell(seed: u64, trunk: LinkClass) -> Dumbbell {
+    let mut net = Network::new(seed);
+    let h1 = net.add_host("h1");
+    let g1 = net.add_gateway("g1");
+    let g2 = net.add_gateway("g2");
+    let h2 = net.add_host("h2");
+    net.connect(h1, g1, LinkClass::EthernetLan);
+    let bottleneck = net.connect(g1, g2, trunk);
+    net.connect(g2, h2, LinkClass::EthernetLan);
+    net.converge_routing(Duration::from_secs(60));
+    Dumbbell {
+        net,
+        h1,
+        g1,
+        g2,
+        h2,
+        bottleneck,
+    }
+}
+
+/// A linear chain: `h1 — g1 — g2 — … — gN — h2`, every trunk the same
+/// class. Returns (network, h1, gateways, h2).
+pub fn line(seed: u64, gateways: usize, trunk: LinkClass) -> (Network, NodeId, Vec<NodeId>, NodeId) {
+    assert!(gateways >= 1);
+    let mut net = Network::new(seed);
+    let h1 = net.add_host("h1");
+    let gs: Vec<NodeId> = (0..gateways)
+        .map(|i| net.add_gateway(format!("g{}", i + 1)))
+        .collect();
+    let h2 = net.add_host("h2");
+    net.connect(h1, gs[0], LinkClass::EthernetLan);
+    for pair in gs.windows(2) {
+        net.connect(pair[0], pair[1], trunk);
+    }
+    net.connect(*gs.last().expect("nonempty"), h2, LinkClass::EthernetLan);
+    net.converge_routing(Duration::from_secs(30 + 10 * gateways as u64));
+    (net, h1, gs, h2)
+}
+
+/// The survivability triangle: two disjoint paths between the hosts.
+pub struct Triangle {
+    /// The network.
+    pub net: Network,
+    /// Client host (on gA).
+    pub h1: NodeId,
+    /// Gateway A (client side).
+    pub ga: NodeId,
+    /// Gateway B (server side).
+    pub gb: NodeId,
+    /// Gateway C (the backup path's middle hop).
+    pub gc: NodeId,
+    /// Server host (on gB).
+    pub h2: NodeId,
+    /// The primary (gA—gB) link.
+    pub primary: LinkId,
+}
+
+/// Build `h1 — gA — gB — h2` with a backup path `gA — gC — gB`, and
+/// converge routing. Killing `primary` (or crashing a gateway) forces a
+/// reroute — experiment E1's stage.
+pub fn triangle(seed: u64, trunk: LinkClass) -> Triangle {
+    let mut net = Network::new(seed);
+    let h1 = net.add_host("h1");
+    let ga = net.add_gateway("gA");
+    let gb = net.add_gateway("gB");
+    let gc = net.add_gateway("gC");
+    let h2 = net.add_host("h2");
+    net.connect(h1, ga, LinkClass::EthernetLan);
+    let primary = net.connect(ga, gb, trunk);
+    net.connect(ga, gc, trunk);
+    net.connect(gc, gb, trunk);
+    net.connect(gb, h2, LinkClass::EthernetLan);
+    net.converge_routing(Duration::from_secs(90));
+    Triangle {
+        net,
+        h1,
+        ga,
+        gb,
+        gc,
+        h2,
+        primary,
+    }
+}
+
+/// The 1988 menagerie: a path crossing three genuinely different
+/// networks (Ethernet 1500 → ARPANET trunk 1006 → serial line 296),
+/// exactly the "variety of networks" scenario of goal 3.
+pub fn heterogeneous_path(seed: u64) -> (Network, NodeId, NodeId) {
+    let mut net = Network::new(seed);
+    let h1 = net.add_host("h1");
+    let g1 = net.add_gateway("g1");
+    let g2 = net.add_gateway("g2");
+    let h2 = net.add_host("h2");
+    net.connect(h1, g1, LinkClass::EthernetLan);
+    net.connect(g1, g2, LinkClass::ArpanetTrunk);
+    net.connect(g2, h2, LinkClass::SlipLine);
+    net.converge_routing(Duration::from_secs(60));
+    (net, h1, h2)
+}
+
+/// A three-region internetwork for the distributed-management
+/// experiment: each region is a line of gateways under one
+/// administration; border gateways apply export filtering.
+pub struct MultiAs {
+    /// The network.
+    pub net: Network,
+    /// One host per region.
+    pub hosts: Vec<NodeId>,
+    /// Gateways per region.
+    pub regions: Vec<Vec<NodeId>>,
+    /// Inter-region (border) links.
+    pub borders: Vec<LinkId>,
+}
+
+/// Build `regions` chained regions of `size` gateways each, one host per
+/// region, with exterior export policies on the border interfaces.
+pub fn multi_as(seed: u64, regions: usize, size: usize, trunk: LinkClass) -> MultiAs {
+    assert!(regions >= 2 && size >= 1);
+    let mut net = Network::new(seed);
+    let mut all_regions = Vec::new();
+    let mut hosts = Vec::new();
+    for r in 0..regions {
+        let gs: Vec<NodeId> = (0..size)
+            .map(|i| net.add_gateway(format!("as{}g{}", r + 1, i + 1)))
+            .collect();
+        for pair in gs.windows(2) {
+            net.connect(pair[0], pair[1], trunk);
+        }
+        let host = net.add_host(format!("h{}", r + 1));
+        net.connect(host, gs[0], LinkClass::EthernetLan);
+        hosts.push(host);
+        all_regions.push(gs);
+    }
+    // Chain the regions via their last/first gateways.
+    let mut borders = Vec::new();
+    for r in 0..regions - 1 {
+        let left = *all_regions[r].last().expect("nonempty");
+        let right = all_regions[r + 1][0];
+        let border = net.connect(left, right, trunk);
+        borders.push(border);
+        // Exterior policy both ways: a region exports everything it
+        // knows (transit), but the *policy hook* is exercised — here we
+        // use All; the E4 bench also runs a filtered variant.
+        let left_iface = net.node(left).ifaces.len() - 1;
+        let right_iface = net.node(right).ifaces.len() - 1;
+        net.node_mut(left).dv_policies[left_iface] = ExportPolicy::All;
+        net.node_mut(right).dv_policies[right_iface] = ExportPolicy::All;
+    }
+    net.converge_routing(Duration::from_secs(60 + 30 * (regions * size) as u64));
+    MultiAs {
+        net,
+        hosts,
+        regions: all_regions,
+        borders,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catenet_sim::Instant;
+
+    #[test]
+    fn dumbbell_carries_ping() {
+        let mut d = dumbbell(41, LinkClass::T1Terrestrial);
+        let dst = d.net.node(d.h2).primary_addr();
+        let now = d.net.now();
+        d.net.node_mut(d.h1).send_ping(dst, 1, 1, 32, now);
+        d.net.kick(d.h1);
+        d.net.run_for(Duration::from_secs(2));
+        assert_eq!(d.net.node_mut(d.h1).take_icmp_events().len(), 1);
+    }
+
+    #[test]
+    fn line_scales_hops() {
+        let (mut net, h1, gs, h2) = line(42, 4, LinkClass::T1Terrestrial);
+        assert_eq!(gs.len(), 4);
+        let dst = net.node(h2).primary_addr();
+        let now = net.now();
+        net.node_mut(h1).send_ping(dst, 1, 1, 32, now);
+        net.kick(h1);
+        net.run_for(Duration::from_secs(3));
+        let events = net.node_mut(h1).take_icmp_events();
+        assert_eq!(events.len(), 1, "ping crossed 4 gateways");
+        // RTT grows with hops: ≥ 2 × 4 × 30 ms of propagation.
+        assert!(events[0].at >= Instant::from_millis(240));
+    }
+
+    #[test]
+    fn triangle_has_backup_path() {
+        let mut t = triangle(43, LinkClass::T1Terrestrial);
+        let dst = t.net.node(t.h2).primary_addr();
+        // Kill the primary; after reconvergence the backup carries.
+        t.net.set_link_up(t.primary, false);
+        t.net.converge_routing(Duration::from_secs(120));
+        let now = t.net.now();
+        t.net.node_mut(t.h1).send_ping(dst, 1, 1, 32, now);
+        t.net.kick(t.h1);
+        t.net.run_for(Duration::from_secs(3));
+        assert_eq!(t.net.node_mut(t.h1).take_icmp_events().len(), 1);
+    }
+
+    #[test]
+    fn heterogeneous_path_delivers_large_datagrams() {
+        let (mut net, h1, h2) = heterogeneous_path(44);
+        let dst = net.node(h2).primary_addr();
+        net.node_mut(h2).udp_bind(9000);
+        let sock = net.node_mut(h1).udp_bind(9001);
+        let payload = vec![7u8; 1400]; // larger than both downstream MTUs
+        net.node_mut(h1).udp_sockets[sock].send_to(crate::Endpoint::new(dst, 9000), &payload);
+        net.kick(h1);
+        net.run_for(Duration::from_secs(10));
+        let got = net.node_mut(h2).udp_sockets[0].recv().expect("delivered");
+        assert_eq!(got.payload, payload);
+    }
+
+    #[test]
+    fn multi_as_reaches_across_regions() {
+        let mut m = multi_as(45, 3, 2, LinkClass::T1Terrestrial);
+        let src = m.hosts[0];
+        let dst_addr = m.net.node(m.hosts[2]).primary_addr();
+        let now = m.net.now();
+        m.net.node_mut(src).send_ping(dst_addr, 1, 1, 32, now);
+        m.net.kick(src);
+        m.net.run_for(Duration::from_secs(5));
+        assert_eq!(
+            m.net.node_mut(src).take_icmp_events().len(),
+            1,
+            "ping crossed three administrative regions"
+        );
+    }
+}

@@ -1,0 +1,535 @@
+//! IPv4 fragmentation and reassembly (RFC 791 §2.3, §3.2).
+//!
+//! Fragmentation is the concession the internet layer makes to the
+//! "variety of networks" goal: rather than require every network to carry
+//! the largest datagram any host might send, a gateway may split a
+//! datagram to fit the next network's MTU, and *only the destination host*
+//! reassembles — gateways never hold fragments, keeping them stateless
+//! (the survivability goal again).
+//!
+//! The cost the paper acknowledges (§7, cost-effectiveness): losing any
+//! one fragment loses the whole datagram, so fragmented traffic amplifies
+//! loss. Experiment E3 measures exactly this.
+
+use catenet_sim::{Duration, Instant};
+use catenet_wire::{Ipv4Flags, Ipv4FragKey, Ipv4Packet, IPV4_HEADER_LEN};
+use std::collections::HashMap;
+
+/// Errors from fragmentation or reassembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragError {
+    /// The datagram needs fragmenting but carries the Don't-Fragment flag.
+    /// A gateway answers this with ICMP "fragmentation required".
+    DontFragment,
+    /// The MTU cannot fit even a single 8-byte payload slice.
+    MtuTooSmall,
+    /// The input was not a valid IPv4 packet.
+    Malformed,
+    /// Fragments describe a datagram larger than the reassembler accepts.
+    TooLarge,
+    /// Too many concurrent reassemblies in progress; fragment discarded.
+    Overloaded,
+    /// Two fragments disagree about overlapping bytes (suspicious; the
+    /// whole reassembly is abandoned, the conservative 1988 response).
+    InconsistentOverlap,
+}
+
+impl core::fmt::Display for FragError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FragError::DontFragment => write!(f, "fragmentation needed but DF set"),
+            FragError::MtuTooSmall => write!(f, "MTU too small to fragment into"),
+            FragError::Malformed => write!(f, "malformed fragment"),
+            FragError::TooLarge => write!(f, "reassembled datagram too large"),
+            FragError::Overloaded => write!(f, "too many concurrent reassemblies"),
+            FragError::InconsistentOverlap => write!(f, "inconsistent fragment overlap"),
+        }
+    }
+}
+
+impl std::error::Error for FragError {}
+
+/// Split `datagram` (a complete, checksummed IPv4 packet) into fragments
+/// that each fit in `mtu` bytes. Returns the input unchanged (as a single
+/// element) if it already fits.
+pub fn fragment(datagram: &[u8], mtu: usize) -> Result<Vec<Vec<u8>>, FragError> {
+    if datagram.len() <= mtu {
+        return Ok(vec![datagram.to_vec()]);
+    }
+    let packet = Ipv4Packet::new_checked(datagram).map_err(|_| FragError::Malformed)?;
+    if packet.flags().dont_frag {
+        return Err(FragError::DontFragment);
+    }
+    // Each fragment's payload must be a multiple of 8 (except the last).
+    let slice = (mtu.saturating_sub(IPV4_HEADER_LEN)) & !7;
+    if slice == 0 {
+        return Err(FragError::MtuTooSmall);
+    }
+
+    let payload = packet.payload();
+    let base_offset = packet.frag_offset(); // refragmenting a fragment is legal
+    let original_more = packet.flags().more_frags;
+    let mut fragments = Vec::new();
+    let mut offset = 0usize;
+    while offset < payload.len() {
+        let end = (offset + slice).min(payload.len());
+        let chunk = &payload[offset..end];
+        let is_last_piece = end == payload.len();
+        let mut buffer = vec![0u8; IPV4_HEADER_LEN + chunk.len()];
+        buffer[..IPV4_HEADER_LEN].copy_from_slice(&datagram[..IPV4_HEADER_LEN]);
+        let mut frag = Ipv4Packet::new_unchecked(&mut buffer[..]);
+        frag.set_version_and_header_len(); // normalize: we copied 20 bytes only
+        frag.set_total_len((IPV4_HEADER_LEN + chunk.len()) as u16);
+        frag.set_flags_and_frag_offset(
+            Ipv4Flags {
+                dont_frag: false,
+                more_frags: !is_last_piece || original_more,
+            },
+            base_offset + offset as u16,
+        );
+        frag.rest_mut().copy_from_slice(chunk);
+        frag.fill_checksum();
+        fragments.push(buffer);
+        offset = end;
+    }
+    Ok(fragments)
+}
+
+#[derive(Debug)]
+struct Partial {
+    /// Header copied from the offset-zero fragment (once seen).
+    header: Option<[u8; IPV4_HEADER_LEN]>,
+    /// Reassembly buffer for the upper-layer payload.
+    data: Vec<u8>,
+    /// Received byte ranges of the payload, kept sorted and coalesced.
+    ranges: Vec<(usize, usize)>,
+    /// Total payload length, known once the MF=0 fragment arrives.
+    total_len: Option<usize>,
+    /// When this reassembly gives up.
+    deadline: Instant,
+}
+
+impl Partial {
+    fn new(deadline: Instant) -> Partial {
+        Partial {
+            header: None,
+            data: Vec::new(),
+            ranges: Vec::new(),
+            total_len: None,
+            deadline,
+        }
+    }
+
+    fn insert(&mut self, start: usize, bytes: &[u8]) -> Result<(), FragError> {
+        let end = start + bytes.len();
+        if self.data.len() < end {
+            self.data.resize(end, 0);
+        }
+        // Verify consistency with already-received overlapping ranges.
+        for &(r0, r1) in &self.ranges {
+            let lo = start.max(r0);
+            let hi = end.min(r1);
+            if lo < hi && self.data[lo..hi] != bytes[lo - start..hi - start] {
+                return Err(FragError::InconsistentOverlap);
+            }
+        }
+        self.data[start..end].copy_from_slice(bytes);
+        self.ranges.push((start, end));
+        self.ranges.sort_unstable();
+        let mut merged: Vec<(usize, usize)> = Vec::with_capacity(self.ranges.len());
+        for &(s, e) in &self.ranges {
+            match merged.last_mut() {
+                Some((_, last_end)) if s <= *last_end => *last_end = (*last_end).max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        self.ranges = merged;
+        Ok(())
+    }
+
+    fn is_complete(&self) -> bool {
+        match (self.total_len, self.header.as_ref(), self.ranges.first()) {
+            (Some(total), Some(_), Some(&(0, end))) => end >= total && self.ranges.len() == 1,
+            _ => false,
+        }
+    }
+}
+
+/// The destination host's fragment reassembler.
+#[derive(Debug)]
+pub struct Reassembler {
+    partials: HashMap<Ipv4FragKey, Partial>,
+    timeout: Duration,
+    max_datagram: usize,
+    max_concurrent: usize,
+    /// Datagrams successfully reassembled.
+    pub completed: u64,
+    /// Reassemblies abandoned on timeout.
+    pub timed_out: u64,
+}
+
+impl Reassembler {
+    /// The classic 15-second reassembly timeout (RFC 791's suggested TTL-
+    /// derived upper bound).
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(15);
+    /// The largest datagram this reassembler will rebuild (full IPv4 max).
+    pub const DEFAULT_MAX_DATAGRAM: usize = 65_535;
+
+    /// A reassembler with default limits.
+    pub fn new() -> Reassembler {
+        Reassembler::with_limits(Self::DEFAULT_TIMEOUT, Self::DEFAULT_MAX_DATAGRAM, 64)
+    }
+
+    /// A reassembler with explicit limits.
+    pub fn with_limits(timeout: Duration, max_datagram: usize, max_concurrent: usize) -> Reassembler {
+        Reassembler {
+            partials: HashMap::new(),
+            timeout,
+            max_datagram,
+            max_concurrent,
+            completed: 0,
+            timed_out: 0,
+        }
+    }
+
+    /// Number of reassemblies in progress.
+    pub fn in_progress(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// Accept one fragment. Returns `Ok(Some(datagram))` when the arrival
+    /// completes a datagram (returned as a full IPv4 packet buffer with
+    /// cleared fragmentation fields), `Ok(None)` while holes remain.
+    pub fn push(&mut self, fragment: &[u8], now: Instant) -> Result<Option<Vec<u8>>, FragError> {
+        let packet = Ipv4Packet::new_checked(fragment).map_err(|_| FragError::Malformed)?;
+        debug_assert!(packet.is_fragment(), "non-fragment fed to reassembler");
+
+        let key = packet.key();
+        let offset = usize::from(packet.frag_offset());
+        let payload = packet.payload();
+        let end = offset + payload.len();
+        if end > self.max_datagram {
+            self.partials.remove(&key);
+            return Err(FragError::TooLarge);
+        }
+        if !self.partials.contains_key(&key) && self.partials.len() >= self.max_concurrent {
+            return Err(FragError::Overloaded);
+        }
+
+        let deadline = now + self.timeout;
+        let partial = self
+            .partials
+            .entry(key)
+            .or_insert_with(|| Partial::new(deadline));
+
+        if offset == 0 {
+            let mut header = [0u8; IPV4_HEADER_LEN];
+            header.copy_from_slice(&fragment[..IPV4_HEADER_LEN]);
+            partial.header = Some(header);
+        }
+        if !packet.flags().more_frags {
+            partial.total_len = Some(end);
+        }
+        if let Err(e) = partial.insert(offset, payload) {
+            self.partials.remove(&key);
+            return Err(e);
+        }
+
+        if !self.partials[&key].is_complete() {
+            return Ok(None);
+        }
+
+        let partial = self.partials.remove(&key).expect("present");
+        let total = partial.total_len.expect("complete implies total");
+        let header = partial.header.expect("complete implies header");
+        let mut buffer = vec![0u8; IPV4_HEADER_LEN + total];
+        buffer[..IPV4_HEADER_LEN].copy_from_slice(&header);
+        buffer[IPV4_HEADER_LEN..].copy_from_slice(&partial.data[..total]);
+        let mut whole = Ipv4Packet::new_unchecked(&mut buffer[..]);
+        whole.set_total_len((IPV4_HEADER_LEN + total) as u16);
+        whole.set_flags_and_frag_offset(Ipv4Flags::default(), 0);
+        whole.fill_checksum();
+        self.completed += 1;
+        Ok(Some(buffer))
+    }
+
+    /// Abandon reassemblies whose deadline has passed. Returns the keys of
+    /// abandoned datagrams paired with whether their first fragment had
+    /// arrived (RFC 1122: send ICMP time-exceeded only if it had).
+    pub fn expire(&mut self, now: Instant) -> Vec<(Ipv4FragKey, bool)> {
+        let mut expired = Vec::new();
+        self.partials.retain(|key, partial| {
+            if partial.deadline <= now {
+                expired.push((*key, partial.header.is_some()));
+                false
+            } else {
+                true
+            }
+        });
+        self.timed_out += expired.len() as u64;
+        // Deterministic order for the simulator's sake.
+        expired.sort_by_key(|(key, _)| (key.src_addr, key.dst_addr, key.ident));
+        expired
+    }
+}
+
+impl Default for Reassembler {
+    fn default() -> Self {
+        Reassembler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_ipv4;
+    use catenet_wire::{IpProtocol, Ipv4Address, Ipv4Repr, Tos};
+
+    fn datagram(len: usize, ident: u16, dont_frag: bool) -> Vec<u8> {
+        let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        build_ipv4(
+            &Ipv4Repr {
+                src_addr: Ipv4Address::new(10, 0, 0, 1),
+                dst_addr: Ipv4Address::new(10, 0, 0, 2),
+                protocol: IpProtocol::Udp,
+                payload_len: len,
+                hop_limit: 32,
+                tos: Tos::default(),
+            },
+            ident,
+            dont_frag,
+            &payload,
+        )
+    }
+
+    #[test]
+    fn small_datagram_passes_through() {
+        let dgram = datagram(100, 1, false);
+        let frags = fragment(&dgram, 576).unwrap();
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0], dgram);
+    }
+
+    #[test]
+    fn fragments_fit_mtu_and_reassemble() {
+        let dgram = datagram(4000, 7, false);
+        let frags = fragment(&dgram, 576).unwrap();
+        assert!(frags.len() > 1);
+        for frag in &frags {
+            assert!(frag.len() <= 576);
+            let packet = Ipv4Packet::new_checked(&frag[..]).unwrap();
+            assert!(packet.verify_checksum());
+            assert!(packet.is_fragment());
+            assert_eq!(packet.ident(), 7);
+        }
+        // Last fragment clears MF; all others set it.
+        let mf: Vec<bool> = frags
+            .iter()
+            .map(|f| Ipv4Packet::new_unchecked(&f[..]).flags().more_frags)
+            .collect();
+        assert!(mf[..mf.len() - 1].iter().all(|&b| b));
+        assert!(!mf[mf.len() - 1]);
+
+        let mut reasm = Reassembler::new();
+        let mut result = None;
+        for frag in &frags {
+            result = reasm.push(frag, Instant::ZERO).unwrap();
+        }
+        let whole = result.expect("complete after last fragment");
+        assert_eq!(whole, dgram);
+        assert_eq!(reasm.completed, 1);
+    }
+
+    #[test]
+    fn reassembly_handles_any_arrival_order() {
+        let dgram = datagram(3000, 9, false);
+        let frags = fragment(&dgram, 296).unwrap();
+        assert!(frags.len() >= 10);
+        // Reverse order.
+        let mut reasm = Reassembler::new();
+        let mut result = None;
+        for frag in frags.iter().rev() {
+            assert!(result.is_none());
+            result = reasm.push(frag, Instant::ZERO).unwrap();
+        }
+        assert_eq!(result.unwrap(), dgram);
+        // Interleaved order.
+        let mut reasm = Reassembler::new();
+        let mut order: Vec<usize> = (0..frags.len()).collect();
+        order.rotate_left(frags.len() / 2);
+        let mut result = None;
+        for &i in &order {
+            result = reasm.push(&frags[i], Instant::ZERO).unwrap();
+        }
+        assert_eq!(result.unwrap(), dgram);
+    }
+
+    #[test]
+    fn duplicate_fragments_harmless() {
+        let dgram = datagram(1000, 3, false);
+        let frags = fragment(&dgram, 576).unwrap();
+        let mut reasm = Reassembler::new();
+        assert!(reasm.push(&frags[0], Instant::ZERO).unwrap().is_none());
+        assert!(reasm.push(&frags[0], Instant::ZERO).unwrap().is_none());
+        let whole = reasm.push(&frags[1], Instant::ZERO).unwrap().unwrap();
+        assert_eq!(whole, dgram);
+    }
+
+    #[test]
+    fn df_refuses_fragmentation() {
+        let dgram = datagram(4000, 1, true);
+        assert_eq!(fragment(&dgram, 576).unwrap_err(), FragError::DontFragment);
+    }
+
+    #[test]
+    fn df_datagram_that_fits_is_fine() {
+        let dgram = datagram(100, 1, true);
+        assert_eq!(fragment(&dgram, 576).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn hopeless_mtu_rejected() {
+        let dgram = datagram(4000, 1, false);
+        assert_eq!(fragment(&dgram, 24).unwrap_err(), FragError::MtuTooSmall);
+    }
+
+    #[test]
+    fn refragmenting_a_fragment_preserves_offsets() {
+        let dgram = datagram(4000, 11, false);
+        let first_pass = fragment(&dgram, 1500).unwrap();
+        // Take a middle fragment across a smaller-MTU network.
+        let second_pass = fragment(&first_pass[1], 296).unwrap();
+        assert!(second_pass.len() > 1);
+        // All pieces from both passes reassemble to the original.
+        let mut reasm = Reassembler::new();
+        let mut result = None;
+        for frag in first_pass
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1)
+            .map(|(_, f)| f)
+            .chain(second_pass.iter())
+        {
+            result = reasm.push(frag, Instant::ZERO).unwrap();
+        }
+        assert_eq!(result.unwrap(), dgram);
+    }
+
+    #[test]
+    fn missing_fragment_never_completes() {
+        let dgram = datagram(2000, 5, false);
+        let frags = fragment(&dgram, 576).unwrap();
+        let mut reasm = Reassembler::new();
+        for frag in frags.iter().skip(1) {
+            assert!(reasm.push(frag, Instant::ZERO).unwrap().is_none());
+        }
+        assert_eq!(reasm.in_progress(), 1);
+    }
+
+    #[test]
+    fn timeout_expires_partial_reassembly() {
+        let dgram = datagram(2000, 5, false);
+        let frags = fragment(&dgram, 576).unwrap();
+        let mut reasm = Reassembler::new();
+        reasm.push(&frags[0], Instant::ZERO).unwrap();
+        assert!(reasm.expire(Instant::from_secs(10)).is_empty());
+        let expired = reasm.expire(Instant::from_secs(16));
+        assert_eq!(expired.len(), 1);
+        assert!(expired[0].1, "first fragment had arrived");
+        assert_eq!(reasm.in_progress(), 0);
+        assert_eq!(reasm.timed_out, 1);
+    }
+
+    #[test]
+    fn expire_reports_missing_first_fragment() {
+        let dgram = datagram(2000, 5, false);
+        let frags = fragment(&dgram, 576).unwrap();
+        let mut reasm = Reassembler::new();
+        reasm.push(&frags[1], Instant::ZERO).unwrap();
+        let expired = reasm.expire(Instant::from_secs(20));
+        assert_eq!(expired.len(), 1);
+        assert!(!expired[0].1);
+    }
+
+    #[test]
+    fn distinct_idents_reassemble_independently() {
+        let a = datagram(1000, 100, false);
+        let b = datagram(1000, 101, false);
+        let frags_a = fragment(&a, 576).unwrap();
+        let frags_b = fragment(&b, 576).unwrap();
+        let mut reasm = Reassembler::new();
+        assert!(reasm.push(&frags_a[0], Instant::ZERO).unwrap().is_none());
+        assert!(reasm.push(&frags_b[0], Instant::ZERO).unwrap().is_none());
+        assert_eq!(reasm.in_progress(), 2);
+        let whole_b = reasm.push(&frags_b[1], Instant::ZERO).unwrap().unwrap();
+        assert_eq!(whole_b, b);
+        let whole_a = reasm.push(&frags_a[1], Instant::ZERO).unwrap().unwrap();
+        assert_eq!(whole_a, a);
+    }
+
+    #[test]
+    fn overload_sheds_new_reassemblies() {
+        let mut reasm = Reassembler::with_limits(Duration::from_secs(15), 65_535, 2);
+        for ident in 0..2 {
+            let d = datagram(1000, ident, false);
+            let frags = fragment(&d, 576).unwrap();
+            reasm.push(&frags[0], Instant::ZERO).unwrap();
+        }
+        let d = datagram(1000, 99, false);
+        let frags = fragment(&d, 576).unwrap();
+        assert_eq!(
+            reasm.push(&frags[0], Instant::ZERO).unwrap_err(),
+            FragError::Overloaded
+        );
+        // Existing reassemblies still proceed.
+        let d0 = datagram(1000, 0, false);
+        let frags0 = fragment(&d0, 576).unwrap();
+        assert!(reasm.push(&frags0[1], Instant::ZERO).unwrap().is_some());
+    }
+
+    #[test]
+    fn inconsistent_overlap_abandons_reassembly() {
+        let dgram = datagram(1200, 13, false);
+        let frags = fragment(&dgram, 576).unwrap();
+        let mut reasm = Reassembler::new();
+        reasm.push(&frags[0], Instant::ZERO).unwrap();
+        // Re-send fragment 0 with altered payload bytes.
+        let mut evil = frags[0].clone();
+        let len = evil.len();
+        evil[len - 1] ^= 0xff;
+        let mut packet = Ipv4Packet::new_unchecked(&mut evil[..]);
+        packet.fill_checksum();
+        assert_eq!(
+            reasm.push(&evil, Instant::ZERO).unwrap_err(),
+            FragError::InconsistentOverlap
+        );
+        assert_eq!(reasm.in_progress(), 0);
+    }
+
+    #[test]
+    fn oversized_reassembly_rejected() {
+        let mut reasm = Reassembler::with_limits(Duration::from_secs(15), 2048, 16);
+        let dgram = datagram(4000, 21, false);
+        let frags = fragment(&dgram, 576).unwrap();
+        let mut saw_too_large = false;
+        for frag in &frags {
+            match reasm.push(frag, Instant::ZERO) {
+                Err(FragError::TooLarge) => {
+                    saw_too_large = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(saw_too_large);
+    }
+
+    #[test]
+    fn fragment_count_matches_arithmetic() {
+        // 4000-byte payload over MTU 576: slice = (576-20) & !7 = 552.
+        let dgram = datagram(4000, 2, false);
+        let frags = fragment(&dgram, 576).unwrap();
+        assert_eq!(frags.len(), 4000usize.div_ceil(552));
+    }
+}

@@ -1,0 +1,255 @@
+//! Longest-prefix-match routing tables.
+//!
+//! A gateway's routing table is the *only* state it holds — and that state
+//! describes the topology, not any conversation. That is the fate-sharing
+//! design: the table can be rebuilt from scratch after a crash (by the
+//! routing protocol) without any end-to-end connection noticing more than
+//! a pause. The table is generic over its next-hop type `M` so the same
+//! structure backs static host routes and the distance-vector protocol's
+//! metric-bearing entries.
+
+use catenet_wire::{Ipv4Address, Ipv4Cidr};
+
+/// A routing table mapping CIDR prefixes to values of type `M`.
+#[derive(Debug, Clone)]
+pub struct RoutingTable<M> {
+    /// Entries sorted by descending prefix length, so the first match in
+    /// iteration order is the longest match.
+    entries: Vec<(Ipv4Cidr, M)>,
+}
+
+impl<M> Default for RoutingTable<M> {
+    fn default() -> Self {
+        RoutingTable {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<M> RoutingTable<M> {
+    /// An empty table.
+    pub fn new() -> RoutingTable<M> {
+        Self::default()
+    }
+
+    /// Number of routes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert or replace the route for exactly `prefix`.
+    /// Returns the previous value if one was replaced.
+    pub fn insert(&mut self, prefix: Ipv4Cidr, value: M) -> Option<M> {
+        let prefix = prefix.network();
+        match self
+            .entries
+            .iter_mut()
+            .find(|(existing, _)| *existing == prefix)
+        {
+            Some((_, slot)) => Some(core::mem::replace(slot, value)),
+            None => {
+                let pos = self
+                    .entries
+                    .partition_point(|(existing, _)| existing.prefix_len() >= prefix.prefix_len());
+                self.entries.insert(pos, (prefix, value));
+                None
+            }
+        }
+    }
+
+    /// Remove the route for exactly `prefix`, returning its value.
+    pub fn remove(&mut self, prefix: &Ipv4Cidr) -> Option<M> {
+        let prefix = prefix.network();
+        let pos = self
+            .entries
+            .iter()
+            .position(|(existing, _)| *existing == prefix)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, addr: Ipv4Address) -> Option<&M> {
+        self.entries
+            .iter()
+            .find(|(prefix, _)| prefix.contains(addr))
+            .map(|(_, value)| value)
+    }
+
+    /// Longest-prefix-match lookup returning the matched prefix too.
+    pub fn lookup_entry(&self, addr: Ipv4Address) -> Option<(&Ipv4Cidr, &M)> {
+        self.entries
+            .iter()
+            .find(|(prefix, _)| prefix.contains(addr))
+            .map(|(prefix, value)| (prefix, value))
+    }
+
+    /// The value stored for exactly `prefix`, if any.
+    pub fn get(&self, prefix: &Ipv4Cidr) -> Option<&M> {
+        let prefix = prefix.network();
+        self.entries
+            .iter()
+            .find(|(existing, _)| *existing == prefix)
+            .map(|(_, value)| value)
+    }
+
+    /// Mutable access to the value stored for exactly `prefix`.
+    pub fn get_mut(&mut self, prefix: &Ipv4Cidr) -> Option<&mut M> {
+        let prefix = prefix.network();
+        self.entries
+            .iter_mut()
+            .find(|(existing, _)| *existing == prefix)
+            .map(|(_, value)| value)
+    }
+
+    /// Iterate over `(prefix, value)` pairs, longest prefixes first.
+    pub fn iter(&self) -> impl Iterator<Item = (&Ipv4Cidr, &M)> {
+        self.entries.iter().map(|(prefix, value)| (prefix, value))
+    }
+
+    /// Iterate mutably over `(prefix, value)` pairs.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&Ipv4Cidr, &mut M)> {
+        self.entries
+            .iter_mut()
+            .map(|(prefix, value)| (&*prefix, value))
+    }
+
+    /// Remove every entry for which `keep` returns false.
+    pub fn retain(&mut self, mut keep: impl FnMut(&Ipv4Cidr, &mut M) -> bool) {
+        self.entries.retain_mut(|(prefix, value)| keep(prefix, value));
+    }
+
+    /// Remove all routes.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cidr(s: &str) -> Ipv4Cidr {
+        s.parse().unwrap()
+    }
+
+    fn addr(s: &str) -> Ipv4Address {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut table = RoutingTable::new();
+        table.insert(cidr("0.0.0.0/0"), "default");
+        table.insert(cidr("10.0.0.0/8"), "ten");
+        table.insert(cidr("10.1.0.0/16"), "ten-one");
+        table.insert(cidr("10.1.2.0/24"), "ten-one-two");
+
+        assert_eq!(table.lookup(addr("10.1.2.3")), Some(&"ten-one-two"));
+        assert_eq!(table.lookup(addr("10.1.9.9")), Some(&"ten-one"));
+        assert_eq!(table.lookup(addr("10.200.0.1")), Some(&"ten"));
+        assert_eq!(table.lookup(addr("192.0.2.1")), Some(&"default"));
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let mut forward = RoutingTable::new();
+        forward.insert(cidr("10.0.0.0/8"), 8);
+        forward.insert(cidr("10.1.0.0/16"), 16);
+        let mut reverse = RoutingTable::new();
+        reverse.insert(cidr("10.1.0.0/16"), 16);
+        reverse.insert(cidr("10.0.0.0/8"), 8);
+        for table in [&forward, &reverse] {
+            assert_eq!(table.lookup(addr("10.1.0.1")), Some(&16));
+            assert_eq!(table.lookup(addr("10.2.0.1")), Some(&8));
+        }
+    }
+
+    #[test]
+    fn no_match_without_default() {
+        let mut table = RoutingTable::new();
+        table.insert(cidr("10.0.0.0/8"), ());
+        assert_eq!(table.lookup(addr("192.0.2.1")), None);
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_old() {
+        let mut table = RoutingTable::new();
+        assert_eq!(table.insert(cidr("10.0.0.0/8"), 1), None);
+        assert_eq!(table.insert(cidr("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.lookup(addr("10.0.0.1")), Some(&2));
+    }
+
+    #[test]
+    fn host_bits_normalized_on_insert() {
+        let mut table = RoutingTable::new();
+        table.insert(cidr("10.1.2.3/8"), "a");
+        // Same network expressed differently replaces it.
+        assert_eq!(table.insert(cidr("10.9.9.9/8"), "b"), Some("a"));
+        assert_eq!(table.get(&cidr("10.0.0.0/8")), Some(&"b"));
+    }
+
+    #[test]
+    fn remove_and_get() {
+        let mut table = RoutingTable::new();
+        table.insert(cidr("10.0.0.0/8"), 1);
+        table.insert(cidr("172.16.0.0/12"), 2);
+        assert_eq!(table.remove(&cidr("10.0.0.0/8")), Some(1));
+        assert_eq!(table.remove(&cidr("10.0.0.0/8")), None);
+        assert_eq!(table.lookup(addr("10.0.0.1")), None);
+        assert_eq!(table.len(), 1);
+        *table.get_mut(&cidr("172.16.0.0/12")).unwrap() = 9;
+        assert_eq!(table.get(&cidr("172.16.0.0/12")), Some(&9));
+    }
+
+    #[test]
+    fn lookup_entry_reports_prefix() {
+        let mut table = RoutingTable::new();
+        table.insert(cidr("10.1.0.0/16"), ());
+        let (prefix, _) = table.lookup_entry(addr("10.1.5.5")).unwrap();
+        assert_eq!(*prefix, cidr("10.1.0.0/16"));
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut table = RoutingTable::new();
+        table.insert(cidr("10.0.0.0/8"), 1);
+        table.insert(cidr("11.0.0.0/8"), 2);
+        table.insert(cidr("12.0.0.0/8"), 3);
+        table.retain(|_, metric| *metric % 2 == 1);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.lookup(addr("11.0.0.1")), None);
+    }
+
+    #[test]
+    fn iter_longest_first() {
+        let mut table = RoutingTable::new();
+        table.insert(cidr("0.0.0.0/0"), 0);
+        table.insert(cidr("10.1.2.0/24"), 24);
+        table.insert(cidr("10.0.0.0/8"), 8);
+        let lens: Vec<u8> = table.iter().map(|(p, _)| p.prefix_len()).collect();
+        assert_eq!(lens, vec![24, 8, 0]);
+    }
+
+    #[test]
+    fn host_route_matches_exactly() {
+        let mut table = RoutingTable::new();
+        table.insert(cidr("10.0.0.5/32"), "host");
+        table.insert(cidr("10.0.0.0/24"), "net");
+        assert_eq!(table.lookup(addr("10.0.0.5")), Some(&"host"));
+        assert_eq!(table.lookup(addr("10.0.0.6")), Some(&"net"));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut table = RoutingTable::new();
+        table.insert(cidr("10.0.0.0/8"), ());
+        table.clear();
+        assert!(table.is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! # catenet-routing
+//!
+//! Distance-vector routing — the machinery behind two of Clark's goals:
+//!
+//! - **Survivability (goal 1):** when a gateway or network dies, the
+//!   survivors re-derive reachability among themselves. No conversation
+//!   state is involved; the network heals underneath the endpoints.
+//! - **Distributed management (goal 4):** the 1988 internet was already
+//!   run by multiple organizations. Gateways exchange reachability
+//!   across administrative boundaries while each administration applies
+//!   its own export policy (the EGP/BGP seed). [`engine::ExportPolicy`]
+//!   models exactly that.
+//!
+//! The protocol is RIP-shaped (RFC 1058 lineage): periodic full-table
+//! advertisements over UDP, hop-count metric with infinity = 16, split
+//! horizon with poisoned reverse, triggered updates on change, and
+//! timeout/garbage-collection of silent routes. The engine is sans-IO:
+//! `catenet-core` feeds it received updates and transmits the
+//! advertisements it produces.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod message;
+
+pub use engine::{DvConfig, DvEngine, DvRoute, ExportPolicy, NextHop};
+pub use message::{RipEntry, RipMessage, INFINITY_METRIC, RIP_PORT};

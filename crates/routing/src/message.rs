@@ -1,0 +1,209 @@
+//! The routing-advertisement wire format.
+//!
+//! A compact RIP-like encoding: one version octet, one count octet, then
+//! six bytes per route (address, prefix length, metric). Carried in UDP
+//! datagrams on [`RIP_PORT`] — the routing protocol is itself just an
+//! application of the datagram service, exactly as the architecture
+//! intends (gateways need nothing from the network that hosts don't get).
+
+use catenet_wire::{Error, Ipv4Address, Ipv4Cidr, Result};
+
+/// The UDP port routing advertisements use (RIP's own).
+pub const RIP_PORT: u16 = 520;
+
+/// The metric meaning "unreachable" (RIP's 16).
+pub const INFINITY_METRIC: u8 = 16;
+
+const VERSION: u8 = 1;
+const ENTRY_LEN: usize = 6;
+/// Maximum entries per message (fits any 576-byte-MTU path).
+pub const MAX_ENTRIES: usize = 64;
+
+/// One advertised route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RipEntry {
+    /// The destination prefix.
+    pub prefix: Ipv4Cidr,
+    /// Hop-count metric; [`INFINITY_METRIC`] means unreachable.
+    pub metric: u8,
+}
+
+/// A full advertisement message.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RipMessage {
+    /// The advertised routes.
+    pub entries: Vec<RipEntry>,
+}
+
+impl RipMessage {
+    /// Serialized length of a message with `n` entries.
+    pub const fn encoded_len(n: usize) -> usize {
+        2 + n * ENTRY_LEN
+    }
+
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        debug_assert!(self.entries.len() <= MAX_ENTRIES);
+        let mut out = Vec::with_capacity(Self::encoded_len(self.entries.len()));
+        out.push(VERSION);
+        out.push(self.entries.len() as u8);
+        for entry in &self.entries {
+            out.extend_from_slice(entry.prefix.address().as_bytes());
+            out.push(entry.prefix.prefix_len());
+            out.push(entry.metric);
+        }
+        out
+    }
+
+    /// Parse from bytes.
+    pub fn decode(data: &[u8]) -> Result<RipMessage> {
+        if data.len() < 2 {
+            return Err(Error::Truncated);
+        }
+        if data[0] != VERSION {
+            return Err(Error::Version);
+        }
+        let count = usize::from(data[1]);
+        if count > MAX_ENTRIES {
+            return Err(Error::Malformed);
+        }
+        if data.len() < 2 + count * ENTRY_LEN {
+            return Err(Error::Truncated);
+        }
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let base = 2 + i * ENTRY_LEN;
+            let addr = Ipv4Address::from_bytes(&data[base..base + 4]);
+            let prefix_len = data[base + 4];
+            let metric = data[base + 5];
+            if prefix_len > 32 {
+                return Err(Error::Malformed);
+            }
+            if metric > INFINITY_METRIC {
+                return Err(Error::Malformed);
+            }
+            entries.push(RipEntry {
+                prefix: Ipv4Cidr::new(addr, prefix_len),
+                metric,
+            });
+        }
+        Ok(RipMessage { entries })
+    }
+
+    /// Split a large route set into messages of at most [`MAX_ENTRIES`].
+    pub fn paginate(entries: Vec<RipEntry>) -> Vec<RipMessage> {
+        if entries.is_empty() {
+            return vec![RipMessage::default()];
+        }
+        entries
+            .chunks(MAX_ENTRIES)
+            .map(|chunk| RipMessage {
+                entries: chunk.to_vec(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cidr(s: &str) -> Ipv4Cidr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let msg = RipMessage {
+            entries: vec![
+                RipEntry {
+                    prefix: cidr("10.1.0.0/16"),
+                    metric: 1,
+                },
+                RipEntry {
+                    prefix: cidr("10.2.0.0/16"),
+                    metric: INFINITY_METRIC,
+                },
+                RipEntry {
+                    prefix: cidr("0.0.0.0/0"),
+                    metric: 3,
+                },
+            ],
+        };
+        let bytes = msg.encode();
+        assert_eq!(bytes.len(), RipMessage::encoded_len(3));
+        assert_eq!(RipMessage::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn empty_message() {
+        let msg = RipMessage::default();
+        let bytes = msg.encode();
+        assert_eq!(bytes.len(), 2);
+        assert_eq!(RipMessage::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let msg = RipMessage {
+            entries: vec![RipEntry {
+                prefix: cidr("10.0.0.0/8"),
+                metric: 1,
+            }],
+        };
+        let bytes = msg.encode();
+        assert_eq!(RipMessage::decode(&bytes[..1]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            RipMessage::decode(&bytes[..bytes.len() - 1]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = RipMessage::default().encode();
+        bytes[0] = 99;
+        assert_eq!(RipMessage::decode(&bytes).unwrap_err(), Error::Version);
+    }
+
+    #[test]
+    fn bad_fields_rejected() {
+        let msg = RipMessage {
+            entries: vec![RipEntry {
+                prefix: cidr("10.0.0.0/8"),
+                metric: 1,
+            }],
+        };
+        let mut bad_prefix = msg.encode();
+        bad_prefix[6] = 40; // prefix_len > 32
+        assert_eq!(RipMessage::decode(&bad_prefix).unwrap_err(), Error::Malformed);
+        let mut bad_metric = msg.encode();
+        bad_metric[7] = 17;
+        assert_eq!(RipMessage::decode(&bad_metric).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn paginate_splits_large_tables() {
+        let entries: Vec<RipEntry> = (0..150)
+            .map(|i| RipEntry {
+                prefix: Ipv4Cidr::new(Ipv4Address::new(10, (i / 256) as u8, (i % 256) as u8, 0), 24),
+                metric: 1,
+            })
+            .collect();
+        let messages = RipMessage::paginate(entries.clone());
+        assert_eq!(messages.len(), 3);
+        let total: usize = messages.iter().map(|m| m.entries.len()).sum();
+        assert_eq!(total, 150);
+        assert!(messages.iter().all(|m| m.entries.len() <= MAX_ENTRIES));
+        // Order preserved across pages.
+        let rejoined: Vec<RipEntry> = messages.into_iter().flat_map(|m| m.entries).collect();
+        assert_eq!(rejoined, entries);
+    }
+
+    #[test]
+    fn paginate_empty_yields_one_empty_message() {
+        let messages = RipMessage::paginate(Vec::new());
+        assert_eq!(messages.len(), 1);
+        assert!(messages[0].entries.is_empty());
+    }
+}

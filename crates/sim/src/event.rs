@@ -1,0 +1,219 @@
+//! The discrete-event scheduler.
+//!
+//! A single totally ordered queue of `(time, sequence, event)` entries.
+//! Ties at the same instant resolve in insertion order, which — together
+//! with the seeded [`crate::Rng`] — makes whole-network simulations
+//! reproducible: the property every experiment in `EXPERIMENTS.md` rests on.
+
+use crate::time::Instant;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: Instant,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event scheduler over events of type `E`.
+#[derive(Default)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: Instant,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler at time zero.
+    pub fn new() -> Scheduler<E> {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            now: Instant::ZERO,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// The current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Total events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to `now` — the simulated world
+    /// has no time machine, and clamping (rather than panicking) mirrors
+    /// how real stacks treat already-expired timers.
+    pub fn schedule_at(&mut self, at: Instant, event: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedule `event` after a delay from the current time.
+    pub fn schedule_after(&mut self, delay: crate::time::Duration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// The timestamp of the next pending event.
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.peek().map(|entry| entry.at)
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "time went backwards");
+        self.now = entry.at;
+        self.processed += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// Drop every pending event (used when tearing a network down).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> core::fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut sched = Scheduler::new();
+        sched.schedule_at(Instant::from_millis(30), "c");
+        sched.schedule_at(Instant::from_millis(10), "a");
+        sched.schedule_at(Instant::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| sched.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_resolve_in_insertion_order() {
+        let mut sched = Scheduler::new();
+        let t = Instant::from_millis(5);
+        for i in 0..10 {
+            sched.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| sched.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut sched = Scheduler::new();
+        sched.schedule_at(Instant::from_millis(7), ());
+        assert_eq!(sched.now(), Instant::ZERO);
+        sched.pop().unwrap();
+        assert_eq!(sched.now(), Instant::from_millis(7));
+        assert_eq!(sched.processed(), 1);
+    }
+
+    #[test]
+    fn schedule_in_past_clamps_to_now() {
+        let mut sched = Scheduler::new();
+        sched.schedule_at(Instant::from_millis(10), "later");
+        sched.pop().unwrap();
+        sched.schedule_at(Instant::from_millis(3), "past");
+        let (at, event) = sched.pop().unwrap();
+        assert_eq!(event, "past");
+        assert_eq!(at, Instant::from_millis(10));
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut sched = Scheduler::new();
+        sched.schedule_at(Instant::from_millis(100), "first");
+        sched.pop().unwrap();
+        sched.schedule_after(Duration::from_millis(50), "second");
+        let (at, _) = sched.pop().unwrap();
+        assert_eq!(at, Instant::from_millis(150));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut sched = Scheduler::new();
+        sched.schedule_at(Instant::from_millis(9), ());
+        assert_eq!(sched.peek_time(), Some(Instant::from_millis(9)));
+        assert_eq!(sched.now(), Instant::ZERO);
+        assert_eq!(sched.len(), 1);
+        assert!(!sched.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut sched = Scheduler::new();
+        for i in 0..5 {
+            sched.schedule_at(Instant::from_millis(i), i);
+        }
+        sched.clear();
+        assert!(sched.is_empty());
+        assert_eq!(sched.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        // An event handler scheduling new events mid-run keeps total order.
+        let mut sched = Scheduler::new();
+        sched.schedule_at(Instant::from_millis(1), 1u32);
+        sched.schedule_at(Instant::from_millis(5), 5u32);
+        let mut seen = Vec::new();
+        while let Some((at, e)) = sched.pop() {
+            seen.push(e);
+            if e == 1 {
+                sched.schedule_at(at + Duration::from_millis(2), 3u32);
+            }
+        }
+        assert_eq!(seen, vec![1, 3, 5]);
+    }
+}

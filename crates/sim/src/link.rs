@@ -1,0 +1,567 @@
+//! Link models: the "variety of networks" made concrete.
+//!
+//! The internet architecture makes very few assumptions about a network
+//! (Clark §5): it can carry a datagram of reasonable minimum size, with
+//! some bandwidth and latency, and may lose, corrupt, delay or reorder it.
+//! A [`Link`] is exactly that contract and nothing more: a unidirectional
+//! channel with
+//!
+//! - a serialization rate (bandwidth) and a drop-tail output queue,
+//! - a propagation delay plus optional uniform jitter (which yields
+//!   natural reordering),
+//! - independent per-packet loss and corruption probabilities, and
+//! - an MTU (oversized frames are refused — fragmentation is the IP
+//!   layer's job, not the link's),
+//! - an up/down state (for survivability experiments).
+//!
+//! [`LinkClass`] provides presets for the network classes that made up the
+//! 1988 DARPA internet, with parameters drawn from their published
+//! characteristics, plus a modern LAN for the "realizations" experiment.
+
+use crate::rng::Rng;
+use crate::time::{Duration, Instant};
+use std::collections::VecDeque;
+
+/// Why a link refused or lost a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Random transmission loss.
+    Loss,
+    /// The drop-tail queue was full (congestion).
+    QueueFull,
+    /// The frame exceeded the link MTU.
+    TooBig,
+    /// The link is administratively or physically down.
+    LinkDown,
+}
+
+impl core::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DropReason::Loss => write!(f, "random loss"),
+            DropReason::QueueFull => write!(f, "queue overflow"),
+            DropReason::TooBig => write!(f, "exceeds MTU"),
+            DropReason::LinkDown => write!(f, "link down"),
+        }
+    }
+}
+
+/// The outcome of handing a frame to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkOutcome {
+    /// The frame will arrive at the far end at `at`. If `corrupted`, a
+    /// byte was flipped in flight (checksums downstream must catch it).
+    Delivered {
+        /// Arrival time at the receiver.
+        at: Instant,
+        /// Whether the payload was corrupted in flight.
+        corrupted: bool,
+    },
+    /// The frame was lost; the sender is *not* told (datagram service).
+    Dropped(DropReason),
+}
+
+/// The externally visible parameters of a network, per the paper's
+/// minimal-assumptions list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkParams {
+    /// Human-readable class name (for traces and experiment tables).
+    pub name: &'static str,
+    /// Serialization rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub propagation: Duration,
+    /// Maximum extra uniform delay per packet (models path variance and
+    /// produces reordering when it exceeds packet spacing).
+    pub jitter: Duration,
+    /// Independent per-packet loss probability.
+    pub loss: f64,
+    /// Independent per-packet corruption probability.
+    pub corruption: f64,
+    /// Maximum frame size the network will carry.
+    pub mtu: usize,
+    /// Drop-tail queue capacity, in packets (including the one in service).
+    pub queue_limit: usize,
+}
+
+impl LinkParams {
+    /// Time to serialize `bytes` onto this link (rounded up to 1 µs).
+    pub fn tx_time(&self, bytes: usize) -> Duration {
+        let micros = (bytes as u128 * 8 * 1_000_000).div_ceil(self.bandwidth_bps as u128);
+        Duration::from_micros((micros as u64).max(1))
+    }
+}
+
+/// Preset network classes of the 1988 DARPA internet (plus a modern LAN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkClass {
+    /// 10 Mb/s Ethernet LAN segment: fast, short, nearly lossless.
+    EthernetLan,
+    /// 56 kb/s ARPANET-style terrestrial trunk.
+    ArpanetTrunk,
+    /// T1 (1.544 Mb/s) terrestrial leased line.
+    T1Terrestrial,
+    /// SATNET-style satellite hop: T1 rate but ~250 ms propagation.
+    Satellite,
+    /// Packet-radio network: modest rate, small MTU, high loss.
+    PacketRadio,
+    /// 9.6 kb/s serial line (SLIP), MTU 296.
+    SlipLine,
+    /// A modern 1 Gb/s LAN (for the "realizations" experiment E10).
+    ModernLan,
+}
+
+impl LinkClass {
+    /// The parameters of this network class.
+    pub fn params(self) -> LinkParams {
+        match self {
+            LinkClass::EthernetLan => LinkParams {
+                name: "ethernet-lan",
+                bandwidth_bps: 10_000_000,
+                propagation: Duration::from_micros(100),
+                jitter: Duration::from_micros(50),
+                loss: 0.0001,
+                corruption: 0.0001,
+                mtu: 1500,
+                queue_limit: 50,
+            },
+            LinkClass::ArpanetTrunk => LinkParams {
+                name: "arpanet-trunk",
+                bandwidth_bps: 56_000,
+                propagation: Duration::from_millis(20),
+                jitter: Duration::from_millis(2),
+                loss: 0.001,
+                corruption: 0.0005,
+                mtu: 1006,
+                queue_limit: 20,
+            },
+            LinkClass::T1Terrestrial => LinkParams {
+                name: "t1-terrestrial",
+                bandwidth_bps: 1_544_000,
+                propagation: Duration::from_millis(30),
+                jitter: Duration::from_millis(1),
+                loss: 0.0005,
+                corruption: 0.0002,
+                mtu: 1500,
+                queue_limit: 30,
+            },
+            LinkClass::Satellite => LinkParams {
+                name: "satellite",
+                bandwidth_bps: 1_544_000,
+                propagation: Duration::from_millis(250),
+                jitter: Duration::from_millis(5),
+                loss: 0.002,
+                corruption: 0.001,
+                mtu: 1500,
+                queue_limit: 40,
+            },
+            LinkClass::PacketRadio => LinkParams {
+                name: "packet-radio",
+                bandwidth_bps: 100_000,
+                propagation: Duration::from_millis(10),
+                jitter: Duration::from_millis(8),
+                loss: 0.05,
+                corruption: 0.01,
+                mtu: 254,
+                queue_limit: 10,
+            },
+            LinkClass::SlipLine => LinkParams {
+                name: "slip-line",
+                bandwidth_bps: 9_600,
+                propagation: Duration::from_millis(5),
+                jitter: Duration::from_millis(1),
+                loss: 0.001,
+                corruption: 0.001,
+                mtu: 296,
+                queue_limit: 8,
+            },
+            LinkClass::ModernLan => LinkParams {
+                name: "modern-lan",
+                bandwidth_bps: 1_000_000_000,
+                propagation: Duration::from_micros(50),
+                jitter: Duration::from_micros(5),
+                loss: 0.0,
+                corruption: 0.0,
+                mtu: 1500,
+                queue_limit: 200,
+            },
+        }
+    }
+}
+
+/// Per-link counters, exposed to the accounting experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames accepted for transmission.
+    pub tx_frames: u64,
+    /// Bytes accepted for transmission.
+    pub tx_bytes: u64,
+    /// Frames that will arrive (possibly corrupted).
+    pub delivered: u64,
+    /// Frames dropped to random loss.
+    pub lost: u64,
+    /// Frames dropped to queue overflow.
+    pub overflowed: u64,
+    /// Frames refused for exceeding the MTU.
+    pub oversized: u64,
+    /// Frames dropped because the link was down.
+    pub down_drops: u64,
+    /// Frames corrupted in flight (subset of `delivered`).
+    pub corrupted: u64,
+}
+
+/// A unidirectional link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    params: LinkParams,
+    up: bool,
+    /// Completion times of frames still in the queue or in service.
+    in_flight: VecDeque<Instant>,
+    busy_until: Instant,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Build a link from explicit parameters.
+    pub fn new(params: LinkParams) -> Link {
+        assert!(params.bandwidth_bps > 0, "zero-bandwidth link");
+        assert!(params.mtu >= crate::link::MIN_LINK_MTU, "MTU below architecture minimum");
+        assert!(params.queue_limit >= 1, "queue must hold at least one frame");
+        Link {
+            params,
+            up: true,
+            in_flight: VecDeque::new(),
+            busy_until: Instant::ZERO,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Build a link of a preset class.
+    pub fn of_class(class: LinkClass) -> Link {
+        Link::new(class.params())
+    }
+
+    /// The link parameters.
+    pub fn params(&self) -> &LinkParams {
+        &self.params
+    }
+
+    /// The link MTU.
+    pub fn mtu(&self) -> usize {
+        self.params.mtu
+    }
+
+    /// Whether the link is up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Bring the link up or down. Taking a link down empties its queue
+    /// (frames in flight on a severed line do not arrive).
+    pub fn set_up(&mut self, up: bool) {
+        self.up = up;
+        if !up {
+            self.in_flight.clear();
+            self.busy_until = Instant::ZERO;
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Current queue occupancy (frames queued or in service at `now`).
+    pub fn queue_depth(&self, now: Instant) -> usize {
+        self.in_flight.iter().filter(|&&done| done > now).count()
+    }
+
+    /// Offer a frame to the link at time `now`. On delivery the frame may
+    /// be corrupted in place (one flipped byte) — exactly the failure the
+    /// end-to-end checksums exist to catch.
+    pub fn transmit(&mut self, now: Instant, frame: &mut [u8], rng: &mut Rng) -> LinkOutcome {
+        if !self.up {
+            self.stats.down_drops += 1;
+            return LinkOutcome::Dropped(DropReason::LinkDown);
+        }
+        if frame.len() > self.params.mtu {
+            self.stats.oversized += 1;
+            return LinkOutcome::Dropped(DropReason::TooBig);
+        }
+        // Age out frames that have finished serializing.
+        while let Some(&done) = self.in_flight.front() {
+            if done <= now {
+                self.in_flight.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.in_flight.len() >= self.params.queue_limit {
+            self.stats.overflowed += 1;
+            return LinkOutcome::Dropped(DropReason::QueueFull);
+        }
+
+        self.stats.tx_frames += 1;
+        self.stats.tx_bytes += frame.len() as u64;
+
+        let start = self.busy_until.max(now);
+        let done = start + self.params.tx_time(frame.len());
+        self.busy_until = done;
+        self.in_flight.push_back(done);
+
+        if rng.chance(self.params.loss) {
+            self.stats.lost += 1;
+            return LinkOutcome::Dropped(DropReason::Loss);
+        }
+
+        let mut corrupted = false;
+        if rng.chance(self.params.corruption) && !frame.is_empty() {
+            let index = rng.below(frame.len() as u64) as usize;
+            let bit = rng.below(8) as u8;
+            frame[index] ^= 1 << bit;
+            corrupted = true;
+            self.stats.corrupted += 1;
+        }
+
+        let jitter = if self.params.jitter.is_zero() {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(rng.below(self.params.jitter.total_micros().max(1)))
+        };
+
+        self.stats.delivered += 1;
+        LinkOutcome::Delivered {
+            at: done + self.params.propagation + jitter,
+            corrupted,
+        }
+    }
+}
+
+/// The smallest MTU any catenet link may have: the architecture's
+/// "reasonable minimum size" (RFC 791's 68-octet rule).
+pub const MIN_LINK_MTU: usize = 68;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_params() -> LinkParams {
+        LinkParams {
+            name: "test",
+            bandwidth_bps: 8_000_000, // 1 byte/µs
+            propagation: Duration::from_millis(1),
+            jitter: Duration::ZERO,
+            loss: 0.0,
+            corruption: 0.0,
+            mtu: 1500,
+            queue_limit: 4,
+        }
+    }
+
+    #[test]
+    fn tx_time_scales_with_size_and_rate() {
+        let params = quiet_params();
+        assert_eq!(params.tx_time(1000), Duration::from_micros(1000));
+        let slow = LinkParams {
+            bandwidth_bps: 8_000,
+            ..params
+        };
+        assert_eq!(slow.tx_time(1000), Duration::from_secs(1));
+        // Rounds up, never zero.
+        assert_eq!(params.tx_time(0), Duration::from_micros(1));
+    }
+
+    #[test]
+    fn delivery_includes_serialization_and_propagation() {
+        let mut link = Link::new(quiet_params());
+        let mut rng = Rng::from_seed(1);
+        let mut frame = vec![0u8; 1000];
+        match link.transmit(Instant::ZERO, &mut frame, &mut rng) {
+            LinkOutcome::Delivered { at, corrupted } => {
+                assert_eq!(at, Instant::from_micros(1000) + Duration::from_millis(1));
+                assert!(!corrupted);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_queue_behind_each_other() {
+        let mut link = Link::new(quiet_params());
+        let mut rng = Rng::from_seed(1);
+        let mut first = vec![0u8; 1000];
+        let mut second = vec![0u8; 1000];
+        let t1 = match link.transmit(Instant::ZERO, &mut first, &mut rng) {
+            LinkOutcome::Delivered { at, .. } => at,
+            other => panic!("{other:?}"),
+        };
+        let t2 = match link.transmit(Instant::ZERO, &mut second, &mut rng) {
+            LinkOutcome::Delivered { at, .. } => at,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(t2 - t1, Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn queue_overflow_drops_tail() {
+        let mut link = Link::new(quiet_params()); // queue_limit 4
+        let mut rng = Rng::from_seed(1);
+        let mut outcomes = Vec::new();
+        for _ in 0..6 {
+            let mut frame = vec![0u8; 1000];
+            outcomes.push(link.transmit(Instant::ZERO, &mut frame, &mut rng));
+        }
+        let drops = outcomes
+            .iter()
+            .filter(|o| matches!(o, LinkOutcome::Dropped(DropReason::QueueFull)))
+            .count();
+        assert_eq!(drops, 2);
+        assert_eq!(link.stats().overflowed, 2);
+        assert_eq!(link.queue_depth(Instant::ZERO), 4);
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let mut link = Link::new(quiet_params());
+        let mut rng = Rng::from_seed(1);
+        for _ in 0..4 {
+            let mut frame = vec![0u8; 1000];
+            link.transmit(Instant::ZERO, &mut frame, &mut rng);
+        }
+        // After all four serialize (4 ms), the queue is empty again.
+        let later = Instant::from_millis(5);
+        let mut frame = vec![0u8; 1000];
+        assert!(matches!(
+            link.transmit(later, &mut frame, &mut rng),
+            LinkOutcome::Delivered { .. }
+        ));
+        assert_eq!(link.queue_depth(Instant::from_millis(100)), 0);
+    }
+
+    #[test]
+    fn oversized_frame_refused() {
+        let mut link = Link::new(quiet_params());
+        let mut rng = Rng::from_seed(1);
+        let mut frame = vec![0u8; 1501];
+        assert_eq!(
+            link.transmit(Instant::ZERO, &mut frame, &mut rng),
+            LinkOutcome::Dropped(DropReason::TooBig)
+        );
+        assert_eq!(link.stats().oversized, 1);
+    }
+
+    #[test]
+    fn down_link_drops_everything() {
+        let mut link = Link::new(quiet_params());
+        let mut rng = Rng::from_seed(1);
+        link.set_up(false);
+        assert!(!link.is_up());
+        let mut frame = vec![0u8; 100];
+        assert_eq!(
+            link.transmit(Instant::ZERO, &mut frame, &mut rng),
+            LinkOutcome::Dropped(DropReason::LinkDown)
+        );
+        link.set_up(true);
+        assert!(matches!(
+            link.transmit(Instant::ZERO, &mut frame, &mut rng),
+            LinkOutcome::Delivered { .. }
+        ));
+    }
+
+    #[test]
+    fn lossy_link_loses_roughly_p() {
+        let mut link = Link::new(LinkParams {
+            loss: 0.2,
+            queue_limit: 100_000,
+            ..quiet_params()
+        });
+        let mut rng = Rng::from_seed(99);
+        let mut now = Instant::ZERO;
+        let mut lost = 0;
+        for _ in 0..10_000 {
+            let mut frame = vec![0u8; 100];
+            if matches!(
+                link.transmit(now, &mut frame, &mut rng),
+                LinkOutcome::Dropped(DropReason::Loss)
+            ) {
+                lost += 1;
+            }
+            now += Duration::from_millis(1);
+        }
+        assert!((1_800..2_200).contains(&lost), "lost {lost}");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut link = Link::new(LinkParams {
+            corruption: 1.0,
+            ..quiet_params()
+        });
+        let mut rng = Rng::from_seed(5);
+        let original = vec![0xAAu8; 64];
+        let mut frame = original.clone();
+        match link.transmit(Instant::ZERO, &mut frame, &mut rng) {
+            LinkOutcome::Delivered { corrupted, .. } => assert!(corrupted),
+            other => panic!("{other:?}"),
+        }
+        let differing_bits: u32 = original
+            .iter()
+            .zip(&frame)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(differing_bits, 1);
+        assert_eq!(link.stats().corrupted, 1);
+    }
+
+    #[test]
+    fn taking_link_down_clears_queue() {
+        let mut link = Link::new(quiet_params());
+        let mut rng = Rng::from_seed(1);
+        for _ in 0..3 {
+            let mut frame = vec![0u8; 1000];
+            link.transmit(Instant::ZERO, &mut frame, &mut rng);
+        }
+        link.set_up(false);
+        assert_eq!(link.queue_depth(Instant::ZERO), 0);
+    }
+
+    #[test]
+    fn preset_classes_have_sane_params() {
+        for class in [
+            LinkClass::EthernetLan,
+            LinkClass::ArpanetTrunk,
+            LinkClass::T1Terrestrial,
+            LinkClass::Satellite,
+            LinkClass::PacketRadio,
+            LinkClass::SlipLine,
+            LinkClass::ModernLan,
+        ] {
+            let params = class.params();
+            assert!(params.bandwidth_bps > 0);
+            assert!(params.mtu >= MIN_LINK_MTU, "{:?}", class);
+            assert!(params.queue_limit >= 1);
+            assert!((0.0..1.0).contains(&params.loss));
+            // Building a link must not panic.
+            let _ = Link::of_class(class);
+        }
+        // The architecture's "variety": MTUs genuinely differ.
+        assert_ne!(
+            LinkClass::EthernetLan.params().mtu,
+            LinkClass::SlipLine.params().mtu
+        );
+        // Satellite has order-of-magnitude larger delay than LAN.
+        assert!(
+            LinkClass::Satellite.params().propagation
+                > LinkClass::EthernetLan.params().propagation * 100
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "MTU below architecture minimum")]
+    fn tiny_mtu_refused() {
+        let _ = Link::new(LinkParams {
+            mtu: 40,
+            ..quiet_params()
+        });
+    }
+}

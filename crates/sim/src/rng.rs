@@ -1,0 +1,168 @@
+//! Seeded, forkable randomness.
+//!
+//! All nondeterminism in a simulation — packet loss, corruption, jitter,
+//! initial sequence numbers, ephemeral ports — flows from one root seed
+//! through this type. `fork` derives independent streams so that adding a
+//! consumer does not perturb the draws seen by existing consumers (which
+//! would otherwise make experiments non-comparable across configurations).
+
+use rand::rngs::SmallRng;
+use rand::{Rng as _, SeedableRng};
+
+/// A deterministic random number generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    inner: SmallRng,
+}
+
+impl Rng {
+    /// Create from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Rng {
+        Rng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent stream labeled by `stream`.
+    ///
+    /// Uses a SplitMix64-style mix of the parent's next draw and the label,
+    /// so distinct labels give uncorrelated streams.
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        let mut x = self.inner.gen::<u64>() ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        Rng::from_seed(x)
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli draw: true with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// A uniform integer in `[0, bound)`. Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// A uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A raw 32-bit draw (e.g. for TCP initial sequence numbers).
+    pub fn next_u32(&mut self) -> u32 {
+        self.inner.gen()
+    }
+
+    /// An exponentially distributed draw with the given mean, as a float.
+    ///
+    /// Used for Poisson inter-arrival processes in workload generators.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::from_seed(42);
+        let mut b = Rng::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::from_seed(1);
+        let mut b = Rng::from_seed(2);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams should be essentially uncorrelated");
+    }
+
+    #[test]
+    fn forks_are_deterministic_and_independent() {
+        let mut root1 = Rng::from_seed(7);
+        let mut root2 = Rng::from_seed(7);
+        let mut fork_a1 = root1.fork(1);
+        let mut fork_a2 = root2.fork(1);
+        for _ in 0..50 {
+            assert_eq!(fork_a1.next_u32(), fork_a2.next_u32());
+        }
+        let mut root3 = Rng::from_seed(7);
+        let mut fork_b = root3.fork(2);
+        let mut root4 = Rng::from_seed(7);
+        let mut fork_a = root4.fork(1);
+        let same = (0..32).filter(|_| fork_a.next_u32() == fork_b.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng::from_seed(9);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn chance_frequency_roughly_matches() {
+        let mut rng = Rng::from_seed(123);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn below_and_range_bounds() {
+        let mut rng = Rng::from_seed(5);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+            let v = rng.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn unit_in_half_open_interval() {
+        let mut rng = Rng::from_seed(11);
+        for _ in 0..1000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_roughly_matches() {
+        let mut rng = Rng::from_seed(77);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| rng.exponential(5.0)).sum();
+        let mean = total / n as f64;
+        assert!((4.5..5.5).contains(&mean), "got {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn below_zero_panics() {
+        Rng::from_seed(0).below(0);
+    }
+}

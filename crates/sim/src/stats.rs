@@ -1,0 +1,205 @@
+//! Summary statistics for the experiment harness.
+//!
+//! Every experiment in `EXPERIMENTS.md` reports distributions (latency
+//! percentiles, throughput across seeds); this module is the one place
+//! those numbers are computed.
+
+/// An accumulating sample set with summary accessors.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    values: Vec<f64>,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Summary {
+        Summary { values: Vec::new() }
+    }
+
+    /// Build from an iterator of samples.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Summary {
+        let mut s = Summary::new();
+        for v in iter {
+            s.record(v);
+        }
+        s
+    }
+
+    /// Record one sample. Non-finite samples are rejected loudly — they
+    /// always indicate a harness bug, never a legitimate measurement.
+    pub fn record(&mut self, value: f64) {
+        assert!(value.is_finite(), "non-finite sample: {value}");
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean, or 0 for an empty set.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Sample standard deviation (n−1 denominator), or 0 with <2 samples.
+    pub fn stddev(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (self.values.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Smallest sample, or 0 for an empty set.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+            .pipe_finite()
+    }
+
+    /// Largest sample, or 0 for an empty set.
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .pipe_finite()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank on the sorted samples.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(0.5)
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Borrow the raw samples.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+impl PipeFinite for f64 {
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+impl core::fmt::Display for Summary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} p50={:.3} p95={:.3} max={:.3}",
+            self.count(),
+            self.mean(),
+            self.stddev(),
+            self.min(),
+            self.median(),
+            self.percentile(0.95),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn mean_and_total() {
+        let s = Summary::from_iter([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.total(), 10.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn stddev_matches_hand_computation() {
+        let s = Summary::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        // Sample variance of this classic set is 32/7.
+        let expected = (32.0f64 / 7.0).sqrt();
+        assert!((s.stddev() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s = Summary::from_iter((1..=100).map(f64::from));
+        assert_eq!(s.percentile(0.50), 50.0);
+        assert_eq!(s.percentile(0.95), 95.0);
+        assert_eq!(s.percentile(0.99), 99.0);
+        assert_eq!(s.percentile(1.0), 100.0);
+        assert_eq!(s.percentile(0.0), 1.0); // clamped to first rank
+        assert_eq!(s.median(), 50.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let s = Summary::from_iter([9.0, 1.0, 5.0]);
+        assert_eq!(s.median(), 5.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_sample_rejected() {
+        Summary::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let s = Summary::from_iter([1.0, 2.0]);
+        let text = s.to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("mean=1.500"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Virtual time: integer microseconds since simulation start.
+//!
+//! Modeled on `std::time` and smoltcp's `time` module, but fully virtual —
+//! the simulator, not the wall clock, advances it. Integer microseconds
+//! make every timestamp exactly representable and every run reproducible.
+
+/// A point in virtual time, in microseconds since simulation start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instant {
+    micros: u64,
+}
+
+impl Instant {
+    /// The simulation epoch.
+    pub const ZERO: Instant = Instant { micros: 0 };
+    /// The farthest representable future; used as an "idle" sentinel.
+    pub const FAR_FUTURE: Instant = Instant { micros: u64::MAX };
+
+    /// Construct from microseconds.
+    pub const fn from_micros(micros: u64) -> Instant {
+        Instant { micros }
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(millis: u64) -> Instant {
+        Instant {
+            micros: millis * 1_000,
+        }
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(secs: u64) -> Instant {
+        Instant {
+            micros: secs * 1_000_000,
+        }
+    }
+
+    /// Microseconds since the epoch.
+    pub const fn total_micros(&self) -> u64 {
+        self.micros
+    }
+
+    /// Milliseconds since the epoch (truncated).
+    pub const fn total_millis(&self) -> u64 {
+        self.micros / 1_000
+    }
+
+    /// Seconds since the epoch, as a float (for display and statistics).
+    pub fn secs_f64(&self) -> f64 {
+        self.micros as f64 / 1e6
+    }
+
+    /// The duration elapsed since an earlier instant. Saturates to zero
+    /// if `earlier` is actually later.
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        Duration::from_micros(self.micros.saturating_sub(earlier.micros))
+    }
+
+    /// Checked addition of a duration.
+    pub fn checked_add(&self, d: Duration) -> Option<Instant> {
+        self.micros.checked_add(d.micros).map(Instant::from_micros)
+    }
+}
+
+impl core::ops::Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant::from_micros(self.micros.saturating_add(rhs.micros))
+    }
+}
+
+impl core::ops::AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl core::ops::Sub<Duration> for Instant {
+    type Output = Instant;
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant::from_micros(self.micros.saturating_sub(rhs.micros))
+    }
+}
+
+impl core::ops::Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, rhs: Instant) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+impl core::fmt::Display for Instant {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}.{:06}s", self.micros / 1_000_000, self.micros % 1_000_000)
+    }
+}
+
+/// A span of virtual time, in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Duration {
+    micros: u64,
+}
+
+impl Duration {
+    /// The zero duration.
+    pub const ZERO: Duration = Duration { micros: 0 };
+
+    /// Construct from microseconds.
+    pub const fn from_micros(micros: u64) -> Duration {
+        Duration { micros }
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(millis: u64) -> Duration {
+        Duration {
+            micros: millis * 1_000,
+        }
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(secs: u64) -> Duration {
+        Duration {
+            micros: secs * 1_000_000,
+        }
+    }
+
+    /// Construct from fractional seconds (rounding to the nearest µs).
+    pub fn from_secs_f64(secs: f64) -> Duration {
+        debug_assert!(secs >= 0.0, "negative duration");
+        Duration {
+            micros: (secs * 1e6).round() as u64,
+        }
+    }
+
+    /// Total microseconds.
+    pub const fn total_micros(&self) -> u64 {
+        self.micros
+    }
+
+    /// Total milliseconds (truncated).
+    pub const fn total_millis(&self) -> u64 {
+        self.micros / 1_000
+    }
+
+    /// The duration as fractional seconds.
+    pub fn secs_f64(&self) -> f64 {
+        self.micros as f64 / 1e6
+    }
+
+    /// Whether this is the zero duration.
+    pub const fn is_zero(&self) -> bool {
+        self.micros == 0
+    }
+}
+
+impl core::ops::Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration::from_micros(self.micros.saturating_add(rhs.micros))
+    }
+}
+
+impl core::ops::AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl core::ops::Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration::from_micros(self.micros.saturating_sub(rhs.micros))
+    }
+}
+
+impl core::ops::Mul<u32> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u32) -> Duration {
+        Duration::from_micros(self.micros.saturating_mul(u64::from(rhs)))
+    }
+}
+
+impl core::ops::Div<u32> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u32) -> Duration {
+        Duration::from_micros(self.micros / u64::from(rhs))
+    }
+}
+
+impl core::fmt::Display for Duration {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.micros >= 1_000_000 {
+            write!(f, "{:.3}s", self.secs_f64())
+        } else if self.micros >= 1_000 {
+            write!(f, "{:.3}ms", self.micros as f64 / 1e3)
+        } else {
+            write!(f, "{}µs", self.micros)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Instant::from_secs(2), Instant::from_millis(2_000));
+        assert_eq!(Instant::from_millis(3), Instant::from_micros(3_000));
+        assert_eq!(Duration::from_secs(1).total_micros(), 1_000_000);
+        assert_eq!(Duration::from_secs_f64(0.0015), Duration::from_micros(1_500));
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t0 = Instant::from_millis(100);
+        let t1 = t0 + Duration::from_millis(50);
+        assert_eq!(t1.total_millis(), 150);
+        assert_eq!(t1 - t0, Duration::from_millis(50));
+        assert_eq!(t0 - t1, Duration::ZERO); // saturating
+        assert_eq!(t1 - Duration::from_millis(150), Instant::ZERO);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = Duration::from_millis(10);
+        assert_eq!(d * 3, Duration::from_millis(30));
+        assert_eq!(d / 4, Duration::from_micros(2_500));
+        assert_eq!(d + d, Duration::from_millis(20));
+        assert_eq!(d - Duration::from_millis(30), Duration::ZERO);
+        assert!(Duration::ZERO.is_zero());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Instant::from_micros(5) < Instant::from_micros(6));
+        assert!(Instant::FAR_FUTURE > Instant::from_secs(1_000_000));
+        assert!(Duration::from_millis(1) < Duration::from_millis(2));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Duration::from_micros(5).to_string(), "5µs");
+        assert_eq!(Duration::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(Duration::from_millis(2_500).to_string(), "2.500s");
+        assert_eq!(Instant::from_micros(1_000_001).to_string(), "1.000001s");
+    }
+
+    #[test]
+    fn saturation_at_extremes() {
+        let far = Instant::FAR_FUTURE;
+        assert_eq!(far + Duration::from_secs(1), Instant::FAR_FUTURE);
+        assert!(far.checked_add(Duration::from_secs(1)).is_none());
+        assert!(Instant::ZERO.checked_add(Duration::from_secs(1)).is_some());
+    }
+}

@@ -1,0 +1,261 @@
+//! Out-of-order segment buffering for the receive side.
+//!
+//! The internet layer may reorder datagrams freely (another "minimal
+//! assumptions" consequence), so TCP receivers hold early segments until
+//! the gap before them fills. This buffer stores byte ranges keyed by
+//! their offset from the current `rcv_nxt` and releases the contiguous
+//! prefix as it forms.
+
+use std::collections::BTreeMap;
+
+/// A bounded buffer of out-of-order byte ranges.
+#[derive(Debug, Clone)]
+pub struct OutOfOrderBuffer {
+    /// Segments keyed by offset from the current in-order point.
+    segments: BTreeMap<usize, Vec<u8>>,
+    /// Total bytes buffered (bounded by the receive window, enforced by
+    /// the caller; this cap is a hard backstop).
+    buffered: usize,
+    capacity: usize,
+}
+
+impl OutOfOrderBuffer {
+    /// A buffer that will hold at most `capacity` bytes.
+    pub fn new(capacity: usize) -> OutOfOrderBuffer {
+        OutOfOrderBuffer {
+            segments: BTreeMap::new(),
+            buffered: 0,
+            capacity,
+        }
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.buffered
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Store `data` starting `offset` bytes past the in-order point.
+    /// Overlapping or duplicate ranges are tolerated (first writer wins
+    /// on overlap, matching the original-transmission-wins convention).
+    /// Data beyond capacity is silently dropped — the sender will
+    /// retransmit, exactly as if the network had lost it.
+    pub fn insert(&mut self, offset: usize, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        // Trim against an existing segment that covers our start.
+        let mut start = offset;
+        let mut slice = data;
+        if let Some((&seg_off, seg)) = self.segments.range(..=offset).next_back() {
+            let seg_end = seg_off + seg.len();
+            if seg_end >= offset + data.len() {
+                return; // fully covered
+            }
+            if seg_end > offset {
+                let skip = seg_end - offset;
+                start = seg_end;
+                slice = &data[skip..];
+            }
+        }
+        // Trim against segments that start inside our range.
+        let mut remaining: Vec<(usize, Vec<u8>)> = Vec::new();
+        let end = start + slice.len();
+        let mut cursor = start;
+        let covered: Vec<(usize, usize)> = self
+            .segments
+            .range(start..end)
+            .map(|(&o, s)| (o, o + s.len()))
+            .collect();
+        for (seg_start, seg_end) in covered {
+            if seg_start > cursor {
+                remaining.push((cursor, slice[cursor - start..seg_start - start].to_vec()));
+            }
+            cursor = cursor.max(seg_end);
+        }
+        if cursor < end {
+            remaining.push((cursor, slice[cursor - start..].to_vec()));
+        }
+        for (piece_start, piece) in remaining {
+            if self.buffered + piece.len() > self.capacity {
+                break; // backstop: drop; the sender retransmits
+            }
+            self.buffered += piece.len();
+            self.segments.insert(piece_start, piece);
+        }
+    }
+
+    /// Remove and return the contiguous run starting at offset zero, if
+    /// any. The caller advances `rcv_nxt` by the returned length and then
+    /// calls [`OutOfOrderBuffer::advance`]... no — this method performs
+    /// the advance itself: all remaining offsets are shifted down.
+    pub fn take_contiguous(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        while let Some(entry) = self.segments.first_entry() {
+            if *entry.key() == out.len() {
+                let data = entry.remove();
+                self.buffered -= data.len();
+                out.extend_from_slice(&data);
+            } else {
+                break;
+            }
+        }
+        if !out.is_empty() && !self.segments.is_empty() {
+            let shift = out.len();
+            let old = core::mem::take(&mut self.segments);
+            for (offset, data) in old {
+                debug_assert!(offset >= shift);
+                self.segments.insert(offset - shift, data);
+            }
+        }
+        out
+    }
+
+    /// Shift all offsets down by `n` (used when in-order data arrived
+    /// directly, moving the in-order point past buffered ranges' origin).
+    /// Buffered bytes that fall before the new origin are discarded.
+    pub fn advance(&mut self, n: usize) {
+        if n == 0 || self.segments.is_empty() {
+            return;
+        }
+        let old = core::mem::take(&mut self.segments);
+        self.buffered = 0;
+        for (offset, data) in old {
+            if offset >= n {
+                self.buffered += data.len();
+                self.segments.insert(offset - n, data);
+            } else if offset + data.len() > n {
+                let keep = data[n - offset..].to_vec();
+                self.buffered += keep.len();
+                self.segments.insert(0, keep);
+            }
+            // else: entirely before the new origin; drop.
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.segments.clear();
+        self.buffered = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_data_released_immediately() {
+        let mut buf = OutOfOrderBuffer::new(1024);
+        buf.insert(0, b"hello");
+        assert_eq!(buf.take_contiguous(), b"hello");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn gap_holds_data_back() {
+        let mut buf = OutOfOrderBuffer::new(1024);
+        buf.insert(5, b"world");
+        assert_eq!(buf.take_contiguous(), b"");
+        assert_eq!(buf.len(), 5);
+        buf.insert(0, b"hello");
+        assert_eq!(buf.take_contiguous(), b"helloworld");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn multiple_gaps_fill_in_any_order() {
+        let mut buf = OutOfOrderBuffer::new(1024);
+        buf.insert(10, b"ccccc");
+        buf.insert(0, b"aaaaa");
+        buf.insert(5, b"bbbbb");
+        assert_eq!(buf.take_contiguous(), b"aaaaabbbbbccccc");
+    }
+
+    #[test]
+    fn duplicate_segment_ignored() {
+        let mut buf = OutOfOrderBuffer::new(1024);
+        buf.insert(3, b"xyz");
+        buf.insert(3, b"xyz");
+        assert_eq!(buf.len(), 3);
+        buf.insert(0, b"abc");
+        assert_eq!(buf.take_contiguous(), b"abcxyz");
+    }
+
+    #[test]
+    fn overlap_first_writer_wins() {
+        let mut buf = OutOfOrderBuffer::new(1024);
+        buf.insert(2, b"BBBB"); // covers 2..6
+        buf.insert(0, b"aaaaaa"); // covers 0..6, overlapping
+        let out = buf.take_contiguous();
+        assert_eq!(out.len(), 6);
+        assert_eq!(&out[..2], b"aa");
+        assert_eq!(&out[2..6], b"BBBB"); // the earlier arrival's bytes stay
+    }
+
+    #[test]
+    fn partial_overlap_extends() {
+        let mut buf = OutOfOrderBuffer::new(1024);
+        buf.insert(0, b"abcd");
+        buf.insert(2, b"cdEF"); // 2..6, overlapping 2..4
+        assert_eq!(buf.take_contiguous(), b"abcdEF");
+    }
+
+    #[test]
+    fn take_shifts_remaining_offsets() {
+        let mut buf = OutOfOrderBuffer::new(1024);
+        buf.insert(0, b"ab");
+        buf.insert(4, b"ef");
+        assert_eq!(buf.take_contiguous(), b"ab");
+        // The 4-offset segment is now at offset 2.
+        buf.insert(0, b"cd");
+        assert_eq!(buf.take_contiguous(), b"cdef");
+    }
+
+    #[test]
+    fn advance_discards_stale_bytes() {
+        let mut buf = OutOfOrderBuffer::new(1024);
+        buf.insert(2, b"abcdef"); // 2..8
+        buf.advance(5); // new origin at 5: keep bytes 5..8 = "def"
+        assert_eq!(buf.take_contiguous(), b"def");
+    }
+
+    #[test]
+    fn advance_past_everything_empties() {
+        let mut buf = OutOfOrderBuffer::new(1024);
+        buf.insert(0, b"abc");
+        buf.insert(10, b"xyz");
+        buf.advance(20);
+        assert!(buf.is_empty());
+        assert_eq!(buf.len(), 0);
+    }
+
+    #[test]
+    fn capacity_backstop_drops_excess() {
+        let mut buf = OutOfOrderBuffer::new(8);
+        buf.insert(0, b"aaaa");
+        buf.insert(100, b"bbbbbbbb"); // would exceed 8 bytes total
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.take_contiguous(), b"aaaa");
+    }
+
+    #[test]
+    fn empty_insert_is_noop() {
+        let mut buf = OutOfOrderBuffer::new(8);
+        buf.insert(3, b"");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut buf = OutOfOrderBuffer::new(1024);
+        buf.insert(1, b"zz");
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.len(), 0);
+    }
+}

@@ -1,0 +1,314 @@
+//! Congestion control: Van Jacobson's 1988 algorithms.
+//!
+//! Clark's paper (§7) concedes that "the goal of cost effectiveness"
+//! suffers when lost packets are retransmitted end to end; what it could
+//! not yet cite — the two papers are from the same SIGCOMM — is Jacobson's
+//! demonstration that *unregulated* end-to-end retransmission collapses
+//! the network entirely. Tahoe (slow start + congestion avoidance +
+//! collapse-on-loss) is therefore the default here, with Reno's fast
+//! retransmit / fast recovery available for comparison, and `None`
+//! (pre-1988 TCP) available as the ablation baseline.
+
+/// Which congestion-control algorithm a socket runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CongestionAlgo {
+    /// Pre-1988 TCP: the window is whatever the receiver advertises.
+    None,
+    /// Slow start + congestion avoidance; any loss collapses cwnd to 1 MSS.
+    #[default]
+    Tahoe,
+    /// Tahoe plus fast retransmit and fast recovery (halve on dup-ACKs).
+    Reno,
+}
+
+/// The congestion-control state machine.
+#[derive(Debug, Clone)]
+pub struct CongestionControl {
+    algo: CongestionAlgo,
+    mss: usize,
+    /// Congestion window, in bytes.
+    cwnd: usize,
+    /// Slow-start threshold, in bytes.
+    ssthresh: usize,
+    /// Bytes acked since the last cwnd increment (congestion avoidance).
+    acked_since_bump: usize,
+    /// Whether we are inside Reno fast recovery.
+    in_fast_recovery: bool,
+    /// Counters for the experiment harness.
+    pub loss_events: u64,
+    /// Number of times fast retransmit fired.
+    pub fast_retransmits: u64,
+}
+
+/// What the socket should do after a duplicate-ACK notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DupAckAction {
+    /// Nothing yet.
+    None,
+    /// Retransmit the oldest unacked segment now (fast retransmit).
+    FastRetransmit,
+}
+
+impl CongestionControl {
+    /// Initial window: 1 MSS (the 1988 rule; RFC 5681's larger IW came later).
+    pub fn new(algo: CongestionAlgo, mss: usize) -> CongestionControl {
+        assert!(mss > 0);
+        CongestionControl {
+            algo,
+            mss,
+            cwnd: mss,
+            ssthresh: 65_535,
+            acked_since_bump: 0,
+            in_fast_recovery: false,
+            loss_events: 0,
+            fast_retransmits: 0,
+        }
+    }
+
+    /// The algorithm in use.
+    pub fn algo(&self) -> CongestionAlgo {
+        self.algo
+    }
+
+    /// The current congestion window in bytes. With `None` this is
+    /// unbounded (the receiver window alone limits the sender).
+    pub fn window(&self) -> usize {
+        match self.algo {
+            CongestionAlgo::None => usize::MAX,
+            _ => self.cwnd,
+        }
+    }
+
+    /// The slow-start threshold (for tests and traces).
+    pub fn ssthresh(&self) -> usize {
+        self.ssthresh
+    }
+
+    /// Whether the sender is in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// Whether Reno fast recovery is active.
+    pub fn in_fast_recovery(&self) -> bool {
+        self.in_fast_recovery
+    }
+
+    /// New data was cumulatively acknowledged.
+    pub fn on_ack(&mut self, acked_bytes: usize) {
+        if self.algo == CongestionAlgo::None || acked_bytes == 0 {
+            return;
+        }
+        if self.in_fast_recovery {
+            // Reno: leaving fast recovery on the ACK of new data.
+            self.cwnd = self.ssthresh;
+            self.in_fast_recovery = false;
+            self.acked_since_bump = 0;
+            return;
+        }
+        if self.in_slow_start() {
+            // Exponential: one MSS per acked segment.
+            self.cwnd = self.cwnd.saturating_add(acked_bytes.min(self.mss));
+        } else {
+            // Additive: one MSS per window's worth of ACKs.
+            self.acked_since_bump += acked_bytes;
+            if self.acked_since_bump >= self.cwnd {
+                self.acked_since_bump -= self.cwnd;
+                self.cwnd = self.cwnd.saturating_add(self.mss);
+            }
+        }
+    }
+
+    /// A retransmission timeout fired: multiplicative decrease to 1 MSS,
+    /// remembering half the flight size as the new threshold.
+    pub fn on_timeout(&mut self, flight_size: usize) {
+        if self.algo == CongestionAlgo::None {
+            return;
+        }
+        self.ssthresh = (flight_size / 2).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.acked_since_bump = 0;
+        self.in_fast_recovery = false;
+        self.loss_events += 1;
+    }
+
+    /// An ICMP source quench arrived — the 1988-era congestion signal
+    /// (RFC 792 / RFC 1122 §4.2.3.9): enter slow start without touching
+    /// ssthresh, as 4.3BSD did.
+    pub fn on_quench(&mut self) {
+        if self.algo == CongestionAlgo::None {
+            return;
+        }
+        self.cwnd = self.mss;
+        self.acked_since_bump = 0;
+        self.in_fast_recovery = false;
+    }
+
+    /// A duplicate ACK arrived; `count` is the consecutive total.
+    pub fn on_dup_ack(&mut self, count: u32, flight_size: usize) -> DupAckAction {
+        match self.algo {
+            CongestionAlgo::None => DupAckAction::None,
+            CongestionAlgo::Tahoe => {
+                if count == 3 {
+                    // Fast retransmit, but no fast recovery: collapse.
+                    self.ssthresh = (flight_size / 2).max(2 * self.mss);
+                    self.cwnd = self.mss;
+                    self.acked_since_bump = 0;
+                    self.loss_events += 1;
+                    self.fast_retransmits += 1;
+                    DupAckAction::FastRetransmit
+                } else {
+                    DupAckAction::None
+                }
+            }
+            CongestionAlgo::Reno => {
+                if count == 3 && !self.in_fast_recovery {
+                    self.ssthresh = (flight_size / 2).max(2 * self.mss);
+                    self.cwnd = self.ssthresh + 3 * self.mss;
+                    self.in_fast_recovery = true;
+                    self.loss_events += 1;
+                    self.fast_retransmits += 1;
+                    DupAckAction::FastRetransmit
+                } else if count > 3 && self.in_fast_recovery {
+                    // Window inflation per extra dup ACK.
+                    self.cwnd = self.cwnd.saturating_add(self.mss);
+                    DupAckAction::None
+                } else {
+                    DupAckAction::None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: usize = 1000;
+
+    #[test]
+    fn none_algo_never_limits() {
+        let mut cc = CongestionControl::new(CongestionAlgo::None, MSS);
+        assert_eq!(cc.window(), usize::MAX);
+        cc.on_timeout(10 * MSS);
+        assert_eq!(cc.window(), usize::MAX);
+        assert_eq!(cc.on_dup_ack(3, 10 * MSS), DupAckAction::None);
+        assert_eq!(cc.loss_events, 0);
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut cc = CongestionControl::new(CongestionAlgo::Tahoe, MSS);
+        assert_eq!(cc.window(), MSS);
+        assert!(cc.in_slow_start());
+        // Simulate one RTT: every outstanding segment acked.
+        let mut per_rtt = Vec::new();
+        for _ in 0..5 {
+            let w = cc.window();
+            per_rtt.push(w);
+            for _ in 0..w / MSS {
+                cc.on_ack(MSS);
+            }
+        }
+        assert_eq!(per_rtt, vec![MSS, 2 * MSS, 4 * MSS, 8 * MSS, 16 * MSS]);
+    }
+
+    #[test]
+    fn congestion_avoidance_is_linear() {
+        let mut cc = CongestionControl::new(CongestionAlgo::Tahoe, MSS);
+        cc.on_timeout(20 * MSS); // ssthresh = 10 MSS, cwnd = 1
+        assert_eq!(cc.ssthresh(), 10 * MSS);
+        // Grow back through slow start to the threshold.
+        while cc.in_slow_start() {
+            cc.on_ack(MSS);
+        }
+        let at_threshold = cc.window();
+        assert!(at_threshold >= 10 * MSS);
+        // One full window of ACKs → exactly one MSS of growth.
+        let before = cc.window();
+        let mut acked = 0;
+        while acked < before {
+            cc.on_ack(MSS);
+            acked += MSS;
+        }
+        assert_eq!(cc.window(), before + MSS);
+    }
+
+    #[test]
+    fn timeout_collapses_to_one_mss() {
+        let mut cc = CongestionControl::new(CongestionAlgo::Tahoe, MSS);
+        for _ in 0..20 {
+            cc.on_ack(MSS);
+        }
+        let flight = cc.window();
+        cc.on_timeout(flight);
+        assert_eq!(cc.window(), MSS);
+        assert_eq!(cc.ssthresh(), flight / 2);
+        assert_eq!(cc.loss_events, 1);
+    }
+
+    #[test]
+    fn ssthresh_floor_is_two_mss() {
+        let mut cc = CongestionControl::new(CongestionAlgo::Tahoe, MSS);
+        cc.on_timeout(MSS); // tiny flight
+        assert_eq!(cc.ssthresh(), 2 * MSS);
+    }
+
+    #[test]
+    fn tahoe_fast_retransmit_collapses() {
+        let mut cc = CongestionControl::new(CongestionAlgo::Tahoe, MSS);
+        for _ in 0..10 {
+            cc.on_ack(MSS);
+        }
+        assert_eq!(cc.on_dup_ack(1, 8 * MSS), DupAckAction::None);
+        assert_eq!(cc.on_dup_ack(2, 8 * MSS), DupAckAction::None);
+        assert_eq!(cc.on_dup_ack(3, 8 * MSS), DupAckAction::FastRetransmit);
+        assert_eq!(cc.window(), MSS); // Tahoe collapses
+        assert!(!cc.in_fast_recovery());
+        assert_eq!(cc.fast_retransmits, 1);
+    }
+
+    #[test]
+    fn reno_fast_recovery_halves_and_inflates() {
+        let mut cc = CongestionControl::new(CongestionAlgo::Reno, MSS);
+        for _ in 0..16 {
+            cc.on_ack(MSS);
+        }
+        let flight = 16 * MSS;
+        assert_eq!(cc.on_dup_ack(3, flight), DupAckAction::FastRetransmit);
+        assert!(cc.in_fast_recovery());
+        assert_eq!(cc.ssthresh(), 8 * MSS);
+        assert_eq!(cc.window(), 8 * MSS + 3 * MSS);
+        // Additional dup ACKs inflate.
+        cc.on_dup_ack(4, flight);
+        assert_eq!(cc.window(), 12 * MSS);
+        // New data acked: deflate to ssthresh and exit.
+        cc.on_ack(MSS);
+        assert!(!cc.in_fast_recovery());
+        assert_eq!(cc.window(), 8 * MSS);
+    }
+
+    #[test]
+    fn reno_does_not_reenter_recovery_on_more_dups() {
+        let mut cc = CongestionControl::new(CongestionAlgo::Reno, MSS);
+        for _ in 0..16 {
+            cc.on_ack(MSS);
+        }
+        cc.on_dup_ack(3, 16 * MSS);
+        let events = cc.loss_events;
+        assert_eq!(cc.on_dup_ack(3, 16 * MSS), DupAckAction::None);
+        assert_eq!(cc.loss_events, events);
+    }
+
+    #[test]
+    fn slow_start_exits_at_threshold() {
+        let mut cc = CongestionControl::new(CongestionAlgo::Tahoe, MSS);
+        cc.on_timeout(8 * MSS); // ssthresh 4 MSS
+        while cc.in_slow_start() {
+            cc.on_ack(MSS);
+        }
+        assert!(cc.window() >= 4 * MSS);
+        assert!(cc.window() <= 5 * MSS);
+    }
+}

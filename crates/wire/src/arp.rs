@@ -1,0 +1,314 @@
+//! The Address Resolution Protocol (RFC 826), Ethernet/IPv4 flavor.
+//!
+//! ARP is the host-attachment glue (goal 6) on broadcast LANs: it lets a
+//! host join a network knowing only its own IP address, discovering
+//! hardware addresses on demand instead of by configuration.
+
+use crate::field::Field;
+use crate::types::{EthernetAddress, Ipv4Address};
+use crate::{Error, Result};
+
+/// Length of an Ethernet/IPv4 ARP packet.
+pub const PACKET_LEN: usize = 28;
+
+const HTYPE_ETHERNET: u16 = 1;
+const PTYPE_IPV4: u16 = 0x0800;
+
+mod fields {
+    use super::Field;
+    pub const HTYPE: Field = 0..2;
+    pub const PTYPE: Field = 2..4;
+    pub const HLEN: usize = 4;
+    pub const PLEN: usize = 5;
+    pub const OPER: Field = 6..8;
+    pub const SHA: Field = 8..14;
+    pub const SPA: Field = 14..18;
+    pub const THA: Field = 18..24;
+    pub const TPA: Field = 24..28;
+}
+
+/// An ARP operation code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operation {
+    /// A request (`who-has`).
+    Request,
+    /// A reply (`is-at`).
+    Reply,
+    /// Any other operation code.
+    Unknown(u16),
+}
+
+impl From<u16> for Operation {
+    fn from(value: u16) -> Self {
+        match value {
+            1 => Operation::Request,
+            2 => Operation::Reply,
+            other => Operation::Unknown(other),
+        }
+    }
+}
+
+impl From<Operation> for u16 {
+    fn from(value: Operation) -> Self {
+        match value {
+            Operation::Request => 1,
+            Operation::Reply => 2,
+            Operation::Unknown(other) => other,
+        }
+    }
+}
+
+/// A read/write view of an ARP packet.
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wrap a buffer without validating it.
+    pub const fn new_unchecked(buffer: T) -> Packet<T> {
+        Packet { buffer }
+    }
+
+    /// Wrap a buffer, checking its length.
+    pub fn new_checked(buffer: T) -> Result<Packet<T>> {
+        let packet = Self::new_unchecked(buffer);
+        packet.check_len()?;
+        Ok(packet)
+    }
+
+    /// Validate the buffer length.
+    pub fn check_len(&self) -> Result<()> {
+        if self.buffer.as_ref().len() < PACKET_LEN {
+            Err(Error::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Recover the wrapped buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    fn u16_at(&self, field: Field) -> u16 {
+        let raw = &self.buffer.as_ref()[field];
+        u16::from_be_bytes([raw[0], raw[1]])
+    }
+
+    /// The hardware type.
+    pub fn hardware_type(&self) -> u16 {
+        self.u16_at(fields::HTYPE)
+    }
+
+    /// The protocol type.
+    pub fn protocol_type(&self) -> u16 {
+        self.u16_at(fields::PTYPE)
+    }
+
+    /// The hardware address length.
+    pub fn hardware_len(&self) -> u8 {
+        self.buffer.as_ref()[fields::HLEN]
+    }
+
+    /// The protocol address length.
+    pub fn protocol_len(&self) -> u8 {
+        self.buffer.as_ref()[fields::PLEN]
+    }
+
+    /// The operation code.
+    pub fn operation(&self) -> Operation {
+        Operation::from(self.u16_at(fields::OPER))
+    }
+
+    /// The sender hardware address.
+    pub fn source_hardware_addr(&self) -> EthernetAddress {
+        EthernetAddress::from_bytes(&self.buffer.as_ref()[fields::SHA])
+    }
+
+    /// The sender protocol (IPv4) address.
+    pub fn source_protocol_addr(&self) -> Ipv4Address {
+        Ipv4Address::from_bytes(&self.buffer.as_ref()[fields::SPA])
+    }
+
+    /// The target hardware address.
+    pub fn target_hardware_addr(&self) -> EthernetAddress {
+        EthernetAddress::from_bytes(&self.buffer.as_ref()[fields::THA])
+    }
+
+    /// The target protocol (IPv4) address.
+    pub fn target_protocol_addr(&self) -> Ipv4Address {
+        Ipv4Address::from_bytes(&self.buffer.as_ref()[fields::TPA])
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    fn set_u16_at(&mut self, field: Field, value: u16) {
+        self.buffer.as_mut()[field].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Set the hardware type.
+    pub fn set_hardware_type(&mut self, value: u16) {
+        self.set_u16_at(fields::HTYPE, value);
+    }
+
+    /// Set the protocol type.
+    pub fn set_protocol_type(&mut self, value: u16) {
+        self.set_u16_at(fields::PTYPE, value);
+    }
+
+    /// Set the hardware address length.
+    pub fn set_hardware_len(&mut self, value: u8) {
+        self.buffer.as_mut()[fields::HLEN] = value;
+    }
+
+    /// Set the protocol address length.
+    pub fn set_protocol_len(&mut self, value: u8) {
+        self.buffer.as_mut()[fields::PLEN] = value;
+    }
+
+    /// Set the operation code.
+    pub fn set_operation(&mut self, value: Operation) {
+        self.set_u16_at(fields::OPER, value.into());
+    }
+
+    /// Set the sender hardware address.
+    pub fn set_source_hardware_addr(&mut self, addr: EthernetAddress) {
+        self.buffer.as_mut()[fields::SHA].copy_from_slice(addr.as_bytes());
+    }
+
+    /// Set the sender protocol address.
+    pub fn set_source_protocol_addr(&mut self, addr: Ipv4Address) {
+        self.buffer.as_mut()[fields::SPA].copy_from_slice(addr.as_bytes());
+    }
+
+    /// Set the target hardware address.
+    pub fn set_target_hardware_addr(&mut self, addr: EthernetAddress) {
+        self.buffer.as_mut()[fields::THA].copy_from_slice(addr.as_bytes());
+    }
+
+    /// Set the target protocol address.
+    pub fn set_target_protocol_addr(&mut self, addr: Ipv4Address) {
+        self.buffer.as_mut()[fields::TPA].copy_from_slice(addr.as_bytes());
+    }
+}
+
+/// High-level representation of an Ethernet/IPv4 ARP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// The operation.
+    pub operation: Operation,
+    /// Sender hardware address.
+    pub source_hardware_addr: EthernetAddress,
+    /// Sender IPv4 address.
+    pub source_protocol_addr: Ipv4Address,
+    /// Target hardware address (all-zero in requests).
+    pub target_hardware_addr: EthernetAddress,
+    /// Target IPv4 address.
+    pub target_protocol_addr: Ipv4Address,
+}
+
+impl Repr {
+    /// Parse a packet, requiring the Ethernet/IPv4 flavor.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Packet<T>) -> Result<Repr> {
+        packet.check_len()?;
+        if packet.hardware_type() != HTYPE_ETHERNET
+            || packet.protocol_type() != PTYPE_IPV4
+            || packet.hardware_len() != 6
+            || packet.protocol_len() != 4
+        {
+            return Err(Error::Malformed);
+        }
+        Ok(Repr {
+            operation: packet.operation(),
+            source_hardware_addr: packet.source_hardware_addr(),
+            source_protocol_addr: packet.source_protocol_addr(),
+            target_hardware_addr: packet.target_hardware_addr(),
+            target_protocol_addr: packet.target_protocol_addr(),
+        })
+    }
+
+    /// The length of the emitted packet.
+    pub const fn buffer_len(&self) -> usize {
+        PACKET_LEN
+    }
+
+    /// Emit the representation into a packet view.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Packet<T>) {
+        packet.set_hardware_type(HTYPE_ETHERNET);
+        packet.set_protocol_type(PTYPE_IPV4);
+        packet.set_hardware_len(6);
+        packet.set_protocol_len(4);
+        packet.set_operation(self.operation);
+        packet.set_source_hardware_addr(self.source_hardware_addr);
+        packet.set_source_protocol_addr(self.source_protocol_addr);
+        packet.set_target_hardware_addr(self.target_hardware_addr);
+        packet.set_target_protocol_addr(self.target_protocol_addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_repr() -> Repr {
+        Repr {
+            operation: Operation::Request,
+            source_hardware_addr: EthernetAddress::new(0x02, 0, 0, 0, 0, 1),
+            source_protocol_addr: Ipv4Address::new(10, 0, 0, 1),
+            target_hardware_addr: EthernetAddress::default(),
+            target_protocol_addr: Ipv4Address::new(10, 0, 0, 2),
+        }
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let repr = sample_repr();
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut Packet::new_unchecked(&mut buf[..]));
+        let packet = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(Repr::parse(&packet).unwrap(), repr);
+    }
+
+    #[test]
+    fn reply_round_trip() {
+        let mut repr = sample_repr();
+        repr.operation = Operation::Reply;
+        repr.target_hardware_addr = EthernetAddress::new(0x02, 0, 0, 0, 0, 2);
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut Packet::new_unchecked(&mut buf[..]));
+        let parsed = Repr::parse(&Packet::new_checked(&buf[..]).unwrap()).unwrap();
+        assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn wrong_flavor_rejected() {
+        let repr = sample_repr();
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut Packet::new_unchecked(&mut buf[..]));
+        buf[0] = 0;
+        buf[1] = 99; // bogus hardware type
+        assert_eq!(
+            Repr::parse(&Packet::new_checked(&buf[..]).unwrap()).unwrap_err(),
+            Error::Malformed
+        );
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            Packet::new_checked(&[0u8; 27][..]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+
+    #[test]
+    fn unknown_operation_preserved() {
+        let mut repr = sample_repr();
+        repr.operation = Operation::Unknown(7);
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut Packet::new_unchecked(&mut buf[..]));
+        let parsed = Repr::parse(&Packet::new_checked(&buf[..]).unwrap()).unwrap();
+        assert_eq!(parsed.operation, Operation::Unknown(7));
+    }
+}

@@ -1,0 +1,128 @@
+//! The Internet checksum (RFC 1071): one's-complement sum of 16-bit words.
+//!
+//! Used by IPv4 (header), ICMPv4 (whole message), and UDP/TCP (pseudo-header
+//! plus payload). The checksum is the only integrity mechanism the 1988
+//! architecture assumes of itself; everything else is the network's problem
+//! or the endpoint's problem — which is exactly the point of the paper's
+//! "variety of networks" goal.
+
+use crate::types::{IpProtocol, Ipv4Address};
+
+/// Compute the one's-complement sum of `data`, without the final inversion.
+///
+/// Odd trailing bytes are padded with zero, per RFC 1071.
+pub fn sum(data: &[u8]) -> u32 {
+    let mut accum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        accum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        accum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    accum
+}
+
+/// Fold a 32-bit accumulator into a 16-bit one's-complement value.
+pub fn fold(mut accum: u32) -> u16 {
+    while accum > 0xffff {
+        accum = (accum & 0xffff) + (accum >> 16);
+    }
+    accum as u16
+}
+
+/// Compute the Internet checksum of `data` (folded and inverted).
+pub fn checksum(data: &[u8]) -> u16 {
+    !fold(sum(data))
+}
+
+/// Combine several partial (unfolded) sums.
+pub fn combine(sums: &[u32]) -> u16 {
+    !fold(sums.iter().copied().fold(0, u32::wrapping_add))
+}
+
+/// The unfolded sum of the IPv4 pseudo-header used by UDP and TCP.
+pub fn pseudo_header_sum(
+    src_addr: Ipv4Address,
+    dst_addr: Ipv4Address,
+    protocol: IpProtocol,
+    length: u32,
+) -> u32 {
+    sum(src_addr.as_bytes())
+        + sum(dst_addr.as_bytes())
+        + u32::from(u8::from(protocol))
+        + (length >> 16)
+        + (length & 0xffff)
+}
+
+/// Verify that `data` (whose checksum field is included) sums to the
+/// all-ones pattern, i.e. the checksum is valid.
+pub fn verify(data: &[u8]) -> bool {
+    fold(sum(data)) == 0xffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The worked example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(fold(sum(&data)), 0xddf2);
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn empty_data() {
+        assert_eq!(checksum(&[]), 0xffff);
+        assert!(verify(&[]) || checksum(&[]) == 0xffff);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(checksum(&[0xab]), checksum(&[0xab, 0x00]));
+    }
+
+    #[test]
+    fn verify_detects_single_bit_flip() {
+        let mut data = vec![0x12u8, 0x34, 0x56, 0x78, 0x00, 0x00];
+        let csum = checksum(&data[..]);
+        data[4..6].copy_from_slice(&csum.to_be_bytes());
+        assert!(verify(&data));
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupt = data.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(!verify(&corrupt), "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn combine_matches_single_pass() {
+        let a = [0x01u8, 0x02, 0x03, 0x04];
+        let b = [0x05u8, 0x06, 0x07, 0x08];
+        let whole: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(combine(&[sum(&a), sum(&b)]), checksum(&whole));
+    }
+
+    #[test]
+    fn pseudo_header_known_value() {
+        let s = pseudo_header_sum(
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+            IpProtocol::Udp,
+            12,
+        );
+        // 0x0a00 + 0x0001 + 0x0a00 + 0x0002 + 17 + 12
+        assert_eq!(s, 0x0a00 + 0x0001 + 0x0a00 + 0x0002 + 17 + 12);
+    }
+
+    #[test]
+    fn fold_handles_large_accumulators() {
+        assert_eq!(fold(0xffff_ffff), 0xffff);
+        assert_eq!(fold(0x0001_0000), 0x0001);
+        assert_eq!(fold(0x1234_5678), fold(0x5678 + 0x1234));
+    }
+}

@@ -1,0 +1,224 @@
+//! Ethernet II framing.
+//!
+//! Ethernet is one of the "variety of networks" (goal 3) the internet layer
+//! must run over. The simulator also offers link classes that carry bare IP
+//! datagrams (point-to-point ARPANET/SATNET-style trunks); Ethernet framing
+//! is used on the LAN link class, where ARP is required to map IP addresses
+//! to hardware addresses.
+
+use crate::field::{Field, Rest};
+use crate::types::EthernetAddress;
+use crate::{Error, Result};
+
+/// Length of the Ethernet II header.
+pub const HEADER_LEN: usize = 14;
+
+mod fields {
+    use super::{Field, Rest};
+    pub const DESTINATION: Field = 0..6;
+    pub const SOURCE: Field = 6..12;
+    pub const ETHERTYPE: Field = 12..14;
+    pub const PAYLOAD: Rest = 14..;
+}
+
+/// The EtherType of an Ethernet II frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4, `0x0800`.
+    Ipv4,
+    /// ARP, `0x0806`.
+    Arp,
+    /// Any other EtherType, carried verbatim.
+    Unknown(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(value: u16) -> Self {
+        match value {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Unknown(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(value: EtherType) -> Self {
+        match value {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Unknown(other) => other,
+        }
+    }
+}
+
+/// A read/write view of an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct Frame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Frame<T> {
+    /// Wrap a buffer without validating its length.
+    pub const fn new_unchecked(buffer: T) -> Frame<T> {
+        Frame { buffer }
+    }
+
+    /// Wrap a buffer, checking it is long enough to hold a header.
+    pub fn new_checked(buffer: T) -> Result<Frame<T>> {
+        let frame = Self::new_unchecked(buffer);
+        frame.check_len()?;
+        Ok(frame)
+    }
+
+    /// Validate the buffer length.
+    pub fn check_len(&self) -> Result<()> {
+        if self.buffer.as_ref().len() < HEADER_LEN {
+            Err(Error::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Recover the wrapped buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// The destination hardware address.
+    pub fn dst_addr(&self) -> EthernetAddress {
+        EthernetAddress::from_bytes(&self.buffer.as_ref()[fields::DESTINATION])
+    }
+
+    /// The source hardware address.
+    pub fn src_addr(&self) -> EthernetAddress {
+        EthernetAddress::from_bytes(&self.buffer.as_ref()[fields::SOURCE])
+    }
+
+    /// The EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        let raw = &self.buffer.as_ref()[fields::ETHERTYPE];
+        EtherType::from(u16::from_be_bytes([raw[0], raw[1]]))
+    }
+
+    /// The frame payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[fields::PAYLOAD]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
+    /// Set the destination hardware address.
+    pub fn set_dst_addr(&mut self, addr: EthernetAddress) {
+        self.buffer.as_mut()[fields::DESTINATION].copy_from_slice(addr.as_bytes());
+    }
+
+    /// Set the source hardware address.
+    pub fn set_src_addr(&mut self, addr: EthernetAddress) {
+        self.buffer.as_mut()[fields::SOURCE].copy_from_slice(addr.as_bytes());
+    }
+
+    /// Set the EtherType field.
+    pub fn set_ethertype(&mut self, value: EtherType) {
+        self.buffer.as_mut()[fields::ETHERTYPE].copy_from_slice(&u16::from(value).to_be_bytes());
+    }
+
+    /// Mutable access to the payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[fields::PAYLOAD]
+    }
+}
+
+/// High-level representation of an Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Source hardware address.
+    pub src_addr: EthernetAddress,
+    /// Destination hardware address.
+    pub dst_addr: EthernetAddress,
+    /// EtherType of the payload.
+    pub ethertype: EtherType,
+}
+
+impl Repr {
+    /// Parse a frame into its representation.
+    pub fn parse<T: AsRef<[u8]>>(frame: &Frame<T>) -> Result<Repr> {
+        frame.check_len()?;
+        Ok(Repr {
+            src_addr: frame.src_addr(),
+            dst_addr: frame.dst_addr(),
+            ethertype: frame.ethertype(),
+        })
+    }
+
+    /// The length of the emitted header.
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Emit the representation into a frame.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, frame: &mut Frame<T>) {
+        frame.set_src_addr(self.src_addr);
+        frame.set_dst_addr(self.dst_addr);
+        frame.set_ethertype(self.ethertype);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static FRAME_BYTES: [u8; 18] = [
+        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, // dst: broadcast
+        0x02, 0x00, 0x00, 0x00, 0x00, 0x01, // src
+        0x08, 0x00, // IPv4
+        0xde, 0xad, 0xbe, 0xef, // payload
+    ];
+
+    #[test]
+    fn parse_frame() {
+        let frame = Frame::new_checked(&FRAME_BYTES[..]).unwrap();
+        assert_eq!(frame.dst_addr(), EthernetAddress::BROADCAST);
+        assert_eq!(
+            frame.src_addr(),
+            EthernetAddress::new(0x02, 0, 0, 0, 0, 0x01)
+        );
+        assert_eq!(frame.ethertype(), EtherType::Ipv4);
+        assert_eq!(frame.payload(), &[0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn emit_round_trip() {
+        let repr = Repr {
+            src_addr: EthernetAddress::new(0x02, 0, 0, 0, 0, 0x01),
+            dst_addr: EthernetAddress::BROADCAST,
+            ethertype: EtherType::Ipv4,
+        };
+        let mut buf = vec![0u8; repr.buffer_len() + 4];
+        let mut frame = Frame::new_unchecked(&mut buf[..]);
+        repr.emit(&mut frame);
+        frame.payload_mut().copy_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(&buf[..], &FRAME_BYTES[..]);
+
+        let parsed = Frame::new_checked(&buf[..]).unwrap();
+        assert_eq!(Repr::parse(&parsed).unwrap(), repr);
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        assert_eq!(
+            Frame::new_checked(&FRAME_BYTES[..13]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+
+    #[test]
+    fn unknown_ethertype_preserved() {
+        let mut bytes = FRAME_BYTES;
+        bytes[12] = 0x12;
+        bytes[13] = 0x34;
+        let frame = Frame::new_checked(&bytes[..]).unwrap();
+        assert_eq!(frame.ethertype(), EtherType::Unknown(0x1234));
+        assert_eq!(u16::from(frame.ethertype()), 0x1234);
+    }
+}

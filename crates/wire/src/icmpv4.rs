@@ -1,0 +1,430 @@
+//! The Internet Control Message Protocol (RFC 792).
+//!
+//! ICMP is the architecture's fault-reporting channel. The 1988 paper's
+//! survivability story depends on failures being *survivable*, not silent:
+//! time-exceeded reveals routing loops during reconvergence, destination
+//! unreachable reveals partitions, and source quench was the era's only
+//! congestion signal from the network to the endpoint.
+
+use crate::checksum;
+use crate::field::{Field, Rest};
+use crate::{Error, Result};
+
+/// Length of the fixed ICMPv4 header (type, code, checksum, 4 rest bytes).
+pub const HEADER_LEN: usize = 8;
+
+mod fields {
+    use super::{Field, Rest};
+    pub const TYPE: usize = 0;
+    pub const CODE: usize = 1;
+    pub const CHECKSUM: Field = 2..4;
+    pub const IDENT: Field = 4..6;
+    pub const SEQNO: Field = 6..8;
+    pub const UNUSED: Field = 4..8;
+    pub const PAYLOAD: Rest = 8..;
+}
+
+/// Codes for Destination Unreachable messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DstUnreachable {
+    /// Code 0: the destination network cannot be reached.
+    NetUnreachable,
+    /// Code 1: the destination host cannot be reached.
+    HostUnreachable,
+    /// Code 2: the protocol is not supported at the destination.
+    ProtoUnreachable,
+    /// Code 3: no one is listening on the destination port.
+    PortUnreachable,
+    /// Code 4: fragmentation needed but Don't-Fragment set.
+    FragRequired,
+    /// Any other code.
+    Unknown(u8),
+}
+
+impl From<u8> for DstUnreachable {
+    fn from(value: u8) -> Self {
+        match value {
+            0 => DstUnreachable::NetUnreachable,
+            1 => DstUnreachable::HostUnreachable,
+            2 => DstUnreachable::ProtoUnreachable,
+            3 => DstUnreachable::PortUnreachable,
+            4 => DstUnreachable::FragRequired,
+            other => DstUnreachable::Unknown(other),
+        }
+    }
+}
+
+impl From<DstUnreachable> for u8 {
+    fn from(value: DstUnreachable) -> Self {
+        match value {
+            DstUnreachable::NetUnreachable => 0,
+            DstUnreachable::HostUnreachable => 1,
+            DstUnreachable::ProtoUnreachable => 2,
+            DstUnreachable::PortUnreachable => 3,
+            DstUnreachable::FragRequired => 4,
+            DstUnreachable::Unknown(other) => other,
+        }
+    }
+}
+
+/// Codes for Time Exceeded messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeExceeded {
+    /// Code 0: TTL reached zero in transit.
+    TtlExpired,
+    /// Code 1: fragment reassembly timer expired.
+    FragReassembly,
+    /// Any other code.
+    Unknown(u8),
+}
+
+impl From<u8> for TimeExceeded {
+    fn from(value: u8) -> Self {
+        match value {
+            0 => TimeExceeded::TtlExpired,
+            1 => TimeExceeded::FragReassembly,
+            other => TimeExceeded::Unknown(other),
+        }
+    }
+}
+
+impl From<TimeExceeded> for u8 {
+    fn from(value: TimeExceeded) -> Self {
+        match value {
+            TimeExceeded::TtlExpired => 0,
+            TimeExceeded::FragReassembly => 1,
+            TimeExceeded::Unknown(other) => other,
+        }
+    }
+}
+
+/// The message types this stack understands, with their variable parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Message {
+    /// Echo request (type 8).
+    EchoRequest {
+        /// Identifier (usually per-process).
+        ident: u16,
+        /// Sequence number.
+        seq_no: u16,
+    },
+    /// Echo reply (type 0).
+    EchoReply {
+        /// Identifier echoed back.
+        ident: u16,
+        /// Sequence number echoed back.
+        seq_no: u16,
+    },
+    /// Destination unreachable (type 3).
+    DstUnreachable(DstUnreachable),
+    /// Source quench (type 4) — the 1988-era congestion signal.
+    SourceQuench,
+    /// Time exceeded (type 11).
+    TimeExceeded(TimeExceeded),
+    /// Anything else, carried as raw type and code.
+    Unknown {
+        /// The message type octet.
+        msg_type: u8,
+        /// The code octet.
+        code: u8,
+    },
+}
+
+impl Message {
+    /// The wire type and code octets.
+    pub fn type_and_code(&self) -> (u8, u8) {
+        match *self {
+            Message::EchoReply { .. } => (0, 0),
+            Message::DstUnreachable(code) => (3, code.into()),
+            Message::SourceQuench => (4, 0),
+            Message::EchoRequest { .. } => (8, 0),
+            Message::TimeExceeded(code) => (11, code.into()),
+            Message::Unknown { msg_type, code } => (msg_type, code),
+        }
+    }
+
+    /// Whether this message reports an error about another datagram
+    /// (and therefore must never itself trigger an ICMP error).
+    pub fn is_error(&self) -> bool {
+        matches!(
+            self,
+            Message::DstUnreachable(_) | Message::TimeExceeded(_) | Message::SourceQuench
+        )
+    }
+}
+
+/// A read/write view of an ICMPv4 packet.
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wrap a buffer without validating it.
+    pub const fn new_unchecked(buffer: T) -> Packet<T> {
+        Packet { buffer }
+    }
+
+    /// Wrap a buffer and check its length.
+    pub fn new_checked(buffer: T) -> Result<Packet<T>> {
+        let packet = Self::new_unchecked(buffer);
+        packet.check_len()?;
+        Ok(packet)
+    }
+
+    /// Validate the buffer length.
+    pub fn check_len(&self) -> Result<()> {
+        if self.buffer.as_ref().len() < HEADER_LEN {
+            Err(Error::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Recover the wrapped buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// The message type octet.
+    pub fn msg_type(&self) -> u8 {
+        self.buffer.as_ref()[fields::TYPE]
+    }
+
+    /// The code octet.
+    pub fn code(&self) -> u8 {
+        self.buffer.as_ref()[fields::CODE]
+    }
+
+    /// The checksum field.
+    pub fn checksum_field(&self) -> u16 {
+        let raw = &self.buffer.as_ref()[fields::CHECKSUM];
+        u16::from_be_bytes([raw[0], raw[1]])
+    }
+
+    /// The echo identifier (only meaningful for echo messages).
+    pub fn echo_ident(&self) -> u16 {
+        let raw = &self.buffer.as_ref()[fields::IDENT];
+        u16::from_be_bytes([raw[0], raw[1]])
+    }
+
+    /// The echo sequence number (only meaningful for echo messages).
+    pub fn echo_seq_no(&self) -> u16 {
+        let raw = &self.buffer.as_ref()[fields::SEQNO];
+        u16::from_be_bytes([raw[0], raw[1]])
+    }
+
+    /// Verify the message checksum over the whole buffer.
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(self.buffer.as_ref())
+    }
+
+    /// The data after the fixed header. For echo messages this is the echo
+    /// payload; for error messages it is the original IP header + 8 bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[fields::PAYLOAD]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    /// Set the message type octet.
+    pub fn set_msg_type(&mut self, value: u8) {
+        self.buffer.as_mut()[fields::TYPE] = value;
+    }
+
+    /// Set the code octet.
+    pub fn set_code(&mut self, value: u8) {
+        self.buffer.as_mut()[fields::CODE] = value;
+    }
+
+    /// Set the checksum field.
+    pub fn set_checksum_field(&mut self, value: u16) {
+        self.buffer.as_mut()[fields::CHECKSUM].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Set the echo identifier.
+    pub fn set_echo_ident(&mut self, value: u16) {
+        self.buffer.as_mut()[fields::IDENT].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Set the echo sequence number.
+    pub fn set_echo_seq_no(&mut self, value: u16) {
+        self.buffer.as_mut()[fields::SEQNO].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Zero the unused 4 bytes (for error messages).
+    pub fn clear_unused(&mut self) {
+        self.buffer.as_mut()[fields::UNUSED].fill(0);
+    }
+
+    /// Mutable access to the payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[fields::PAYLOAD]
+    }
+
+    /// Compute and store the checksum over the whole buffer.
+    pub fn fill_checksum(&mut self) {
+        self.set_checksum_field(0);
+        let csum = checksum::checksum(self.buffer.as_ref());
+        self.set_checksum_field(csum);
+    }
+}
+
+/// High-level representation of an ICMPv4 message header. The payload
+/// (echo data or quoted original datagram) travels alongside, not inside,
+/// this struct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// The message kind and its variable fields.
+    pub message: Message,
+    /// Length of the data following the fixed header.
+    pub payload_len: usize,
+}
+
+impl Repr {
+    /// Parse a packet into its representation, verifying the checksum.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Packet<T>) -> Result<Repr> {
+        packet.check_len()?;
+        if !packet.verify_checksum() {
+            return Err(Error::Checksum);
+        }
+        let message = match (packet.msg_type(), packet.code()) {
+            (0, 0) => Message::EchoReply {
+                ident: packet.echo_ident(),
+                seq_no: packet.echo_seq_no(),
+            },
+            (3, code) => Message::DstUnreachable(code.into()),
+            (4, 0) => Message::SourceQuench,
+            (8, 0) => Message::EchoRequest {
+                ident: packet.echo_ident(),
+                seq_no: packet.echo_seq_no(),
+            },
+            (11, code) => Message::TimeExceeded(code.into()),
+            (msg_type, code) => Message::Unknown { msg_type, code },
+        };
+        Ok(Repr {
+            message,
+            payload_len: packet.payload().len(),
+        })
+    }
+
+    /// The length of the emitted message, including payload space.
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Emit the header into a packet view. The caller writes the payload
+    /// afterwards and then calls [`Packet::fill_checksum`].
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Packet<T>) {
+        let (msg_type, code) = self.message.type_and_code();
+        packet.set_msg_type(msg_type);
+        packet.set_code(code);
+        packet.set_checksum_field(0);
+        match self.message {
+            Message::EchoRequest { ident, seq_no } | Message::EchoReply { ident, seq_no } => {
+                packet.set_echo_ident(ident);
+                packet.set_echo_seq_no(seq_no);
+            }
+            _ => packet.clear_unused(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(message: Message, payload: &[u8]) -> Vec<u8> {
+        let repr = Repr {
+            message,
+            payload_len: payload.len(),
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut packet = Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut packet);
+        packet.payload_mut().copy_from_slice(payload);
+        packet.fill_checksum();
+        buf
+    }
+
+    #[test]
+    fn echo_round_trip() {
+        let message = Message::EchoRequest {
+            ident: 0x1234,
+            seq_no: 7,
+        };
+        let buf = build(message, b"abcdefgh");
+        let packet = Packet::new_checked(&buf[..]).unwrap();
+        assert!(packet.verify_checksum());
+        let repr = Repr::parse(&packet).unwrap();
+        assert_eq!(repr.message, message);
+        assert_eq!(repr.payload_len, 8);
+        assert_eq!(packet.payload(), b"abcdefgh");
+        assert!(!message.is_error());
+    }
+
+    #[test]
+    fn echo_reply_round_trip() {
+        let message = Message::EchoReply {
+            ident: 9,
+            seq_no: 10,
+        };
+        let buf = build(message, &[]);
+        let repr = Repr::parse(&Packet::new_checked(&buf[..]).unwrap()).unwrap();
+        assert_eq!(repr.message, message);
+    }
+
+    #[test]
+    fn unreachable_round_trip() {
+        let message = Message::DstUnreachable(DstUnreachable::PortUnreachable);
+        let quoted = [0x45u8; 28]; // original header + 8 bytes
+        let buf = build(message, &quoted);
+        let repr = Repr::parse(&Packet::new_checked(&buf[..]).unwrap()).unwrap();
+        assert_eq!(repr.message, message);
+        assert_eq!(repr.payload_len, 28);
+        assert!(message.is_error());
+    }
+
+    #[test]
+    fn time_exceeded_and_quench() {
+        for message in [
+            Message::TimeExceeded(TimeExceeded::TtlExpired),
+            Message::TimeExceeded(TimeExceeded::FragReassembly),
+            Message::SourceQuench,
+        ] {
+            let buf = build(message, &[0u8; 28]);
+            let repr = Repr::parse(&Packet::new_checked(&buf[..]).unwrap()).unwrap();
+            assert_eq!(repr.message, message);
+            assert!(message.is_error());
+        }
+    }
+
+    #[test]
+    fn corrupted_checksum_rejected() {
+        let mut buf = build(Message::SourceQuench, &[0u8; 8]);
+        buf[9] ^= 0xff;
+        assert_eq!(
+            Repr::parse(&Packet::new_checked(&buf[..]).unwrap()).unwrap_err(),
+            Error::Checksum
+        );
+    }
+
+    #[test]
+    fn unknown_type_carried() {
+        let message = Message::Unknown {
+            msg_type: 13,
+            code: 0,
+        };
+        let buf = build(message, &[]);
+        let repr = Repr::parse(&Packet::new_checked(&buf[..]).unwrap()).unwrap();
+        assert_eq!(repr.message, message);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            Packet::new_checked(&[0u8; 7][..]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+}

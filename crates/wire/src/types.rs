@@ -1,0 +1,369 @@
+//! Primitive address and protocol-number types shared by all wire formats.
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EthernetAddress(pub [u8; 6]);
+
+impl EthernetAddress {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: EthernetAddress = EthernetAddress([0xff; 6]);
+
+    /// Construct from six octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8) -> Self {
+        EthernetAddress([a, b, c, d, e, f])
+    }
+
+    /// Construct from a byte slice. Panics if `data.len() != 6`.
+    pub fn from_bytes(data: &[u8]) -> Self {
+        let mut bytes = [0u8; 6];
+        bytes.copy_from_slice(data);
+        EthernetAddress(bytes)
+    }
+
+    /// The address octets.
+    pub const fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Whether this is the all-ones broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Whether the multicast (group) bit is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Whether this is a unicast address (neither broadcast nor multicast).
+    pub fn is_unicast(&self) -> bool {
+        !self.is_multicast()
+    }
+}
+
+impl core::fmt::Display for EthernetAddress {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let b = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// An IPv4 address.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ipv4Address(pub [u8; 4]);
+
+impl Ipv4Address {
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: Ipv4Address = Ipv4Address([0; 4]);
+    /// The limited-broadcast address `255.255.255.255`.
+    pub const BROADCAST: Ipv4Address = Ipv4Address([255; 4]);
+
+    /// Construct from four octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Address([a, b, c, d])
+    }
+
+    /// Construct from a byte slice. Panics if `data.len() != 4`.
+    pub fn from_bytes(data: &[u8]) -> Self {
+        let mut bytes = [0u8; 4];
+        bytes.copy_from_slice(data);
+        Ipv4Address(bytes)
+    }
+
+    /// Construct from a host-order `u32`.
+    pub const fn from_u32(value: u32) -> Self {
+        Ipv4Address(value.to_be_bytes())
+    }
+
+    /// The address as a host-order `u32`.
+    pub const fn to_u32(self) -> u32 {
+        u32::from_be_bytes(self.0)
+    }
+
+    /// The address octets.
+    pub const fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Whether this is `0.0.0.0`.
+    pub fn is_unspecified(&self) -> bool {
+        self.to_u32() == 0
+    }
+
+    /// Whether this is the limited broadcast `255.255.255.255`.
+    pub fn is_broadcast(&self) -> bool {
+        self.to_u32() == 0xffff_ffff
+    }
+
+    /// Whether this is a class-D multicast address (`224.0.0.0/4`).
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0xf0 == 0xe0
+    }
+
+    /// Whether this is a loopback address (`127.0.0.0/8`).
+    pub fn is_loopback(&self) -> bool {
+        self.0[0] == 127
+    }
+
+    /// Whether this address may appear as a unicast source or destination.
+    pub fn is_unicast(&self) -> bool {
+        !(self.is_unspecified() || self.is_broadcast() || self.is_multicast())
+    }
+}
+
+impl core::fmt::Display for Ipv4Address {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let b = &self.0;
+        write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+    }
+}
+
+impl core::str::FromStr for Ipv4Address {
+    type Err = crate::Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for octet in octets.iter_mut() {
+            let part = parts.next().ok_or(crate::Error::Malformed)?;
+            *octet = part.parse().map_err(|_| crate::Error::Malformed)?;
+        }
+        if parts.next().is_some() {
+            return Err(crate::Error::Malformed);
+        }
+        Ok(Ipv4Address(octets))
+    }
+}
+
+impl From<[u8; 4]> for Ipv4Address {
+    fn from(octets: [u8; 4]) -> Self {
+        Ipv4Address(octets)
+    }
+}
+
+/// An IP protocol number, as carried in the IPv4 `protocol` field.
+///
+/// Unknown values are carried verbatim (the internet layer must forward
+/// protocols it has never heard of — that is the point of the datagram
+/// architecture).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IpProtocol {
+    /// ICMP, protocol 1.
+    Icmp,
+    /// TCP, protocol 6.
+    Tcp,
+    /// UDP, protocol 17.
+    Udp,
+    /// Any other protocol number.
+    Unknown(u8),
+}
+
+impl From<u8> for IpProtocol {
+    fn from(value: u8) -> Self {
+        match value {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Unknown(other),
+        }
+    }
+}
+
+impl From<IpProtocol> for u8 {
+    fn from(value: IpProtocol) -> Self {
+        match value {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Unknown(other) => other,
+        }
+    }
+}
+
+impl core::fmt::Display for IpProtocol {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IpProtocol::Icmp => write!(f, "ICMP"),
+            IpProtocol::Tcp => write!(f, "TCP"),
+            IpProtocol::Udp => write!(f, "UDP"),
+            IpProtocol::Unknown(value) => write!(f, "proto-{value}"),
+        }
+    }
+}
+
+/// The 1988-era interpretation of the IPv4 Type-of-Service octet
+/// (RFC 791 / RFC 1349 lineage): a 3-bit precedence field plus
+/// delay / throughput / reliability preference bits.
+///
+/// Clark's paper names "types of service" as the *second* most important
+/// goal of the architecture; the ToS octet is the datagram-level knob the
+/// architecture provides for it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Tos(pub u8);
+
+impl Tos {
+    const LOW_DELAY: u8 = 0b0001_0000;
+    const HIGH_THROUGHPUT: u8 = 0b0000_1000;
+    const HIGH_RELIABILITY: u8 = 0b0000_0100;
+
+    /// Build a ToS octet from precedence (0..=7) and preference flags.
+    pub fn new(precedence: u8, low_delay: bool, high_throughput: bool, high_reliability: bool) -> Self {
+        let mut value = (precedence & 0x7) << 5;
+        if low_delay {
+            value |= Self::LOW_DELAY;
+        }
+        if high_throughput {
+            value |= Self::HIGH_THROUGHPUT;
+        }
+        if high_reliability {
+            value |= Self::HIGH_RELIABILITY;
+        }
+        Tos(value)
+    }
+
+    /// The 3-bit precedence field.
+    pub fn precedence(&self) -> u8 {
+        self.0 >> 5
+    }
+
+    /// Whether the low-delay preference bit is set.
+    pub fn low_delay(&self) -> bool {
+        self.0 & Self::LOW_DELAY != 0
+    }
+
+    /// Whether the high-throughput preference bit is set.
+    pub fn high_throughput(&self) -> bool {
+        self.0 & Self::HIGH_THROUGHPUT != 0
+    }
+
+    /// Whether the high-reliability preference bit is set.
+    pub fn high_reliability(&self) -> bool {
+        self.0 & Self::HIGH_RELIABILITY != 0
+    }
+
+    /// Map to the coarse service class used by schedulers.
+    pub fn service_class(&self) -> ServiceClass {
+        if self.low_delay() {
+            ServiceClass::LowDelay
+        } else if self.high_throughput() {
+            ServiceClass::HighThroughput
+        } else {
+            ServiceClass::BestEffort
+        }
+    }
+}
+
+impl core::fmt::Display for Tos {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "prec={}", self.precedence())?;
+        if self.low_delay() {
+            write!(f, ",D")?;
+        }
+        if self.high_throughput() {
+            write!(f, ",T")?;
+        }
+        if self.high_reliability() {
+            write!(f, ",R")?;
+        }
+        Ok(())
+    }
+}
+
+/// The coarse service classes a gateway scheduler distinguishes,
+/// derived from the ToS octet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ServiceClass {
+    /// Interactive / real-time traffic (e.g. packet voice, XNET).
+    LowDelay,
+    /// Bulk traffic that prefers throughput over latency.
+    HighThroughput,
+    /// Everything else.
+    BestEffort,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethernet_address_properties() {
+        let unicast = EthernetAddress::new(0x02, 0, 0, 0, 0, 0x01);
+        assert!(unicast.is_unicast());
+        assert!(!unicast.is_broadcast());
+        assert!(EthernetAddress::BROADCAST.is_broadcast());
+        assert!(EthernetAddress::BROADCAST.is_multicast());
+        let multicast = EthernetAddress::new(0x01, 0, 0x5e, 0, 0, 1);
+        assert!(multicast.is_multicast());
+        assert!(!multicast.is_unicast());
+    }
+
+    #[test]
+    fn ethernet_address_display() {
+        let addr = EthernetAddress::new(0x02, 0x00, 0x00, 0xab, 0xcd, 0xef);
+        assert_eq!(addr.to_string(), "02:00:00:ab:cd:ef");
+    }
+
+    #[test]
+    fn ipv4_address_classification() {
+        assert!(Ipv4Address::UNSPECIFIED.is_unspecified());
+        assert!(Ipv4Address::BROADCAST.is_broadcast());
+        assert!(Ipv4Address::new(224, 0, 0, 9).is_multicast());
+        assert!(Ipv4Address::new(127, 0, 0, 1).is_loopback());
+        assert!(Ipv4Address::new(10, 1, 2, 3).is_unicast());
+        assert!(!Ipv4Address::BROADCAST.is_unicast());
+        assert!(!Ipv4Address::new(239, 255, 255, 255).is_unicast());
+    }
+
+    #[test]
+    fn ipv4_address_u32_round_trip() {
+        let addr = Ipv4Address::new(192, 0, 2, 33);
+        assert_eq!(Ipv4Address::from_u32(addr.to_u32()), addr);
+        assert_eq!(addr.to_u32(), 0xc000_0221);
+    }
+
+    #[test]
+    fn ipv4_address_parse() {
+        let addr: Ipv4Address = "10.0.255.1".parse().unwrap();
+        assert_eq!(addr, Ipv4Address::new(10, 0, 255, 1));
+        assert!("10.0.0".parse::<Ipv4Address>().is_err());
+        assert!("10.0.0.1.2".parse::<Ipv4Address>().is_err());
+        assert!("10.0.0.256".parse::<Ipv4Address>().is_err());
+        assert!("ten.0.0.1".parse::<Ipv4Address>().is_err());
+    }
+
+    #[test]
+    fn ip_protocol_round_trip() {
+        for value in 0..=255u8 {
+            let proto = IpProtocol::from(value);
+            assert_eq!(u8::from(proto), value);
+        }
+        assert_eq!(IpProtocol::from(6), IpProtocol::Tcp);
+        assert_eq!(IpProtocol::from(17), IpProtocol::Udp);
+        assert_eq!(IpProtocol::from(1), IpProtocol::Icmp);
+        assert_eq!(IpProtocol::from(89), IpProtocol::Unknown(89));
+    }
+
+    #[test]
+    fn tos_bits() {
+        let tos = Tos::new(5, true, false, true);
+        assert_eq!(tos.precedence(), 5);
+        assert!(tos.low_delay());
+        assert!(!tos.high_throughput());
+        assert!(tos.high_reliability());
+        assert_eq!(tos.service_class(), ServiceClass::LowDelay);
+
+        let bulk = Tos::new(0, false, true, false);
+        assert_eq!(bulk.service_class(), ServiceClass::HighThroughput);
+        assert_eq!(Tos::default().service_class(), ServiceClass::BestEffort);
+    }
+
+    #[test]
+    fn tos_precedence_masked() {
+        let tos = Tos::new(0xff, false, false, false);
+        assert_eq!(tos.precedence(), 7);
+    }
+}

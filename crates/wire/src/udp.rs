@@ -1,0 +1,303 @@
+//! The User Datagram Protocol (RFC 768).
+//!
+//! UDP is the architectural residue of the TCP/IP split that the 1988 paper
+//! recounts: once the reliable-stream machinery moved out of the internet
+//! layer into TCP, applications that wanted the *datagram itself* — packet
+//! voice, XNET debugging, routing protocols — needed only ports and an
+//! optional checksum on top of IP. That thin shim is UDP.
+
+use crate::checksum;
+use crate::field::{Field, Rest};
+use crate::types::{IpProtocol, Ipv4Address};
+use crate::{Error, Result};
+
+/// Length of the UDP header.
+pub const HEADER_LEN: usize = 8;
+
+mod fields {
+    use super::{Field, Rest};
+    pub const SRC_PORT: Field = 0..2;
+    pub const DST_PORT: Field = 2..4;
+    pub const LENGTH: Field = 4..6;
+    pub const CHECKSUM: Field = 6..8;
+    pub const PAYLOAD: Rest = 8..;
+}
+
+/// A read/write view of a UDP datagram.
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wrap a buffer without validating it.
+    pub const fn new_unchecked(buffer: T) -> Packet<T> {
+        Packet { buffer }
+    }
+
+    /// Wrap a buffer, checking lengths.
+    pub fn new_checked(buffer: T) -> Result<Packet<T>> {
+        let packet = Self::new_unchecked(buffer);
+        packet.check_len()?;
+        Ok(packet)
+    }
+
+    /// Validate the buffer against the header and its length field.
+    pub fn check_len(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let len = usize::from(self.len_field());
+        if len < HEADER_LEN || len > data.len() {
+            return Err(Error::Malformed);
+        }
+        Ok(())
+    }
+
+    /// Recover the wrapped buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    fn u16_at(&self, field: Field) -> u16 {
+        let raw = &self.buffer.as_ref()[field];
+        u16::from_be_bytes([raw[0], raw[1]])
+    }
+
+    /// The source port.
+    pub fn src_port(&self) -> u16 {
+        self.u16_at(fields::SRC_PORT)
+    }
+
+    /// The destination port.
+    pub fn dst_port(&self) -> u16 {
+        self.u16_at(fields::DST_PORT)
+    }
+
+    /// The length field (header + payload).
+    pub fn len_field(&self) -> u16 {
+        self.u16_at(fields::LENGTH)
+    }
+
+    /// The checksum field.
+    pub fn checksum_field(&self) -> u16 {
+        self.u16_at(fields::CHECKSUM)
+    }
+
+    /// Verify the checksum against the pseudo-header. A zero checksum
+    /// field means "not computed" and passes (RFC 768).
+    pub fn verify_checksum(&self, src_addr: Ipv4Address, dst_addr: Ipv4Address) -> bool {
+        if self.checksum_field() == 0 {
+            return true;
+        }
+        let len = usize::from(self.len_field());
+        let data = &self.buffer.as_ref()[..len];
+        checksum::fold(
+            checksum::pseudo_header_sum(src_addr, dst_addr, IpProtocol::Udp, len as u32)
+                + checksum::sum(data),
+        ) == 0xffff
+    }
+
+    /// The payload, bounded by the length field.
+    pub fn payload(&self) -> &[u8] {
+        let len = usize::from(self.len_field());
+        &self.buffer.as_ref()[HEADER_LEN..len]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    fn set_u16_at(&mut self, field: Field, value: u16) {
+        self.buffer.as_mut()[field].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Set the source port.
+    pub fn set_src_port(&mut self, value: u16) {
+        self.set_u16_at(fields::SRC_PORT, value);
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, value: u16) {
+        self.set_u16_at(fields::DST_PORT, value);
+    }
+
+    /// Set the length field.
+    pub fn set_len_field(&mut self, value: u16) {
+        self.set_u16_at(fields::LENGTH, value);
+    }
+
+    /// Set the checksum field.
+    pub fn set_checksum_field(&mut self, value: u16) {
+        self.set_u16_at(fields::CHECKSUM, value);
+    }
+
+    /// Mutable access to everything after the header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[fields::PAYLOAD]
+    }
+
+    /// Compute and store the checksum using the given pseudo-header. A
+    /// computed checksum of zero is transmitted as all-ones, per RFC 768.
+    pub fn fill_checksum(&mut self, src_addr: Ipv4Address, dst_addr: Ipv4Address) {
+        self.set_checksum_field(0);
+        let len = usize::from(self.len_field());
+        let csum = {
+            let data = &self.buffer.as_ref()[..len];
+            checksum::combine(&[
+                checksum::pseudo_header_sum(src_addr, dst_addr, IpProtocol::Udp, len as u32),
+                checksum::sum(data),
+            ])
+        };
+        self.set_checksum_field(if csum == 0 { 0xffff } else { csum });
+    }
+}
+
+/// High-level representation of a UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl Repr {
+    /// Parse a datagram, verifying the checksum against the pseudo-header.
+    pub fn parse<T: AsRef<[u8]>>(
+        packet: &Packet<T>,
+        src_addr: Ipv4Address,
+        dst_addr: Ipv4Address,
+    ) -> Result<Repr> {
+        packet.check_len()?;
+        if !packet.verify_checksum(src_addr, dst_addr) {
+            return Err(Error::Checksum);
+        }
+        Ok(Repr {
+            src_port: packet.src_port(),
+            dst_port: packet.dst_port(),
+            payload_len: usize::from(packet.len_field()) - HEADER_LEN,
+        })
+    }
+
+    /// The length of the emitted datagram including payload space.
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Emit the header. Write the payload afterwards, then call
+    /// [`Packet::fill_checksum`].
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Packet<T>) {
+        packet.set_src_port(self.src_port);
+        packet.set_dst_port(self.dst_port);
+        packet.set_len_field(self.buffer_len() as u16);
+        packet.set_checksum_field(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Address = Ipv4Address::new(10, 0, 0, 1);
+    const DST: Ipv4Address = Ipv4Address::new(10, 0, 0, 2);
+
+    fn build(payload: &[u8]) -> Vec<u8> {
+        let repr = Repr {
+            src_port: 5000,
+            dst_port: 53,
+            payload_len: payload.len(),
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut packet = Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut packet);
+        packet.payload_mut().copy_from_slice(payload);
+        packet.fill_checksum(SRC, DST);
+        buf
+    }
+
+    #[test]
+    fn round_trip() {
+        let buf = build(b"query");
+        let packet = Packet::new_checked(&buf[..]).unwrap();
+        assert!(packet.verify_checksum(SRC, DST));
+        let repr = Repr::parse(&packet, SRC, DST).unwrap();
+        assert_eq!(repr.src_port, 5000);
+        assert_eq!(repr.dst_port, 53);
+        assert_eq!(repr.payload_len, 5);
+        assert_eq!(packet.payload(), b"query");
+    }
+
+    #[test]
+    fn pseudo_header_binds_addresses() {
+        // A datagram delivered to the wrong address must fail its checksum:
+        // this is how UDP detects misrouted datagrams without trusting the
+        // network — pure end-to-end thinking.
+        let buf = build(b"query");
+        let packet = Packet::new_checked(&buf[..]).unwrap();
+        assert!(!packet.verify_checksum(SRC, Ipv4Address::new(10, 0, 0, 3)));
+        assert_eq!(
+            Repr::parse(&packet, SRC, Ipv4Address::new(10, 0, 0, 3)).unwrap_err(),
+            Error::Checksum
+        );
+    }
+
+    #[test]
+    fn corrupted_payload_detected() {
+        let mut buf = build(b"query");
+        *buf.last_mut().unwrap() ^= 0x20;
+        let packet = Packet::new_checked(&buf[..]).unwrap();
+        assert!(!packet.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn zero_checksum_means_unchecked() {
+        let mut buf = build(b"query");
+        buf[6] = 0;
+        buf[7] = 0;
+        let packet = Packet::new_checked(&buf[..]).unwrap();
+        assert!(packet.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn length_field_bounds_payload() {
+        let mut buf = build(b"query");
+        buf.extend_from_slice(&[0xEE; 3]); // link padding
+        let packet = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(packet.payload(), b"query");
+        assert!(packet.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn bad_length_field_rejected() {
+        let mut buf = build(b"query");
+        buf[4] = 0;
+        buf[5] = 4; // shorter than the header
+        assert_eq!(
+            Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
+        let mut buf2 = build(b"query");
+        buf2[5] = 200; // longer than the buffer
+        assert_eq!(
+            Packet::new_checked(&buf2[..]).unwrap_err(),
+            Error::Malformed
+        );
+    }
+
+    #[test]
+    fn empty_payload() {
+        let buf = build(b"");
+        let repr = Repr::parse(&Packet::new_checked(&buf[..]).unwrap(), SRC, DST).unwrap();
+        assert_eq!(repr.payload_len, 0);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            Packet::new_checked(&[0u8; 7][..]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+}

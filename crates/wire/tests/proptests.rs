@@ -1,0 +1,209 @@
+//! Property-based round-trip tests for every wire format: whatever a
+//! `Repr` can describe, `emit` followed by `parse` must return
+//! unchanged, and checksums must verify. These are the invariants every
+//! higher layer silently assumes.
+
+use catenet_wire::*;
+use proptest::prelude::*;
+
+fn addr() -> impl Strategy<Value = Ipv4Address> {
+    any::<[u8; 4]>().prop_map(Ipv4Address::from)
+}
+
+fn hw_addr() -> impl Strategy<Value = EthernetAddress> {
+    any::<[u8; 6]>().prop_map(EthernetAddress)
+}
+
+fn tcp_control() -> impl Strategy<Value = TcpControl> {
+    prop_oneof![
+        Just(TcpControl::None),
+        Just(TcpControl::Psh),
+        Just(TcpControl::Syn),
+        Just(TcpControl::Fin),
+        Just(TcpControl::Rst),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn ethernet_round_trip(
+        src in hw_addr(),
+        dst in hw_addr(),
+        ethertype in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let repr = EthernetRepr {
+            src_addr: src,
+            dst_addr: dst,
+            ethertype: EtherType::from(ethertype),
+        };
+        let mut buf = vec![0u8; repr.buffer_len() + payload.len()];
+        let mut frame = EthernetFrame::new_unchecked(&mut buf[..]);
+        repr.emit(&mut frame);
+        frame.payload_mut().copy_from_slice(&payload);
+        let parsed = EthernetFrame::new_checked(&buf[..]).expect("valid");
+        prop_assert_eq!(EthernetRepr::parse(&parsed).expect("parses"), repr);
+        prop_assert_eq!(parsed.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn arp_round_trip(
+        op in any::<u16>(),
+        sha in hw_addr(),
+        spa in addr(),
+        tha in hw_addr(),
+        tpa in addr(),
+    ) {
+        let repr = ArpRepr {
+            operation: ArpOperation::from(op),
+            source_hardware_addr: sha,
+            source_protocol_addr: spa,
+            target_hardware_addr: tha,
+            target_protocol_addr: tpa,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut ArpPacket::new_unchecked(&mut buf[..]));
+        let parsed = ArpRepr::parse(&ArpPacket::new_checked(&buf[..]).expect("valid"))
+            .expect("parses");
+        prop_assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn tcp_round_trip(
+        src_port in 1u16..,
+        dst_port in 1u16..,
+        control in tcp_control(),
+        seq in any::<u32>(),
+        ack in proptest::option::of(any::<u32>()),
+        window in any::<u16>(),
+        mss in proptest::option::of(64u16..),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        src in addr(),
+        dst in addr(),
+    ) {
+        // MSS only rides on SYN segments; SYN carries no payload here.
+        let (control, mss, payload) = if control == TcpControl::Syn {
+            (control, mss, Vec::new())
+        } else {
+            (control, None, payload)
+        };
+        let repr = TcpRepr {
+            src_port,
+            dst_port,
+            control,
+            seq_number: TcpSeqNumber(seq),
+            ack_number: ack.map(TcpSeqNumber),
+            window_len: window,
+            max_seg_size: mss,
+            payload_len: payload.len(),
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut packet = TcpPacket::new_unchecked(&mut buf[..]);
+        repr.emit(&mut packet);
+        packet.payload_mut().copy_from_slice(&payload);
+        packet.fill_checksum(src, dst);
+        let parsed_packet = TcpPacket::new_checked(&buf[..]).expect("valid");
+        prop_assert!(parsed_packet.verify_checksum(src, dst));
+        let parsed = TcpRepr::parse(&parsed_packet, src, dst).expect("parses");
+        prop_assert_eq!(parsed, repr);
+        prop_assert_eq!(parsed_packet.payload(), &payload[..]);
+        prop_assert_eq!(
+            parsed_packet.segment_len(),
+            payload.len() + repr.control.len()
+        );
+    }
+
+    #[test]
+    fn tcp_single_bit_header_corruption_detected(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        byte in 0usize..20,
+        bit in 0u8..8,
+    ) {
+        let src = Ipv4Address::new(10, 0, 0, 1);
+        let dst = Ipv4Address::new(10, 0, 0, 2);
+        let repr = TcpRepr {
+            src_port: 1000,
+            dst_port: 2000,
+            control: TcpControl::Psh,
+            seq_number: TcpSeqNumber(42),
+            ack_number: Some(TcpSeqNumber(7)),
+            window_len: 512,
+            max_seg_size: None,
+            payload_len: payload.len(),
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut packet = TcpPacket::new_unchecked(&mut buf[..]);
+        repr.emit(&mut packet);
+        packet.payload_mut().copy_from_slice(&payload);
+        packet.fill_checksum(src, dst);
+        buf[byte] ^= 1 << bit;
+        let accepted = match TcpPacket::new_checked(&buf[..]) {
+            Ok(p) => p.verify_checksum(src, dst),
+            Err(_) => false,
+        };
+        prop_assert!(!accepted, "corrupted TCP header accepted");
+    }
+
+    #[test]
+    fn icmp_echo_round_trip(
+        ident in any::<u16>(),
+        seq_no in any::<u16>(),
+        request in any::<bool>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let message = if request {
+            Icmpv4Message::EchoRequest { ident, seq_no }
+        } else {
+            Icmpv4Message::EchoReply { ident, seq_no }
+        };
+        let repr = Icmpv4Repr {
+            message,
+            payload_len: payload.len(),
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut packet = Icmpv4Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut packet);
+        packet.payload_mut().copy_from_slice(&payload);
+        packet.fill_checksum();
+        let parsed_packet = Icmpv4Packet::new_checked(&buf[..]).expect("valid");
+        prop_assert!(parsed_packet.verify_checksum());
+        prop_assert_eq!(Icmpv4Repr::parse(&parsed_packet).expect("parses"), repr);
+        prop_assert_eq!(parsed_packet.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn seq_number_add_sub_inverse(base in any::<u32>(), delta in 0usize..0x7fff_ffff) {
+        let x = TcpSeqNumber(base);
+        prop_assert_eq!((x + delta) - delta, x);
+        prop_assert_eq!((x + delta) - x, delta as i32);
+    }
+
+    #[test]
+    fn cidr_network_is_idempotent_and_contains_itself(
+        a in addr(),
+        len in 0u8..=32,
+    ) {
+        let cidr = Ipv4Cidr::new(a, len);
+        let network = cidr.network();
+        prop_assert_eq!(network.network(), network);
+        prop_assert!(cidr.contains(a));
+        prop_assert!(network.contains(a));
+        prop_assert!(cidr.contains(cidr.broadcast()) || len == 32);
+        // The netmask has exactly `len` leading ones.
+        prop_assert_eq!(cidr.netmask().to_u32().count_ones(), u32::from(len));
+    }
+
+    #[test]
+    fn tos_round_trips_service_class(value in any::<u8>()) {
+        let tos = Tos(value);
+        // service_class is a pure function of the preference bits.
+        let reconstructed = Tos::new(
+            tos.precedence(),
+            tos.low_delay(),
+            tos.high_throughput(),
+            tos.high_reliability(),
+        );
+        prop_assert_eq!(reconstructed.service_class(), tos.service_class());
+        prop_assert_eq!(reconstructed.precedence(), tos.precedence());
+    }
+}

@@ -1,0 +1,114 @@
+//! Packet voice: the application that forced the TCP/IP split.
+//!
+//! The 1988 paper (§4) recounts that real-time speech could not live
+//! inside a reliable sequenced stream: "it is preferable to lose an
+//! occasional packet than to wait for retransmission." This example
+//! carries the same 64 kbit/s voice stream over UDP and over TCP across
+//! a lossy T1 path and prints the latency distributions side by side.
+//!
+//! ```sh
+//! cargo run --release --example packet_voice
+//! ```
+
+use catenet::sim::{Duration, Instant, LinkParams, Summary};
+use catenet::stack::app::{CbrSink, CbrSource, TcpVoiceSink, TcpVoiceSource};
+use catenet::stack::iface::Framing;
+use catenet::stack::{Endpoint, Network, TcpConfig};
+use std::rc::Rc;
+
+const LOSS: f64 = 0.02;
+const SECONDS: u64 = 30;
+
+fn build_net(seed: u64) -> (Network, usize, usize) {
+    let mut net = Network::new(seed);
+    let talker = net.add_host("talker");
+    let g1 = net.add_gateway("g1");
+    let g2 = net.add_gateway("g2");
+    let listener = net.add_host("listener");
+    net.connect(talker, g1, catenet::sim::LinkClass::EthernetLan);
+    net.connect_with(
+        g1,
+        g2,
+        LinkParams {
+            loss: LOSS,
+            ..catenet::sim::LinkClass::T1Terrestrial.params()
+        },
+        Framing::RawIp,
+    );
+    net.connect(g2, listener, catenet::sim::LinkClass::EthernetLan);
+    net.converge_routing(Duration::from_secs(30));
+    (net, talker, listener)
+}
+
+fn print_report(label: &str, sent: u64, received: u64, latencies: &Summary) {
+    println!(
+        "{label:<14} frames: {received}/{sent} ({:.2}% lost)   latency ms: p50={:.1} p95={:.1} p99={:.1} max={:.1}",
+        100.0 * (1.0 - received as f64 / sent.max(1) as f64),
+        latencies.median(),
+        latencies.percentile(0.95),
+        latencies.percentile(0.99),
+        latencies.max(),
+    );
+}
+
+fn main() {
+    println!(
+        "64 kbit/s speech (160 B / 20 ms) across a T1 path with {:.0}% loss, {SECONDS} s of talk:\n",
+        LOSS * 100.0
+    );
+
+    // --- Arm 1: UDP, the architecture's answer. ---
+    {
+        let (mut net, talker, listener) = build_net(7);
+        let dst = net.node(listener).primary_addr();
+        let start = net.now();
+        let sink = CbrSink::new(5004);
+        let (lat, rcv) = (Rc::clone(&sink.latencies_ms), Rc::clone(&sink.received));
+        net.attach_app(listener, Box::new(sink));
+        let source = CbrSource::new(
+            Endpoint::new(dst, 5004),
+            Duration::from_millis(20),
+            160,
+            start,
+            start + Duration::from_secs(SECONDS),
+        );
+        let sent = Rc::clone(&source.sent);
+        net.attach_app(talker, Box::new(source));
+        net.run_until(start + Duration::from_secs(SECONDS + 3));
+        print_report("UDP (IP+UDP):", *sent.borrow(), *rcv.borrow(), &lat.borrow());
+    }
+
+    // --- Arm 2: TCP, the rejected single-service world. ---
+    {
+        let (mut net, talker, listener) = build_net(7);
+        let dst = net.node(listener).primary_addr();
+        let start = net.now();
+        let config = TcpConfig {
+            nagle: false,
+            delayed_ack: None,
+            ..TcpConfig::default()
+        };
+        let sink = TcpVoiceSink::new(5005, 160, config.clone());
+        let (lat, rcv) = (Rc::clone(&sink.latencies_ms), Rc::clone(&sink.received));
+        net.attach_app(listener, Box::new(sink));
+        let source = TcpVoiceSource::new(
+            Endpoint::new(dst, 5005),
+            Duration::from_millis(20),
+            160,
+            config,
+            start,
+            start + Duration::from_secs(SECONDS),
+        );
+        let sent = Rc::clone(&source.sent);
+        net.attach_app(talker, Box::new(source));
+        net.run_until(start + Duration::from_secs(SECONDS + 10));
+        print_report("TCP stream:", *sent.borrow(), *rcv.borrow(), &lat.borrow());
+    }
+
+    println!(
+        "\nTCP loses nothing — and that is exactly the problem: every loss stalls all \
+         frames behind it (head-of-line blocking). This measurement is why UDP exists.\n\
+         (Reproduced as experiment E2; see EXPERIMENTS.md.)"
+    );
+    let _ = Instant::ZERO;
+}

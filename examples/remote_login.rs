@@ -1,0 +1,47 @@
+//! Remote login: the workload that made small packets a problem.
+//!
+//! The paper's cost-effectiveness section (§7) concedes that "the
+//! headers of Internet packets are fairly large ... for small packets
+//! this overhead is apparent" — and nothing is smaller than a remote
+//! terminal's keystrokes. This example types a line of text across a
+//! 40 ms channel twice, with Nagle's coalescing on and off, and prints
+//! what the wire carried each time.
+//!
+//! ```sh
+//! cargo run --release --example remote_login
+//! ```
+
+use catenet_bench::channel::{run_tcp, ChannelParams};
+use catenet::sim::Duration;
+
+fn main() {
+    let text = "ls -la /usr/spool/mail && cat motd | head -20 && who && uptime\n";
+    // A burst of keystrokes every 10 ms — faster than the 40 ms RTT, so
+    // coalescing has something to coalesce. (At human typing speed the
+    // ACK returns between keystrokes and Nagle changes nothing — try
+    // raising the interval to see.)
+    let keystrokes: Vec<Vec<u8>> = text.bytes().map(|b| vec![b]).collect();
+    let params = ChannelParams {
+        write_interval: Duration::from_millis(10),
+        ..ChannelParams::default()
+    };
+
+    println!("typing {} characters across a 40 ms-RTT path:\n", keystrokes.len());
+    for (label, nagle) in [("Nagle ON ", true), ("Nagle OFF", false)] {
+        let report = run_tcp(params, &keystrokes, nagle, 536);
+        let payload: u64 = keystrokes.len() as u64;
+        println!(
+            "{label}  segments: {:>3}   wire bytes: {:>5}   header overhead: {:>5.1}%   done in {:.1}s",
+            report.segs_sent,
+            report.wire_bytes,
+            100.0 * (report.wire_bytes - payload) as f64 / report.wire_bytes as f64,
+            report.finished_at.secs_f64(),
+        );
+    }
+    println!(
+        "\nAt one segment per keystroke, 40 bytes of header carry 1 byte of user data \
+         (the paper's ~97% overhead case). Coalescing trades a keystroke of latency \
+         for an order of magnitude less wire traffic — the small-packet story of §7, \
+         mechanized. (Ablation A3 reports the full table.)"
+    );
+}

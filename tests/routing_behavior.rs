@@ -1,0 +1,190 @@
+//! Network-level routing behavior: policy boundaries, path preference,
+//! TTL exhaustion, and routing-protocol hygiene — the "distributed
+//! management" goal exercised through the full stack.
+
+use catenet::routing::ExportPolicy;
+use catenet::sim::{Duration, LinkClass};
+use catenet::stack::Network;
+use catenet::wire::{Icmpv4Message, TimeExceeded};
+
+#[test]
+fn export_policy_can_hide_a_region() {
+    // as1(h1—g1) — g2(border) — as2(g3—h2). The border gateway g2
+    // refuses to export anything toward g1: h1 can reach g2's own
+    // networks but nothing beyond — policy, not topology, decides.
+    let mut net = Network::new(61);
+    let h1 = net.add_host("h1");
+    let g1 = net.add_gateway("g1");
+    let g2 = net.add_gateway("g2");
+    let g3 = net.add_gateway("g3");
+    let h2 = net.add_host("h2");
+    net.connect(h1, g1, LinkClass::EthernetLan);
+    net.connect(g1, g2, LinkClass::T1Terrestrial); // g2's iface 0
+    net.connect(g2, g3, LinkClass::T1Terrestrial);
+    net.connect(g3, h2, LinkClass::EthernetLan);
+    // g2 exports NOTHING toward g1.
+    net.node_mut(g2).dv_policies[0] = ExportPolicy::Only(vec![]);
+    net.converge_routing(Duration::from_secs(90));
+
+    let dst = net.node(h2).primary_addr();
+    let now = net.now();
+    net.node_mut(h1).send_ping(dst, 1, 1, 16, now);
+    net.kick(h1);
+    net.run_for(Duration::from_secs(3));
+    let events = net.node_mut(h1).take_icmp_events();
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e.message, Icmpv4Message::EchoReply { .. })),
+        "policy hid the far region: {events:?}"
+    );
+    // g1 knows no route, so it reports unreachable.
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.message, Icmpv4Message::DstUnreachable(_))),
+        "got an unreachable report: {events:?}"
+    );
+}
+
+#[test]
+fn shorter_path_preferred_and_used() {
+    // Two paths to h2: 1 hop (g1—g3) and 2 hops (g1—g2—g3). All traffic
+    // must use the short one; the long path's middle gateway forwards
+    // nothing.
+    let mut net = Network::new(62);
+    let h1 = net.add_host("h1");
+    let g1 = net.add_gateway("g1");
+    let g2 = net.add_gateway("g2");
+    let g3 = net.add_gateway("g3");
+    let h2 = net.add_host("h2");
+    net.connect(h1, g1, LinkClass::EthernetLan);
+    net.connect(g1, g2, LinkClass::T1Terrestrial);
+    net.connect(g2, g3, LinkClass::T1Terrestrial);
+    net.connect(g1, g3, LinkClass::T1Terrestrial); // the shortcut
+    net.connect(g3, h2, LinkClass::EthernetLan);
+    net.converge_routing(Duration::from_secs(90));
+
+    let dst = net.node(h2).primary_addr();
+    for seq in 0..5 {
+        let now = net.now();
+        net.node_mut(h1).send_ping(dst, 2, seq, 16, now);
+        net.kick(h1);
+        net.run_for(Duration::from_secs(1));
+    }
+    let replies = net
+        .node_mut(h1)
+        .take_icmp_events()
+        .iter()
+        .filter(|e| matches!(e.message, Icmpv4Message::EchoReply { .. }))
+        .count();
+    assert_eq!(replies, 5);
+    assert_eq!(
+        net.node(g2).stats.ip_forwarded,
+        0,
+        "the long path carried no data traffic"
+    );
+}
+
+#[test]
+fn ttl_exhaustion_in_a_long_chain_reports_time_exceeded() {
+    let mut net = Network::new(63);
+    let h1 = net.add_host("h1");
+    let mut prev = net.add_gateway("g1");
+    net.connect(h1, prev, LinkClass::EthernetLan);
+    for i in 2..=6 {
+        let g = net.add_gateway(format!("g{i}"));
+        net.connect(prev, g, LinkClass::T1Terrestrial);
+        prev = g;
+    }
+    let h2 = net.add_host("h2");
+    net.connect(prev, h2, LinkClass::EthernetLan);
+    net.converge_routing(Duration::from_secs(180));
+
+    let dst = net.node(h2).primary_addr();
+    // TTL 3 dies inside the chain (needs 7 hops).
+    net.node_mut(h1).default_ttl = 3;
+    let now = net.now();
+    net.node_mut(h1).send_ping(dst, 3, 1, 16, now);
+    net.kick(h1);
+    net.run_for(Duration::from_secs(3));
+    let events = net.node_mut(h1).take_icmp_events();
+    assert!(
+        events.iter().any(|e| matches!(
+            e.message,
+            Icmpv4Message::TimeExceeded(TimeExceeded::TtlExpired)
+        )),
+        "time exceeded reported: {events:?}"
+    );
+    // With enough TTL the same probe succeeds.
+    net.node_mut(h1).default_ttl = 64;
+    let now = net.now();
+    net.node_mut(h1).send_ping(dst, 3, 2, 16, now);
+    net.kick(h1);
+    net.run_for(Duration::from_secs(3));
+    assert!(net
+        .node_mut(h1)
+        .take_icmp_events()
+        .iter()
+        .any(|e| matches!(e.message, Icmpv4Message::EchoReply { .. })));
+}
+
+#[test]
+fn routing_chatter_is_bounded_in_steady_state() {
+    // A quiet converged network exchanges only periodic advertisements:
+    // one message per interface per update interval.
+    let mut net = Network::new(64);
+    let g1 = net.add_gateway("g1");
+    let g2 = net.add_gateway("g2");
+    let g3 = net.add_gateway("g3");
+    net.connect(g1, g2, LinkClass::T1Terrestrial);
+    net.connect(g2, g3, LinkClass::T1Terrestrial);
+    net.converge_routing(Duration::from_secs(60));
+    let before: u64 = [g1, g2, g3]
+        .iter()
+        .map(|&g| net.node(g).dv.as_ref().unwrap().updates_received)
+        .sum();
+    net.run_for(Duration::from_secs(30)); // 10 update intervals (3 s each)
+    let after: u64 = [g1, g2, g3]
+        .iter()
+        .map(|&g| net.node(g).dv.as_ref().unwrap().updates_received)
+        .sum();
+    let received = after - before;
+    // 4 interface-endpoints between gateways × 10 intervals = 40 expected.
+    assert!(
+        (30..=60).contains(&received),
+        "steady-state chatter {received} messages in 30 s"
+    );
+}
+
+#[test]
+fn new_link_is_discovered_without_restart() {
+    // Plug a new gateway into a running internetwork: its networks
+    // become reachable with no operator action anywhere else.
+    let mut net = Network::new(65);
+    let h1 = net.add_host("h1");
+    let g1 = net.add_gateway("g1");
+    net.connect(h1, g1, LinkClass::EthernetLan);
+    net.converge_routing(Duration::from_secs(30));
+
+    let g_new = net.add_gateway("g-new");
+    let h_new = net.add_host("h-new");
+    net.connect(g1, g_new, LinkClass::T1Terrestrial);
+    net.connect(g_new, h_new, LinkClass::EthernetLan);
+    net.converge_routing(Duration::from_secs(60));
+
+    let dst = net.node(h_new).primary_addr();
+    let now = net.now();
+    net.node_mut(h1).send_ping(dst, 9, 1, 16, now);
+    net.kick(h1);
+    net.run_for(Duration::from_secs(2));
+    assert_eq!(
+        net.node_mut(h1)
+            .take_icmp_events()
+            .iter()
+            .filter(|e| matches!(e.message, Icmpv4Message::EchoReply { .. }))
+            .count(),
+        1,
+        "the grown internetwork carries traffic"
+    );
+}
