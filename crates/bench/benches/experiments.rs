@@ -1,5 +1,5 @@
-//! Criterion harness: one benchmark per paper experiment (E1–E5,
-//! E7–E10; E6's microbenches live in `stack_micro.rs`).
+//! One benchmark per paper experiment (E1–E5, E7–E11; E6's microbenches
+//! live in `stack_micro.rs`).
 //!
 //! Each benchmark runs a reduced but structurally identical
 //! configuration of the corresponding experiment in `catenet-bench`;
@@ -7,43 +7,54 @@
 //! reproduce`. Benchmarking the experiment itself keeps the whole
 //! simulation path (wire codecs, event loop, TCP machinery, routing)
 //! under continuous performance observation.
+//!
+//! Self-contained harness (no external bench framework): each quick
+//! experiment runs a few iterations and reports mean wall-clock time.
 
 use catenet_bench::*;
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiments");
-    group.sample_size(10);
-
-    group.bench_function("e1_survivability_quick", |b| {
-        b.iter(|| e1_survivability::quick(std::hint::black_box(7)))
-    });
-    group.bench_function("e2_type_of_service_quick", |b| {
-        b.iter(|| e2_type_of_service::quick(std::hint::black_box(7)))
-    });
-    group.bench_function("e3_variety_quick", |b| {
-        b.iter(|| e3_variety::quick(std::hint::black_box(7)))
-    });
-    group.bench_function("e4_distributed_mgmt_quick", |b| {
-        b.iter(|| e4_distributed_mgmt::quick(std::hint::black_box(7)))
-    });
-    group.bench_function("e5_cost_quick", |b| {
-        b.iter(|| e5_cost::quick(std::hint::black_box(7)))
-    });
-    group.bench_function("e7_accounting_quick", |b| {
-        b.iter(|| e7_accounting::quick(std::hint::black_box(7)))
-    });
-    group.bench_function("e8_soft_state_quick", |b| {
-        b.iter(|| e8_soft_state::quick(std::hint::black_box(7)))
-    });
-    group.bench_function("e9_byte_sequencing_quick", |b| {
-        b.iter(|| e9_byte_sequencing::quick(std::hint::black_box(7)))
-    });
-    group.bench_function("e10_realizations_quick", |b| {
-        b.iter(|| e10_realizations::quick(std::hint::black_box(7)))
-    });
-    group.finish();
+fn bench(name: &str, op: &dyn Fn()) {
+    op(); // warm-up
+    let iters = 3u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
+    println!("{name:<36} {ms:>10.1} ms/iter");
 }
 
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);
+fn main() {
+    println!("# experiment quick-run benchmarks");
+    bench("e1_survivability_quick", &|| {
+        e1_survivability::quick(std::hint::black_box(7));
+    });
+    bench("e2_type_of_service_quick", &|| {
+        e2_type_of_service::quick(std::hint::black_box(7));
+    });
+    bench("e3_variety_quick", &|| {
+        e3_variety::quick(std::hint::black_box(7));
+    });
+    bench("e4_distributed_mgmt_quick", &|| {
+        e4_distributed_mgmt::quick(std::hint::black_box(7));
+    });
+    bench("e5_cost_quick", &|| {
+        e5_cost::quick(std::hint::black_box(7));
+    });
+    bench("e7_accounting_quick", &|| {
+        e7_accounting::quick(std::hint::black_box(7));
+    });
+    bench("e8_soft_state_quick", &|| {
+        e8_soft_state::quick(std::hint::black_box(7));
+    });
+    bench("e9_byte_sequencing_quick", &|| {
+        e9_byte_sequencing::quick(std::hint::black_box(7));
+    });
+    bench("e10_realizations_quick", &|| {
+        e10_realizations::quick(std::hint::black_box(7));
+    });
+    bench("e11_gauntlet_quick", &|| {
+        e11_gauntlet::quick(std::hint::black_box(7));
+    });
+}

@@ -1,49 +1,63 @@
-//! Criterion microbenchmarks for experiment E6 (host attachment cost):
-//! the per-packet and per-connection processing prices the architecture
+//! Microbenchmarks for experiment E6 (host attachment cost): the
+//! per-packet and per-connection processing prices the architecture
 //! makes every host pay.
+//!
+//! Self-contained harness (no external bench framework): each op runs
+//! for a fixed wall-clock budget and reports mean ns/op and throughput.
 
 use catenet_bench::e6_host_cost;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::{Duration, Instant};
 
-fn bench_wire(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e6_wire");
+fn bench<F: FnMut()>(name: &str, bytes: Option<u64>, mut op: F) {
+    // Warm up, then measure for a fixed budget.
+    for _ in 0..32 {
+        op();
+    }
+    let budget = Duration::from_millis(300);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        for _ in 0..16 {
+            op();
+        }
+        iters += 16;
+    }
+    let elapsed = start.elapsed();
+    let ns_per_op = elapsed.as_nanos() as f64 / iters as f64;
+    match bytes {
+        Some(b) => {
+            let mbps = (b as f64 * iters as f64) / elapsed.as_secs_f64() / 1e6;
+            println!("{name:<44} {ns_per_op:>12.1} ns/op {mbps:>10.1} MB/s");
+        }
+        None => println!("{name:<44} {ns_per_op:>12.1} ns/op"),
+    }
+}
+
+fn main() {
+    println!("# e6 stack microbenchmarks");
     for &size in &[64usize, 576, 1460] {
         let datagram = e6_host_cost::sample_datagram(size);
-        group.throughput(Throughput::Bytes(datagram.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("ipv4_parse_verify", size),
-            &datagram,
-            |b, d| b.iter(|| e6_host_cost::op_parse(std::hint::black_box(d))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("internet_checksum", size),
-            &datagram,
-            |b, d| b.iter(|| e6_host_cost::op_checksum(std::hint::black_box(d))),
-        );
+        let len = datagram.len() as u64;
+        let d = datagram.clone();
+        bench(&format!("ipv4_parse_verify/{size}"), Some(len), move || {
+            e6_host_cost::op_parse(std::hint::black_box(&d));
+        });
+        let d = datagram.clone();
+        bench(&format!("internet_checksum/{size}"), Some(len), move || {
+            e6_host_cost::op_checksum(std::hint::black_box(&d));
+        });
     }
-    group.finish();
-}
-
-fn bench_fragmentation(c: &mut Criterion) {
     let datagram = e6_host_cost::sample_datagram(1460);
-    c.bench_function("e6_fragment_reassemble_1480_to_576", |b| {
-        b.iter(|| e6_host_cost::op_fragment_reassemble(std::hint::black_box(&datagram)))
+    bench("fragment_reassemble_1480_to_576", None, move || {
+        e6_host_cost::op_fragment_reassemble(std::hint::black_box(&datagram));
     });
-}
-
-fn bench_tcp_session(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e6_tcp_session");
-    group.sample_size(20);
     for &bytes in &[1_024usize, 10_240, 102_400] {
-        group.throughput(Throughput::Bytes(bytes as u64));
-        group.bench_with_input(
-            BenchmarkId::new("syn_transfer_close", bytes),
-            &bytes,
-            |b, &bytes| b.iter(|| e6_host_cost::op_tcp_session(bytes)),
+        bench(
+            &format!("tcp_syn_transfer_close/{bytes}"),
+            Some(bytes as u64),
+            move || {
+                e6_host_cost::op_tcp_session(bytes);
+            },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_wire, bench_fragmentation, bench_tcp_session);
-criterion_main!(benches);

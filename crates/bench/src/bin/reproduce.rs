@@ -67,6 +67,9 @@ fn main() {
     run("e10", "realizations", &|s| {
         e10_realizations::default_table(s)
     });
+    run("e11", "survivability gauntlet", &|s| {
+        e11_gauntlet::default_table(s)
+    });
     if want("ablations") || selected.is_empty() {
         eprintln!("running ablations A1–A4...");
         println!("{}", ablations::collapse_table(&seeds));

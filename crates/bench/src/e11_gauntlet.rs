@@ -1,0 +1,498 @@
+//! E11 — The survivability gauntlet (paper §3, goals 1–2, run adversarially).
+//!
+//! **Claim.** The architecture's first-priority goal is that
+//! communication "continue despite loss of networks or gateways", with
+//! the only acceptable degradation being *time*: conversations stall and
+//! resume, data is never silently wrong, and a connection that cannot
+//! continue fails with an explicit error rather than hanging forever.
+//!
+//! **Experiment.** One topology — `h1 — gA — gD — gB — h2` with the
+//! longer backup path `gA — gC1 — gC2 — gB` — runs a bulk TCP transfer
+//! under a battery of named chaos scenarios, each a deterministic
+//! [`FaultPlan`] derived from the run seed: link flaps, crash storms,
+//! partitions (healed and permanent), silent blackholes, loss and
+//! corruption bursts, and combinations. Every run is scored against the
+//! end-to-end invariants in `catenet_core::invariant`:
+//!
+//! - **integrity** — the delivered stream is a byte-for-byte prefix of
+//!   the sent stream, always;
+//! - **progress** — no stall longer than the watchdog limit while a
+//!   usable path exists (outage windows derived from the plan itself
+//!   are excused);
+//! - **clean exit** — every connection either completes or aborts with
+//!   an explicit error within the time limit; hanging is a failure.
+
+use crate::table::Table;
+use catenet_core::app::{BulkSender, SinkServer};
+use catenet_core::{Endpoint, Network, ProgressWatchdog, StreamIntegrity, TcpConfig};
+use catenet_sim::{Duration, FaultAction, FaultPlan, Instant, LinkClass, Rng};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The named chaos archetypes the gauntlet runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Chaos {
+    /// No faults at all — the control arm.
+    Calm,
+    /// The primary backbone link flaps repeatedly; the backup is clean.
+    PrimaryFlap,
+    /// Every backbone link flaps — both paths are unreliable.
+    FlapStorm,
+    /// Repeated crash/reboot strikes across all middle gateways.
+    CrashStorm,
+    /// The sender's side is partitioned from the rest, then healed.
+    PartitionHeal,
+    /// The partition never heals — the transfer *must* abort cleanly.
+    PartitionForever,
+    /// The primary link silently eats every frame for a window; routing
+    /// sees a healthy link (the failure mode §6 warns about).
+    Blackhole,
+    /// A heavy loss burst on the primary link (packets still trickle).
+    LossBurst,
+    /// A corruption burst: frames arrive, but damaged.
+    CorruptionBurst,
+    /// A gateway crash *while* the backup path is flapping.
+    DoubleFault,
+    /// A silent blackhole on the primary while a backup gateway crashes.
+    SilentCascade,
+    /// Flaps, crashes, loss, corruption and a partition, all at once.
+    KitchenSink,
+}
+
+/// One gauntlet scenario: a chaos archetype plus workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Display name (stable across runs; used in the table).
+    pub name: &'static str,
+    /// Which fault schedule to generate.
+    pub chaos: Chaos,
+    /// Bytes to transfer.
+    pub transfer_bytes: usize,
+    /// Give up after this much virtual time.
+    pub limit: Duration,
+    /// Whether the transfer is expected to complete (the permanent
+    /// partition is expected to abort instead).
+    pub expect_complete: bool,
+}
+
+/// The full scenario battery, in reporting order.
+pub fn scenarios() -> Vec<Scenario> {
+    // Sized so the transfer (~11 s at T1 rate when undisturbed) is
+    // still in flight when every chaos window opens — chaos that lands
+    // after the last byte tests nothing.
+    let base = |name, chaos| Scenario {
+        name,
+        chaos,
+        transfer_bytes: 2_000_000,
+        limit: Duration::from_secs(180),
+        expect_complete: true,
+    };
+    vec![
+        base("calm (control)", Chaos::Calm),
+        base("primary-flap", Chaos::PrimaryFlap),
+        base("flap-storm", Chaos::FlapStorm),
+        base("crash-storm", Chaos::CrashStorm),
+        base("partition+heal", Chaos::PartitionHeal),
+        // Long limit: give-up needs max_retries+1 consecutive RTOs, and
+        // RTO backs off to its 60 s ceiling — the explicit error lands
+        // around t≈240 s. The run must outlast it, not race it.
+        Scenario {
+            expect_complete: false,
+            limit: Duration::from_secs(280),
+            ..base("partition-forever", Chaos::PartitionForever)
+        },
+        base("blackhole", Chaos::Blackhole),
+        base("loss-burst", Chaos::LossBurst),
+        base("corruption-burst", Chaos::CorruptionBurst),
+        base("double-fault", Chaos::DoubleFault),
+        base("silent-cascade", Chaos::SilentCascade),
+        Scenario {
+            limit: Duration::from_secs(240),
+            ..base("kitchen-sink", Chaos::KitchenSink)
+        },
+    ]
+}
+
+/// One run's outcome. Everything is integral or boolean so two runs of
+/// the same (scenario, seed) can be compared with `==` — the
+/// determinism check the gauntlet's reproducibility claim rests on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outcome {
+    /// The transfer finished in time.
+    pub completed: bool,
+    /// The connection died with an explicit error (reset / give-up).
+    pub aborted: bool,
+    /// Completed *or* aborted — never left hanging.
+    pub clean_exit: bool,
+    /// No stream-integrity violations.
+    pub integrity_ok: bool,
+    /// FNV digest of the delivered stream (equality across runs =
+    /// byte-identical delivery).
+    pub delivered_digest: u64,
+    /// Stream violations + stalls, total.
+    pub violations: usize,
+    /// Watchdog stalls (no progress with a path up).
+    pub stalls: usize,
+    /// Completion time in µs, if completed.
+    pub duration_us: Option<u64>,
+    /// Segments retransmitted.
+    pub retransmits: u64,
+    /// RTO expirations.
+    pub timeouts: u64,
+    /// Fault actions the network executed.
+    pub faults: u64,
+    /// Payload bytes acknowledged end to end.
+    pub bytes_acked: u64,
+}
+
+struct Topo {
+    l_ad: usize,
+    l_db: usize,
+    l_ac1: usize,
+    l_c1c2: usize,
+    l_c2b: usize,
+    h1: usize,
+    ga: usize,
+    gd: usize,
+    gc1: usize,
+    gc2: usize,
+}
+
+/// Build the fault schedule for one chaos archetype. Returns the plan
+/// plus the *outage windows* — intervals where no end-to-end path is
+/// guaranteed, which the progress watchdog excuses. Windows are
+/// conservative (they may over-cover), never optimistic.
+fn build_plan(
+    chaos: Chaos,
+    topo: &Topo,
+    start: Instant,
+    limit: Duration,
+    rng: &mut Rng,
+) -> (FaultPlan, Vec<(Instant, Instant)>) {
+    let s = |secs: u64| start + Duration::from_secs(secs);
+    let mut plan = FaultPlan::new();
+    let mut outages: Vec<(Instant, Instant)> = Vec::new();
+    match chaos {
+        Chaos::Calm => {}
+        Chaos::PrimaryFlap => {
+            // Backup path stays clean, so no outage window.
+            plan.link_flap(
+                topo.l_ad,
+                s(2),
+                s(25),
+                Duration::from_secs(2),
+                Duration::from_secs(1),
+                rng,
+            );
+        }
+        Chaos::FlapStorm => {
+            for link in [topo.l_ad, topo.l_db, topo.l_ac1, topo.l_c2b] {
+                plan.link_flap(
+                    link,
+                    s(2),
+                    s(25),
+                    Duration::from_millis(1500),
+                    Duration::from_millis(1000),
+                    rng,
+                );
+            }
+            // Both paths flap: no guarantee until the storm ends.
+            outages.push((s(2), s(25)));
+        }
+        Chaos::CrashStorm => {
+            plan.crash_storm(
+                &[topo.gd, topo.gc1, topo.gc2],
+                s(1),
+                s(20),
+                6,
+                (Duration::from_secs(2), Duration::from_secs(6)),
+                rng,
+            );
+            // Restarts may land up to 6 s after the last strike.
+            outages.push((s(1), s(26)));
+        }
+        Chaos::PartitionHeal => {
+            plan.partition(vec![topo.h1, topo.ga], s(3), Duration::from_secs(15));
+            outages.push((s(3), s(18)));
+        }
+        Chaos::PartitionForever => {
+            // Heal scheduled beyond the run limit: it never fires.
+            plan.partition(vec![topo.h1, topo.ga], s(3), limit * 2);
+            outages.push((s(3), start + limit * 2));
+        }
+        Chaos::Blackhole => {
+            plan.blackhole(topo.l_ad, s(2), Duration::from_secs(8));
+            // Routing cannot see the hole; primary-path traffic is
+            // gone until restore.
+            outages.push((s(2), s(10)));
+        }
+        Chaos::LossBurst => {
+            plan.loss_burst(topo.l_ad, s(2), Duration::from_secs(10), 0.4);
+        }
+        Chaos::CorruptionBurst => {
+            plan.corruption_burst(topo.l_ad, s(2), Duration::from_secs(10), 0.3);
+        }
+        Chaos::DoubleFault => {
+            plan.push(s(2), FaultAction::NodeCrash { node: topo.gd });
+            plan.push(s(20), FaultAction::NodeRestart { node: topo.gd });
+            plan.link_flap(
+                topo.l_c1c2,
+                s(4),
+                s(18),
+                Duration::from_secs(2),
+                Duration::from_secs(1),
+                rng,
+            );
+            outages.push((s(2), s(20)));
+        }
+        Chaos::SilentCascade => {
+            plan.blackhole(topo.l_ad, s(2), Duration::from_secs(10));
+            plan.push(s(4), FaultAction::NodeCrash { node: topo.gc1 });
+            plan.push(s(14), FaultAction::NodeRestart { node: topo.gc1 });
+            outages.push((s(2), s(14)));
+        }
+        Chaos::KitchenSink => {
+            plan.link_flap(
+                topo.l_ad,
+                s(2),
+                s(30),
+                Duration::from_secs(2),
+                Duration::from_secs(1),
+                rng,
+            );
+            plan.loss_burst(topo.l_c1c2, s(5), Duration::from_secs(15), 0.3);
+            plan.corruption_burst(topo.l_db, s(8), Duration::from_secs(10), 0.2);
+            plan.crash_storm(
+                &[topo.gd],
+                s(6),
+                s(20),
+                2,
+                (Duration::from_secs(2), Duration::from_secs(5)),
+                rng,
+            );
+            plan.partition(vec![topo.h1, topo.ga], s(12), Duration::from_secs(8));
+            outages.push((s(2), s(45)));
+        }
+    }
+    (plan, outages)
+}
+
+/// Run one scenario with one seed.
+pub fn run(scenario: Scenario, seed: u64) -> Outcome {
+    let mut net = Network::new(seed);
+    let h1 = net.add_host("h1");
+    let ga = net.add_gateway("gA");
+    let gd = net.add_gateway("gD");
+    let gb = net.add_gateway("gB");
+    let gc1 = net.add_gateway("gC1");
+    let gc2 = net.add_gateway("gC2");
+    let h2 = net.add_host("h2");
+    net.connect(h1, ga, LinkClass::EthernetLan);
+    let l_ad = net.connect(ga, gd, LinkClass::T1Terrestrial);
+    let l_db = net.connect(gd, gb, LinkClass::T1Terrestrial);
+    let l_ac1 = net.connect(ga, gc1, LinkClass::T1Terrestrial);
+    let l_c1c2 = net.connect(gc1, gc2, LinkClass::T1Terrestrial);
+    let l_c2b = net.connect(gc2, gb, LinkClass::T1Terrestrial);
+    net.connect(gb, h2, LinkClass::EthernetLan);
+    net.converge_routing(Duration::from_secs(90));
+    let start = net.now();
+    let topo = Topo {
+        l_ad,
+        l_db,
+        l_ac1,
+        l_c1c2,
+        l_c2b,
+        h1,
+        ga,
+        gd,
+        gc1,
+        gc2,
+    };
+
+    // The fault schedule is pure data derived from the seed: two runs
+    // with the same (scenario, seed) replay the identical chaos.
+    let mut chaos_rng = Rng::from_seed(seed ^ 0xE11_C4A0_5EED ^ scenario.name.len() as u64);
+    let (plan, outages) = build_plan(scenario.chaos, &topo, start, scenario.limit, &mut chaos_rng);
+    net.attach_fault_plan(plan);
+
+    // Finite patience so a hopeless connection *errors* instead of
+    // retrying forever — the gauntlet treats hanging as a failure.
+    let config = TcpConfig {
+        max_retries: Some(10),
+        ..TcpConfig::default()
+    };
+    let integrity = Rc::new(RefCell::new(StreamIntegrity::new()));
+    let dst = net.node(h2).primary_addr();
+    let sink = SinkServer::new(80, config.clone()).with_integrity(Rc::clone(&integrity));
+    net.attach_app(h2, Box::new(sink));
+    let sender = BulkSender::new(
+        Endpoint::new(dst, 80),
+        scenario.transfer_bytes,
+        config,
+        start + Duration::from_millis(100),
+    )
+    .with_integrity(Rc::clone(&integrity));
+    let result = sender.result_handle();
+    net.attach_app(h1, Box::new(sender));
+
+    // Stall limit: comfortably beyond worst-case RTO backoff plus
+    // distance-vector reconvergence.
+    let mut watchdog = ProgressWatchdog::new(Duration::from_secs(60), start);
+    let step = Duration::from_millis(500);
+    let end = start + scenario.limit;
+    let mut t = start;
+    while t < end {
+        t = (t + step).min(end);
+        net.run_until(t);
+        let path_up = !outages.iter().any(|&(from, to)| t >= from && t < to);
+        watchdog.set_path_available(path_up, t);
+        watchdog.observe(result.borrow().bytes_acked, t);
+        let done = {
+            let r = result.borrow();
+            r.completed_at.is_some() || r.aborted
+        };
+        if done {
+            break;
+        }
+    }
+
+    let result = result.borrow();
+    let integrity = integrity.borrow();
+    let completed = result.completed_at.is_some();
+    Outcome {
+        completed,
+        aborted: result.aborted,
+        clean_exit: completed || result.aborted,
+        integrity_ok: integrity.is_clean(),
+        delivered_digest: integrity.delivered_digest(),
+        violations: integrity.violations().len() + watchdog.stalls(),
+        stalls: watchdog.stalls(),
+        duration_us: result.duration().map(|d| d.total_micros()),
+        retransmits: result.retransmits,
+        timeouts: result.timeouts,
+        faults: net.faults_applied,
+        bytes_acked: result.bytes_acked,
+    }
+}
+
+/// Run the full battery over the seed set and render the table.
+pub fn default_table(seeds: &[u64]) -> Table {
+    let mut table = Table::new(
+        "E11 — Survivability gauntlet: 2 MB transfer under scripted chaos \
+         (every row: all seeds; integrity = delivered stream is a prefix of sent)",
+        &[
+            "scenario",
+            "completed",
+            "clean exit",
+            "integrity",
+            "violations",
+            "median completion (s)",
+            "mean retransmits",
+            "mean faults",
+        ],
+    );
+    for scenario in scenarios() {
+        let outcomes: Vec<Outcome> = seeds.iter().map(|&seed| run(scenario, seed)).collect();
+        let n = outcomes.len();
+        let completed = outcomes.iter().filter(|o| o.completed).count();
+        let clean = outcomes.iter().filter(|o| o.clean_exit).count();
+        let intact = outcomes.iter().filter(|o| o.integrity_ok).count();
+        let violations: usize = outcomes.iter().map(|o| o.violations).sum();
+        let mut durations: Vec<u64> = outcomes.iter().filter_map(|o| o.duration_us).collect();
+        durations.sort_unstable();
+        let median = durations
+            .get(durations.len() / 2)
+            .map(|&us| format!("{:.1}", us as f64 / 1e6))
+            .unwrap_or_else(|| "—".into());
+        let mean_retx =
+            outcomes.iter().map(|o| o.retransmits).sum::<u64>() as f64 / n as f64;
+        let mean_faults = outcomes.iter().map(|o| o.faults).sum::<u64>() as f64 / n as f64;
+        table.row(vec![
+            scenario.name.into(),
+            format!("{completed}/{n}"),
+            format!("{clean}/{n}"),
+            format!("{intact}/{n}"),
+            format!("{violations}"),
+            median,
+            format!("{mean_retx:.1}"),
+            format!("{mean_faults:.1}"),
+        ]);
+    }
+    table.note(
+        "Expected shape: every scenario except partition-forever completes on every \
+         seed; partition-forever aborts with an explicit error (clean exit without \
+         completion); integrity holds everywhere; violations stay 0.",
+    );
+    table
+}
+
+/// A small, fast configuration for the benchmark harness.
+pub fn quick(seed: u64) -> Outcome {
+    run(
+        Scenario {
+            name: "quick",
+            chaos: Chaos::PrimaryFlap,
+            transfer_bytes: 40_000,
+            limit: Duration::from_secs(60),
+            expect_complete: true,
+        },
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by_name(name: &str) -> Scenario {
+        scenarios()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("scenario exists")
+    }
+
+    #[test]
+    fn battery_has_twelve_scenarios() {
+        assert_eq!(scenarios().len(), 12);
+    }
+
+    #[test]
+    fn calm_control_completes_clean() {
+        let outcome = run(by_name("calm (control)"), 11);
+        assert!(outcome.completed, "{outcome:?}");
+        assert!(outcome.integrity_ok);
+        assert_eq!(outcome.violations, 0);
+        assert_eq!(outcome.faults, 0);
+    }
+
+    #[test]
+    fn blackhole_is_survived_with_integrity() {
+        let outcome = run(by_name("blackhole"), 11);
+        assert!(outcome.completed, "{outcome:?}");
+        assert!(outcome.integrity_ok);
+        assert!(outcome.retransmits > 0, "the hole cost retransmissions");
+    }
+
+    #[test]
+    fn permanent_partition_aborts_cleanly() {
+        let outcome = run(by_name("partition-forever"), 11);
+        assert!(!outcome.completed, "{outcome:?}");
+        assert!(outcome.aborted, "explicit error, not a hang: {outcome:?}");
+        assert!(outcome.clean_exit);
+        assert!(outcome.integrity_ok, "partial delivery still intact");
+    }
+
+    #[test]
+    fn same_seed_replays_bit_for_bit() {
+        let scenario = by_name("primary-flap");
+        let a = run(scenario, 23);
+        let b = run(scenario, 23);
+        assert_eq!(a, b, "fault plan and traffic must replay identically");
+    }
+
+    #[test]
+    fn quick_outcome_sane() {
+        let outcome = quick(1);
+        assert!(outcome.clean_exit);
+    }
+}

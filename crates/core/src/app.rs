@@ -10,6 +10,7 @@
 //! `Rc<RefCell<…>>` handles — the simulation is single-threaded by
 //! design, so this is safe and simple.
 
+use crate::invariant::StreamIntegrity;
 use crate::node::Node;
 use catenet_sim::{Duration, Instant, Summary};
 use catenet_tcp::{Endpoint, SocketConfig as TcpConfig, State as TcpState, TcpError};
@@ -76,6 +77,10 @@ pub struct BulkSender {
     done: bool,
     /// Shared outcome.
     pub result: Rc<RefCell<BulkResult>>,
+    /// Optional end-to-end integrity checker: every byte the transport
+    /// accepts is recorded as "sent" (pair it with the receiving
+    /// [`SinkServer`] recording "delivered").
+    integrity: Option<Rc<RefCell<StreamIntegrity>>>,
 }
 
 impl BulkSender {
@@ -91,7 +96,15 @@ impl BulkSender {
             closed: false,
             done: false,
             result: Rc::new(RefCell::new(BulkResult::default())),
+            integrity: None,
         }
+    }
+
+    /// Record every accepted byte into `checker` (the sending half of a
+    /// [`StreamIntegrity`] pair).
+    pub fn with_integrity(mut self, checker: Rc<RefCell<StreamIntegrity>>) -> BulkSender {
+        self.integrity = Some(checker);
+        self
     }
 
     /// Handle to the shared result.
@@ -126,13 +139,22 @@ impl Application for BulkSender {
             self.done = true;
             return;
         };
-        // Keep the transmit buffer fed.
+        // Keep the transmit buffer fed. Bytes are a pure function of
+        // stream position, so any corruption downstream is content-
+        // detectable as well as checksum-detectable.
         while self.written < self.total {
             let chunk = (self.total - self.written).min(8_192);
-            let pattern = vec![(self.written % 251) as u8; chunk];
+            let pattern: Vec<u8> = (self.written..self.written + chunk)
+                .map(|i| (i % 251) as u8)
+                .collect();
             match socket.send_slice(&pattern) {
                 Ok(0) => break,
-                Ok(n) => self.written += n,
+                Ok(n) => {
+                    if let Some(integrity) = &self.integrity {
+                        integrity.borrow_mut().record_sent(&pattern[..n]);
+                    }
+                    self.written += n;
+                }
                 Err(TcpError::InvalidState) if socket.state() == TcpState::SynSent => break,
                 Err(_) => {
                     self.result.borrow_mut().aborted = true;
@@ -157,7 +179,13 @@ impl Application for BulkSender {
         result.retransmits = socket.stats.retransmits;
         result.timeouts = socket.stats.timeouts;
         result.segs_sent = socket.stats.segs_sent;
-        if self.closed
+        if socket.has_timed_out() {
+            // RTO give-up leaves the socket Closed with its buffers
+            // cleared — which would satisfy the completion test below.
+            // It is an error exit, never a completion.
+            result.aborted = true;
+            self.done = true;
+        } else if self.closed
             && socket.all_acked()
             && matches!(
                 socket.state(),
@@ -186,6 +214,9 @@ pub struct SinkServer {
     pub received: Rc<RefCell<u64>>,
     /// Set when the peer's FIN arrived and the stream drained.
     pub finished: Rc<RefCell<Option<Instant>>>,
+    /// Optional end-to-end integrity checker: every delivered byte is
+    /// recorded and checked against the sender's record.
+    integrity: Option<Rc<RefCell<StreamIntegrity>>>,
 }
 
 impl SinkServer {
@@ -197,7 +228,15 @@ impl SinkServer {
             handle: None,
             received: Rc::new(RefCell::new(0)),
             finished: Rc::new(RefCell::new(None)),
+            integrity: None,
         }
+    }
+
+    /// Record every delivered byte into `checker` (the receiving half
+    /// of a [`StreamIntegrity`] pair).
+    pub fn with_integrity(mut self, checker: Rc<RefCell<StreamIntegrity>>) -> SinkServer {
+        self.integrity = Some(checker);
+        self
     }
 }
 
@@ -218,7 +257,12 @@ impl Application for SinkServer {
         loop {
             match socket.recv_slice(&mut buf) {
                 Ok(0) => break,
-                Ok(n) => *self.received.borrow_mut() += n as u64,
+                Ok(n) => {
+                    if let Some(integrity) = &self.integrity {
+                        integrity.borrow_mut().record_delivered(&buf[..n]);
+                    }
+                    *self.received.borrow_mut() += n as u64;
+                }
                 Err(TcpError::Finished) => {
                     let mut finished = self.finished.borrow_mut();
                     if finished.is_none() {
@@ -653,6 +697,48 @@ mod tests {
         assert_eq!(result.bytes_acked, 50_000);
         assert_eq!(*received.borrow(), 50_000);
         assert!(result.goodput_bps(50_000).unwrap() > 10_000.0);
+    }
+
+    #[test]
+    fn bulk_transfer_integrity_holds_over_corrupting_path() {
+        use crate::invariant::StreamIntegrity;
+        let mut net = Network::new(31);
+        let h1 = net.add_host("h1");
+        let g = net.add_gateway("g");
+        let h2 = net.add_host("h2");
+        net.connect(h1, g, LinkClass::T1Terrestrial);
+        // A nasty second hop: real loss and corruption.
+        net.connect_with(
+            g,
+            h2,
+            catenet_sim::LinkParams {
+                loss: 0.02,
+                corruption: 0.02,
+                ..LinkClass::T1Terrestrial.params()
+            },
+            crate::iface::Framing::RawIp,
+        );
+        let dst = net.node(h2).primary_addr();
+
+        let checker = Rc::new(RefCell::new(StreamIntegrity::new()));
+        let sink = SinkServer::new(80, TcpConfig::default()).with_integrity(Rc::clone(&checker));
+        net.attach_app(h2, Box::new(sink));
+        let sender = BulkSender::new(
+            Endpoint::new(dst, 80),
+            40_000,
+            TcpConfig::default(),
+            Instant::from_millis(10),
+        )
+        .with_integrity(Rc::clone(&checker));
+        let result = sender.result_handle();
+        net.attach_app(h1, Box::new(sender));
+
+        net.run_for(Duration::from_secs(300));
+        assert!(result.borrow().completed_at.is_some(), "transfer completed");
+        let checker = checker.borrow();
+        assert!(checker.is_complete(), "violations: {:?}", checker.violations());
+        assert_eq!(checker.delivered_len(), 40_000);
+        assert_eq!(checker.delivered_digest(), checker.sent_digest());
     }
 
     #[test]

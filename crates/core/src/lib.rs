@@ -36,6 +36,12 @@
 //!   reconstructible from live traffic after a crash (§10's "flows").
 //! - [`accounting::Ledger`] — per-flow packet/byte accounting (goal 7),
 //!   used to measure how well datagram accounting approximates truth.
+//!
+//! ## The gauntlet (how the claims are checked)
+//!
+//! - [`invariant`] — end-to-end invariant checkers (stream integrity,
+//!   progress watchdog, reconvergence bounds) that the chaos experiments
+//!   run against [`catenet_sim::FaultPlan`] schedules.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -46,12 +52,14 @@ pub mod arp;
 pub mod baseline;
 pub mod flow;
 pub mod iface;
+pub mod invariant;
 pub mod network;
 pub mod node;
 pub mod realization;
 pub mod socket;
 
 pub use catenet_tcp::{Endpoint, Socket as TcpSocket, SocketConfig as TcpConfig};
+pub use invariant::{ProgressWatchdog, ReconvergenceBound, StreamIntegrity, Violation};
 pub use network::{LinkId, Network, NodeId};
 pub use node::{Node, NodeRole, NodeStats};
 pub use socket::UdpSocket;

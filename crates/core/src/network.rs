@@ -10,7 +10,10 @@
 use crate::app::Application;
 use crate::iface::{Framing, Iface};
 use crate::node::{Node, NodeRole};
-use catenet_sim::{Duration, Instant, Link, LinkClass, LinkOutcome, LinkParams, Rng, Scheduler};
+use catenet_sim::{
+    Duration, FaultAction, FaultPlan, Instant, Link, LinkClass, LinkOutcome, LinkParams, Rng,
+    Scheduler,
+};
 use catenet_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
 use std::collections::HashMap;
 
@@ -63,6 +66,16 @@ pub struct Network {
     tap: Option<FrameTap>,
     /// Total frames offered to links.
     pub frames_offered: u64,
+    /// Attached chaos schedule, executed interleaved with traffic.
+    fault_plan: Option<FaultPlan>,
+    /// Links cut by the active partition (only those that were up), so
+    /// healing restores exactly what the partition severed.
+    partition_cut: Vec<LinkId>,
+    /// Fault actions applied so far (for experiment reporting).
+    pub faults_applied: u64,
+    /// Frames offered on an interface with no link attached (counted
+    /// rather than silently ignored).
+    pub unconnected_drops: u64,
 }
 
 impl Network {
@@ -80,6 +93,10 @@ impl Network {
             subnet_counter: 0,
             tap: None,
             frames_offered: 0,
+            fault_plan: None,
+            partition_cut: Vec::new(),
+            faults_applied: 0,
+            unconnected_drops: 0,
         }
     }
 
@@ -273,16 +290,139 @@ impl Network {
         self.kick(id);
     }
 
+    /// Silently degrade a link's quality (both directions): interfaces
+    /// stay up and routing notices nothing. `None` leaves a field at its
+    /// current value.
+    pub fn degrade_link(&mut self, link: LinkId, loss: Option<f64>, corruption: Option<f64>) {
+        let duplex = &mut self.links[link];
+        duplex.ab.degrade(loss, corruption);
+        duplex.ba.degrade(loss, corruption);
+    }
+
+    /// Restore a degraded link to its configured quality.
+    pub fn restore_link(&mut self, link: LinkId) {
+        let duplex = &mut self.links[link];
+        duplex.ab.restore();
+        duplex.ba.restore();
+    }
+
+    /// Whether a link is up (both directions share fate).
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.links[link].ab.is_up()
+    }
+
+    // ------------------------------------------------------------ chaos
+
+    /// Attach a fault schedule. Its events execute interleaved with
+    /// traffic events in time order as [`Network::run_until`] advances.
+    /// Replaces any previously attached plan.
+    pub fn attach_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Fault events not yet executed.
+    pub fn pending_faults(&self) -> usize {
+        self.fault_plan.as_ref().map_or(0, |p| p.remaining())
+    }
+
+    /// Apply one primitive fault action right now. Out-of-range node or
+    /// link indices are ignored (a plan may be written for a larger
+    /// topology than it is attached to); crash/restart of a node already
+    /// in the target state is a no-op, so overlapping storm strikes are
+    /// harmless.
+    pub fn apply_fault(&mut self, action: &FaultAction) {
+        self.faults_applied += 1;
+        match action {
+            FaultAction::LinkSet { link, up } => {
+                if *link < self.links.len() && self.links[*link].ab.is_up() != *up {
+                    // A partitioned-off link stays down until Heal.
+                    if !self.partition_cut.contains(link) {
+                        self.set_link_up(*link, *up);
+                    }
+                }
+            }
+            FaultAction::NodeCrash { node } => {
+                if *node < self.nodes.len() && self.nodes[*node].alive {
+                    self.crash_node(*node);
+                }
+            }
+            FaultAction::NodeRestart { node } => {
+                if *node < self.nodes.len() && !self.nodes[*node].alive {
+                    self.restart_node(*node);
+                }
+            }
+            FaultAction::Partition { side_a } => {
+                // One partition at a time: a new cut heals the old first.
+                self.heal_partition();
+                let crossing: Vec<LinkId> = self
+                    .links
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| {
+                        side_a.contains(&d.a.node) != side_a.contains(&d.b.node) && d.ab.is_up()
+                    })
+                    .map(|(id, _)| id)
+                    .collect();
+                for &id in &crossing {
+                    self.set_link_up(id, false);
+                }
+                self.partition_cut = crossing;
+            }
+            FaultAction::Heal => self.heal_partition(),
+            FaultAction::Degrade {
+                link,
+                loss,
+                corruption,
+            } => {
+                if *link < self.links.len() {
+                    self.degrade_link(*link, *loss, *corruption);
+                }
+            }
+            FaultAction::Restore { link } => {
+                if *link < self.links.len() {
+                    self.restore_link(*link);
+                }
+            }
+        }
+    }
+
+    fn heal_partition(&mut self) {
+        let cut = core::mem::take(&mut self.partition_cut);
+        for id in cut {
+            self.set_link_up(id, true);
+        }
+    }
+
     // ------------------------------------------------------------- run
 
-    /// Run the event loop until virtual time `t`.
+    /// Run the event loop until virtual time `t`, executing attached
+    /// fault-plan events interleaved with traffic in time order. At
+    /// equal times faults fire first: a crash at T kills frames arriving
+    /// at T, exactly as a real power cut would.
     pub fn run_until(&mut self, t: Instant) {
-        while let Some(at) = self.sched.peek_time() {
+        loop {
+            let sched_at = self.sched.peek_time();
+            let fault_at = self.fault_plan.as_ref().and_then(|p| p.next_at());
+            let at = match (sched_at, fault_at) {
+                (None, None) => break,
+                (Some(s), None) => s,
+                (None, Some(f)) => f,
+                (Some(s), Some(f)) => s.min(f),
+            };
             if at > t {
                 break;
             }
-            let (at, event) = self.sched.pop().expect("peeked");
             self.now = at;
+            if fault_at == Some(at) {
+                let event = self
+                    .fault_plan
+                    .as_mut()
+                    .and_then(|p| p.pop_due(at))
+                    .expect("fault peeked as due");
+                self.apply_fault(&event.action);
+                continue;
+            }
+            let (at, event) = self.sched.pop().expect("peeked");
             match event {
                 Event::Frame { to, iface, frame } => {
                     self.nodes[to].handle_frame(at, iface, frame);
@@ -362,7 +502,8 @@ impl Network {
 
     fn transmit(&mut self, from: NodeId, iface: usize, mut frame: Vec<u8>) {
         let Some(&(link_id, is_a)) = self.endpoint_index.get(&(from, iface)) else {
-            return; // unconnected interface
+            self.unconnected_drops += 1;
+            return;
         };
         if let Some(tap) = &mut self.tap {
             tap(self.now, &frame);
@@ -753,5 +894,151 @@ mod tests {
         assert_eq!(received.payload, payload);
         assert!(net.node(g).stats.frags_created >= 4);
         assert_eq!(net.node(h2).stats.reassembled, 1);
+    }
+
+    #[test]
+    fn fault_plan_executes_interleaved_with_traffic() {
+        let (mut net, _h1, g, _h2) = small_net();
+        let mut plan = catenet_sim::FaultPlan::new();
+        plan.push(
+            Instant::from_secs(1),
+            catenet_sim::FaultAction::NodeCrash { node: g },
+        );
+        plan.push(
+            Instant::from_secs(3),
+            catenet_sim::FaultAction::NodeRestart { node: g },
+        );
+        plan.push(
+            Instant::from_secs(5),
+            catenet_sim::FaultAction::LinkSet { link: 0, up: false },
+        );
+        net.attach_fault_plan(plan);
+        assert_eq!(net.pending_faults(), 3);
+        net.run_until(Instant::from_secs(2));
+        assert!(!net.node(g).alive, "crash fired");
+        assert_eq!(net.pending_faults(), 2);
+        net.run_until(Instant::from_secs(4));
+        assert!(net.node(g).alive, "restart fired");
+        net.run_until(Instant::from_secs(6));
+        assert!(!net.link_is_up(0));
+        assert_eq!(net.pending_faults(), 0);
+        assert_eq!(net.faults_applied, 3);
+    }
+
+    #[test]
+    fn partition_cuts_only_crossing_links_and_heals_exactly() {
+        // h1 — gA — gB — h2, plus gA — gC — gB backup.
+        let mut net = Network::new(9);
+        let h1 = net.add_host("h1");
+        let ga = net.add_gateway("gA");
+        let gb = net.add_gateway("gB");
+        let gc = net.add_gateway("gC");
+        let h2 = net.add_host("h2");
+        let l_h1 = net.connect(h1, ga, LinkClass::T1Terrestrial);
+        let l_ab = net.connect(ga, gb, LinkClass::T1Terrestrial);
+        let l_ac = net.connect(ga, gc, LinkClass::T1Terrestrial);
+        let l_cb = net.connect(gc, gb, LinkClass::T1Terrestrial);
+        let l_h2 = net.connect(gb, h2, LinkClass::T1Terrestrial);
+        let mut plan = catenet_sim::FaultPlan::new();
+        plan.partition(
+            vec![h1, ga],
+            Instant::from_secs(1),
+            Duration::from_secs(2),
+        );
+        net.attach_fault_plan(plan);
+        net.run_until(Instant::from_millis(1_500));
+        // Links crossing the {h1, gA} boundary are down; the rest are up.
+        assert!(net.link_is_up(l_h1));
+        assert!(!net.link_is_up(l_ab));
+        assert!(!net.link_is_up(l_ac));
+        assert!(net.link_is_up(l_cb));
+        assert!(net.link_is_up(l_h2));
+        net.run_until(Instant::from_secs(4));
+        for link in [l_h1, l_ab, l_ac, l_cb, l_h2] {
+            assert!(net.link_is_up(link), "healed link {link}");
+        }
+    }
+
+    #[test]
+    fn flap_does_not_resurrect_partitioned_link() {
+        let (mut net, _h1, _g, _h2) = small_net();
+        let mut plan = catenet_sim::FaultPlan::new();
+        plan.partition(vec![0], Instant::from_secs(1), Duration::from_secs(10));
+        // A flap tries to raise link 0 mid-partition: must stay down.
+        plan.push(
+            Instant::from_secs(2),
+            catenet_sim::FaultAction::LinkSet { link: 0, up: true },
+        );
+        net.attach_fault_plan(plan);
+        net.run_until(Instant::from_secs(3));
+        assert!(!net.link_is_up(0), "partition outranks the flap");
+        net.run_until(Instant::from_secs(12));
+        assert!(net.link_is_up(0), "heal restores the link");
+    }
+
+    #[test]
+    fn degrade_window_is_invisible_to_routing_but_lossy() {
+        let (mut net, h1, _g, h2) = small_net();
+        let dst = net.node(h2).primary_addr();
+        net.degrade_link(0, Some(1.0), None);
+        assert!(net.link_is_up(0), "blackhole looks healthy");
+        let now = net.now();
+        net.node_mut(h1).send_ping(dst, 4, 1, 16, now);
+        net.kick(h1);
+        net.run_for(Duration::from_secs(2));
+        assert!(net.node_mut(h1).take_icmp_events().is_empty(), "blackholed");
+        net.restore_link(0);
+        let now = net.now();
+        net.node_mut(h1).send_ping(dst, 4, 2, 16, now);
+        net.kick(h1);
+        net.run_for(Duration::from_secs(2));
+        assert_eq!(net.node_mut(h1).take_icmp_events().len(), 1, "restored");
+    }
+
+    #[test]
+    fn fault_plans_replay_identically() {
+        let run = |seed: u64| {
+            let mut net = Network::new(seed);
+            let h1 = net.add_host("h1");
+            let g = net.add_gateway("g");
+            let h2 = net.add_host("h2");
+            net.connect(h1, g, LinkClass::ArpanetTrunk);
+            net.connect(g, h2, LinkClass::PacketRadio);
+            let mut rng = Rng::from_seed(seed ^ 0xc0ffee);
+            let mut plan = catenet_sim::FaultPlan::new();
+            plan.link_flap(
+                1,
+                Instant::from_secs(1),
+                Instant::from_secs(20),
+                Duration::from_secs(3),
+                Duration::from_secs(1),
+                &mut rng,
+            );
+            plan.crash_storm(
+                &[g],
+                Instant::from_secs(2),
+                Instant::from_secs(18),
+                2,
+                (Duration::from_secs(1), Duration::from_secs(2)),
+                &mut rng,
+            );
+            net.attach_fault_plan(plan);
+            let dst = net.node(h2).primary_addr();
+            for seq in 0..40 {
+                let now = net.now();
+                net.node_mut(h1).send_ping(dst, 1, seq, 32, now);
+                net.kick(h1);
+                net.run_for(Duration::from_millis(500));
+            }
+            let events = net.node_mut(h1).take_icmp_events();
+            (
+                net.faults_applied,
+                events
+                    .iter()
+                    .map(|e| (e.at.total_micros(), e.message))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(13), run(13), "same seed, same chaos, same outcome");
     }
 }

@@ -28,6 +28,9 @@ pub enum FragError {
     /// Fragments describe a datagram larger than the reassembler accepts.
     TooLarge,
     /// Too many concurrent reassemblies in progress; fragment discarded.
+    /// (No longer returned by [`Reassembler::push`], which now evicts
+    /// the oldest reassembly instead of shedding the newest — kept for
+    /// callers that implement a shedding policy themselves.)
     Overloaded,
     /// Two fragments disagree about overlapping bytes (suspicious; the
     /// whole reassembly is abandoned, the conservative 1988 response).
@@ -166,6 +169,8 @@ pub struct Reassembler {
     pub completed: u64,
     /// Reassemblies abandoned on timeout.
     pub timed_out: u64,
+    /// Reassemblies evicted to make room for a newer one.
+    pub evicted: u64,
 }
 
 impl Reassembler {
@@ -189,6 +194,7 @@ impl Reassembler {
             max_concurrent,
             completed: 0,
             timed_out: 0,
+            evicted: 0,
         }
     }
 
@@ -212,8 +218,22 @@ impl Reassembler {
             self.partials.remove(&key);
             return Err(FragError::TooLarge);
         }
+        // Bounded buffer: a new reassembly arriving at capacity evicts
+        // the *oldest* partial (earliest deadline; deterministic key
+        // order breaks ties). Graceful degradation: under a fragment
+        // flood the newest traffic — most likely to still complete —
+        // keeps working, and the stale half-datagrams that were probably
+        // never finishing are the ones that pay.
         if !self.partials.contains_key(&key) && self.partials.len() >= self.max_concurrent {
-            return Err(FragError::Overloaded);
+            if let Some(victim) = self
+                .partials
+                .iter()
+                .min_by_key(|(k, p)| (p.deadline, k.src_addr, k.dst_addr, k.ident))
+                .map(|(k, _)| *k)
+            {
+                self.partials.remove(&victim);
+                self.evicted += 1;
+            }
         }
 
         let deadline = now + self.timeout;
@@ -468,23 +488,101 @@ mod tests {
     }
 
     #[test]
-    fn overload_sheds_new_reassemblies() {
+    fn overload_evicts_oldest_reassembly() {
         let mut reasm = Reassembler::with_limits(Duration::from_secs(15), 65_535, 2);
+        // Two partials, started at distinct times: ident 0 is oldest.
         for ident in 0..2 {
+            let d = datagram(1000, ident, false);
+            let frags = fragment(&d, 576).unwrap();
+            reasm
+                .push(&frags[0], Instant::from_secs(u64::from(ident)))
+                .unwrap();
+        }
+        // A third reassembly arrives at capacity: the oldest is evicted,
+        // the newcomer is accepted.
+        let d = datagram(1000, 99, false);
+        let frags = fragment(&d, 576).unwrap();
+        assert!(reasm.push(&frags[0], Instant::from_secs(5)).unwrap().is_none());
+        assert_eq!(reasm.in_progress(), 2, "still at the cap");
+        assert_eq!(reasm.evicted, 1);
+        // The evicted datagram (ident 0) can no longer complete from its
+        // second fragment alone…
+        let d0 = datagram(1000, 0, false);
+        let frags0 = fragment(&d0, 576).unwrap();
+        // (this re-admits ident 0 as a *new* partial, evicting ident 1)
+        assert!(reasm.push(&frags0[1], Instant::from_secs(6)).unwrap().is_none());
+        assert_eq!(reasm.evicted, 2);
+        // …while the newcomer completes fine.
+        assert!(reasm.push(&frags[1], Instant::from_secs(6)).unwrap().is_some());
+        assert_eq!(reasm.completed, 1);
+    }
+
+    #[test]
+    fn eviction_never_exceeds_cap_under_flood() {
+        let cap = 8;
+        let mut reasm = Reassembler::with_limits(Duration::from_secs(15), 65_535, cap);
+        for ident in 0..200u16 {
+            let d = datagram(1000, ident, false);
+            let frags = fragment(&d, 576).unwrap();
+            // Only first fragments: nothing ever completes.
+            reasm
+                .push(&frags[0], Instant::from_millis(u64::from(ident)))
+                .unwrap();
+            assert!(reasm.in_progress() <= cap, "cap held at ident {ident}");
+        }
+        assert_eq!(reasm.in_progress(), cap);
+        assert_eq!(reasm.evicted, 200 - cap as u64);
+        // The survivors are exactly the newest `cap` reassemblies: each
+        // still completes when its missing fragment arrives.
+        for ident in (200 - cap as u16)..200 {
+            let d = datagram(1000, ident, false);
+            let frags = fragment(&d, 576).unwrap();
+            let whole = reasm
+                .push(&frags[1], Instant::from_secs(1))
+                .unwrap()
+                .expect("survivor completes");
+            assert_eq!(whole, d);
+        }
+        assert_eq!(reasm.in_progress(), 0);
+    }
+
+    #[test]
+    fn duplicate_fragment_of_existing_partial_never_evicts() {
+        let mut reasm = Reassembler::with_limits(Duration::from_secs(15), 65_535, 2);
+        let a = datagram(1000, 1, false);
+        let b = datagram(1000, 2, false);
+        let frags_a = fragment(&a, 576).unwrap();
+        let frags_b = fragment(&b, 576).unwrap();
+        reasm.push(&frags_a[0], Instant::ZERO).unwrap();
+        reasm.push(&frags_b[0], Instant::from_secs(1)).unwrap();
+        // A duplicate of an in-progress reassembly is not "new": at the
+        // cap it must not evict anything.
+        reasm.push(&frags_a[0], Instant::from_secs(2)).unwrap();
+        assert_eq!(reasm.evicted, 0);
+        assert!(reasm.push(&frags_a[1], Instant::from_secs(2)).unwrap().is_some());
+        assert!(reasm.push(&frags_b[1], Instant::from_secs(2)).unwrap().is_some());
+    }
+
+    #[test]
+    fn timeout_eviction_interacts_with_cap() {
+        // Partials that expire free room without counting as evictions.
+        let mut reasm = Reassembler::with_limits(Duration::from_secs(15), 65_535, 4);
+        for ident in 0..4u16 {
             let d = datagram(1000, ident, false);
             let frags = fragment(&d, 576).unwrap();
             reasm.push(&frags[0], Instant::ZERO).unwrap();
         }
-        let d = datagram(1000, 99, false);
+        assert_eq!(reasm.in_progress(), 4);
+        let expired = reasm.expire(Instant::from_secs(20));
+        assert_eq!(expired.len(), 4);
+        assert_eq!(reasm.timed_out, 4);
+        assert_eq!(reasm.evicted, 0);
+        // Room again: a new reassembly starts and completes cleanly.
+        let d = datagram(1000, 50, false);
         let frags = fragment(&d, 576).unwrap();
-        assert_eq!(
-            reasm.push(&frags[0], Instant::ZERO).unwrap_err(),
-            FragError::Overloaded
-        );
-        // Existing reassemblies still proceed.
-        let d0 = datagram(1000, 0, false);
-        let frags0 = fragment(&d0, 576).unwrap();
-        assert!(reasm.push(&frags0[1], Instant::ZERO).unwrap().is_some());
+        reasm.push(&frags[0], Instant::from_secs(21)).unwrap();
+        assert!(reasm.push(&frags[1], Instant::from_secs(21)).unwrap().is_some());
+        assert_eq!(reasm.evicted, 0);
     }
 
     #[test]

@@ -1,0 +1,436 @@
+//! Declarative fault injection: the chaos side of the survivability goal.
+//!
+//! Clark ranks survivability second only to connectivity itself (§3):
+//! the internet must keep delivering as long as *any* physical path
+//! exists, with failures masked below the transport layer. Testing that
+//! claim needs failures on demand — reproducible ones. A [`FaultPlan`]
+//! is a deterministic, seed-driven schedule of fault events (link flaps,
+//! crash storms, partitions, loss/corruption bursts, blackholes) that a
+//! simulation driver executes interleaved with ordinary traffic events.
+//!
+//! Two properties matter:
+//!
+//! - **Determinism.** A plan is built once from a forked [`Rng`] stream
+//!   and then replayed as plain data; the same seed always yields the
+//!   same fault timeline, so every gauntlet run is bit-for-bit
+//!   reproducible.
+//! - **Declarativeness.** The plan knows nothing about the network it
+//!   will torment. Nodes and links are named by plain indices; the
+//!   driver (in `catenet-core`) maps them onto real topology and applies
+//!   the primitive actions. Any experiment can attach a plan.
+
+use crate::rng::Rng;
+use crate::time::{Duration, Instant};
+
+/// One primitive fault the driver knows how to apply.
+///
+/// Everything a plan can express is compiled down to these. Node and
+/// link identifiers are plain indices into the driver's topology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Force a link administratively up or down (both directions).
+    /// Interfaces see the change, so routing reacts — this is a
+    /// *visible* failure.
+    LinkSet {
+        /// Link index in the driver's topology.
+        link: usize,
+        /// Desired state.
+        up: bool,
+    },
+    /// Crash a node: all volatile state is lost (fate-sharing — the
+    /// state dies with the machine it described).
+    NodeCrash {
+        /// Node index.
+        node: usize,
+    },
+    /// Reboot a previously crashed node.
+    NodeRestart {
+        /// Node index.
+        node: usize,
+    },
+    /// Partition the network: every link with exactly one endpoint in
+    /// `side_a` is cut. At most one partition is active at a time; a new
+    /// one heals the old first.
+    Partition {
+        /// Nodes on one side of the cut.
+        side_a: Vec<usize>,
+    },
+    /// Heal the active partition, restoring exactly the links it cut.
+    Heal,
+    /// Override a link's loss and/or corruption probability (both
+    /// directions). Unlike [`FaultAction::LinkSet`], interfaces stay up
+    /// and routing notices nothing — this is a *silent* degradation,
+    /// the failure mode end-to-end checks exist for.
+    Degrade {
+        /// Link index.
+        link: usize,
+        /// New loss probability, if overridden.
+        loss: Option<f64>,
+        /// New corruption probability, if overridden.
+        corruption: Option<f64>,
+    },
+    /// Restore a degraded link to its baseline quality.
+    Restore {
+        /// Link index.
+        link: usize,
+    },
+}
+
+/// A fault action bound to a point in virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When the action fires.
+    pub at: Instant,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A deterministic schedule of fault events.
+///
+/// Events are kept sorted by time; equal times preserve insertion order,
+/// so a plan built the same way fires the same way. The driver consumes
+/// the plan with [`FaultPlan::next_at`] / [`FaultPlan::pop_due`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    cursor: usize,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedule one primitive action. Maintains time order; ties keep
+    /// insertion order (so the builder's own sequencing is the
+    /// tie-break, deterministically).
+    pub fn push(&mut self, at: Instant, action: FaultAction) {
+        let pos = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(pos, FaultEvent { at, action });
+        // Never insert into the already-consumed prefix.
+        debug_assert!(pos >= self.cursor, "fault scheduled in the past");
+    }
+
+    /// Total number of events (consumed and pending).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan has no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// The scheduled events, in firing order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Time of the next unconsumed event.
+    pub fn next_at(&self) -> Option<Instant> {
+        self.events.get(self.cursor).map(|e| e.at)
+    }
+
+    /// Consume and return the next event if it is due at or before
+    /// `now`.
+    pub fn pop_due(&mut self, now: Instant) -> Option<FaultEvent> {
+        let event = self.events.get(self.cursor)?;
+        if event.at > now {
+            return None;
+        }
+        self.cursor += 1;
+        Some(event.clone())
+    }
+
+    // ----------------------------------------------------- builders
+
+    /// A link that flaps: up-periods and down-periods drawn from
+    /// exponential distributions with the given means, over
+    /// `[start, end)`. The link is guaranteed up again by `end`.
+    pub fn link_flap(
+        &mut self,
+        link: usize,
+        start: Instant,
+        end: Instant,
+        mean_up: Duration,
+        mean_down: Duration,
+        rng: &mut Rng,
+    ) {
+        let mut t = start;
+        let mut up = true;
+        loop {
+            let mean = if up { mean_up } else { mean_down };
+            let hold = rng.exponential(mean.total_micros().max(1) as f64);
+            t += Duration::from_micros((hold as u64).max(1_000));
+            if t >= end {
+                break;
+            }
+            up = !up;
+            self.push(t, FaultAction::LinkSet { link, up });
+        }
+        if !up {
+            self.push(end, FaultAction::LinkSet { link, up: true });
+        }
+    }
+
+    /// A crash storm: `crashes` crash-then-restart pairs, each hitting a
+    /// node drawn from `nodes` at a time drawn uniformly from
+    /// `[start, end)`, rebooting after a delay drawn uniformly from
+    /// `restart_after`. The driver ignores a crash aimed at an
+    /// already-dead node (and a restart aimed at a live one), so
+    /// overlapping strikes are harmless.
+    pub fn crash_storm(
+        &mut self,
+        nodes: &[usize],
+        start: Instant,
+        end: Instant,
+        crashes: usize,
+        restart_after: (Duration, Duration),
+        rng: &mut Rng,
+    ) {
+        assert!(!nodes.is_empty(), "crash storm needs victims");
+        let span = end.duration_since(start).total_micros().max(1);
+        let (lo, hi) = restart_after;
+        for _ in 0..crashes {
+            let node = nodes[rng.below(nodes.len() as u64) as usize];
+            let at = start + Duration::from_micros(rng.below(span));
+            let delay = if hi > lo {
+                Duration::from_micros(rng.range(lo.total_micros(), hi.total_micros()))
+            } else {
+                lo
+            };
+            self.push(at, FaultAction::NodeCrash { node });
+            self.push(at + delay, FaultAction::NodeRestart { node });
+        }
+    }
+
+    /// Partition `side_a` from the rest of the network at `at`, healing
+    /// after `heal_after`.
+    pub fn partition(&mut self, side_a: Vec<usize>, at: Instant, heal_after: Duration) {
+        let heal_at = at + heal_after;
+        self.push(at, FaultAction::Partition { side_a });
+        self.push(heal_at, FaultAction::Heal);
+    }
+
+    /// A loss burst: the link silently drops packets with probability
+    /// `loss` during `[at, at + duration)`. Routing sees nothing.
+    pub fn loss_burst(&mut self, link: usize, at: Instant, duration: Duration, loss: f64) {
+        self.push(
+            at,
+            FaultAction::Degrade {
+                link,
+                loss: Some(loss),
+                corruption: None,
+            },
+        );
+        self.push(at + duration, FaultAction::Restore { link });
+    }
+
+    /// A corruption burst: the link flips bits with probability
+    /// `corruption` during `[at, at + duration)`. Only end-to-end
+    /// checksums stand between this and the application.
+    pub fn corruption_burst(
+        &mut self,
+        link: usize,
+        at: Instant,
+        duration: Duration,
+        corruption: f64,
+    ) {
+        self.push(
+            at,
+            FaultAction::Degrade {
+                link,
+                loss: None,
+                corruption: Some(corruption),
+            },
+        );
+        self.push(at + duration, FaultAction::Restore { link });
+    }
+
+    /// A blackhole window: the link silently eats *everything* for
+    /// `duration` — the classic failed-gateway-that-still-answers-ARP.
+    /// Distinct from [`FaultPlan::link_flap`]: interfaces stay up, so
+    /// routing keeps trusting the path.
+    pub fn blackhole(&mut self, link: usize, at: Instant, duration: Duration) {
+        self.loss_burst(link, at, duration, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> Instant {
+        Instant::from_secs(s)
+    }
+
+    #[test]
+    fn events_stay_sorted_with_stable_ties() {
+        let mut plan = FaultPlan::new();
+        plan.push(secs(5), FaultAction::LinkSet { link: 0, up: false });
+        plan.push(secs(1), FaultAction::NodeCrash { node: 2 });
+        plan.push(secs(5), FaultAction::LinkSet { link: 1, up: false });
+        plan.push(secs(3), FaultAction::Heal);
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at.total_micros()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        // The two t=5 events keep insertion order: link 0 before link 1.
+        assert_eq!(
+            plan.events()[2].action,
+            FaultAction::LinkSet { link: 0, up: false }
+        );
+        assert_eq!(
+            plan.events()[3].action,
+            FaultAction::LinkSet { link: 1, up: false }
+        );
+    }
+
+    #[test]
+    fn pop_due_consumes_in_order_and_respects_now() {
+        let mut plan = FaultPlan::new();
+        plan.push(secs(2), FaultAction::Heal);
+        plan.push(secs(1), FaultAction::NodeCrash { node: 0 });
+        assert_eq!(plan.next_at(), Some(secs(1)));
+        assert!(plan.pop_due(Instant::ZERO).is_none());
+        let first = plan.pop_due(secs(1)).expect("due");
+        assert_eq!(first.action, FaultAction::NodeCrash { node: 0 });
+        assert_eq!(plan.remaining(), 1);
+        assert!(plan.pop_due(secs(1)).is_none(), "heal not due yet");
+        assert!(plan.pop_due(secs(10)).is_some());
+        assert_eq!(plan.remaining(), 0);
+        assert_eq!(plan.next_at(), None);
+    }
+
+    #[test]
+    fn link_flap_is_deterministic_and_ends_up() {
+        let build = |seed: u64| {
+            let mut rng = Rng::from_seed(seed);
+            let mut plan = FaultPlan::new();
+            plan.link_flap(
+                3,
+                secs(1),
+                secs(60),
+                Duration::from_secs(5),
+                Duration::from_secs(2),
+                &mut rng,
+            );
+            plan
+        };
+        let a = build(42);
+        let b = build(42);
+        assert_eq!(a, b, "same seed, same flap schedule");
+        assert_ne!(a, build(43), "different seed, different schedule");
+        // The waveform alternates down/up and leaves the link up.
+        let mut expect_up = false;
+        for event in a.events() {
+            match event.action {
+                FaultAction::LinkSet { link: 3, up } => {
+                    assert_eq!(up, expect_up, "waveform must alternate");
+                    expect_up = !expect_up;
+                }
+                ref other => panic!("unexpected action {other:?}"),
+            }
+        }
+        match a.events().last() {
+            Some(FaultEvent {
+                action: FaultAction::LinkSet { up: true, .. },
+                at,
+            }) => assert!(*at <= secs(60)),
+            other => panic!("flap must end with the link up, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_storm_pairs_each_crash_with_a_later_restart() {
+        let mut rng = Rng::from_seed(7);
+        let mut plan = FaultPlan::new();
+        plan.crash_storm(
+            &[1, 2, 3],
+            secs(10),
+            secs(50),
+            6,
+            (Duration::from_secs(1), Duration::from_secs(4)),
+            &mut rng,
+        );
+        let crashes: Vec<_> = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, FaultAction::NodeCrash { .. }))
+            .collect();
+        let restarts: Vec<_> = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, FaultAction::NodeRestart { .. }))
+            .collect();
+        assert_eq!(crashes.len(), 6);
+        assert_eq!(restarts.len(), 6);
+        for c in &crashes {
+            assert!(c.at >= secs(10) && c.at < secs(50));
+            if let FaultAction::NodeCrash { node } = c.action {
+                assert!([1, 2, 3].contains(&node));
+            }
+        }
+    }
+
+    #[test]
+    fn bursts_pair_degrade_with_restore() {
+        let mut plan = FaultPlan::new();
+        plan.loss_burst(0, secs(5), Duration::from_secs(10), 0.5);
+        plan.corruption_burst(1, secs(7), Duration::from_secs(3), 0.2);
+        plan.blackhole(2, secs(20), Duration::from_secs(5));
+        let degrades = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, FaultAction::Degrade { .. }))
+            .count();
+        let restores = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, FaultAction::Restore { .. }))
+            .count();
+        assert_eq!(degrades, 3);
+        assert_eq!(restores, 3);
+        // Blackhole is total loss.
+        assert!(plan.events().iter().any(|e| matches!(
+            e.action,
+            FaultAction::Degrade {
+                link: 2,
+                loss: Some(l),
+                ..
+            } if l == 1.0
+        )));
+    }
+
+    #[test]
+    fn partition_heals_after_window() {
+        let mut plan = FaultPlan::new();
+        plan.partition(vec![0, 1], secs(3), Duration::from_secs(9));
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.events()[0].at, secs(3));
+        assert!(matches!(plan.events()[0].action, FaultAction::Partition { .. }));
+        assert_eq!(plan.events()[1].at, secs(12));
+        assert_eq!(plan.events()[1].action, FaultAction::Heal);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash storm needs victims")]
+    fn empty_crash_storm_refused() {
+        let mut rng = Rng::from_seed(1);
+        let mut plan = FaultPlan::new();
+        plan.crash_storm(
+            &[],
+            secs(0),
+            secs(10),
+            1,
+            (Duration::ZERO, Duration::ZERO),
+            &mut rng,
+        );
+    }
+}

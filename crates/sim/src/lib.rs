@@ -23,6 +23,9 @@
 //! - [`link::Link`] — a unidirectional channel with bandwidth, delay,
 //!   loss, corruption, jitter and a drop-tail queue; [`link::LinkClass`]
 //!   presets model the 1988 network classes.
+//! - [`fault::FaultPlan`] — a deterministic, seed-driven schedule of
+//!   fault events (flaps, crashes, partitions, bursts) for the
+//!   survivability gauntlet.
 //! - [`pcap::PcapWriter`] — packet capture for offline inspection.
 //! - [`stats`] — summary statistics used by the experiment harness.
 
@@ -30,6 +33,7 @@
 #![deny(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod pcap;
 pub mod rng;
@@ -37,6 +41,7 @@ pub mod stats;
 pub mod time;
 
 pub use event::Scheduler;
+pub use fault::{FaultAction, FaultEvent, FaultPlan};
 pub use link::{DropReason, Link, LinkClass, LinkOutcome, LinkParams};
 pub use rng::Rng;
 pub use stats::Summary;

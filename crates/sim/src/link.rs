@@ -215,6 +215,9 @@ pub struct LinkStats {
 pub struct Link {
     params: LinkParams,
     up: bool,
+    /// Baseline (loss, corruption) saved while a fault window overrides
+    /// them; `None` when the link is at its configured quality.
+    base_quality: Option<(f64, f64)>,
     /// Completion times of frames still in the queue or in service.
     in_flight: VecDeque<Instant>,
     busy_until: Instant,
@@ -230,6 +233,7 @@ impl Link {
         Link {
             params,
             up: true,
+            base_quality: None,
             in_flight: VecDeque::new(),
             busy_until: Instant::ZERO,
             stats: LinkStats::default(),
@@ -264,6 +268,37 @@ impl Link {
             self.in_flight.clear();
             self.busy_until = Instant::ZERO;
         }
+    }
+
+    /// Override loss and/or corruption for a fault window, remembering
+    /// the baseline. Unlike [`Link::set_up`], the link *looks* healthy:
+    /// interfaces stay up and routing notices nothing — the silent
+    /// failure mode end-to-end checks exist for. Repeated degradations
+    /// stack on the same saved baseline.
+    pub fn degrade(&mut self, loss: Option<f64>, corruption: Option<f64>) {
+        if self.base_quality.is_none() {
+            self.base_quality = Some((self.params.loss, self.params.corruption));
+        }
+        if let Some(p) = loss {
+            self.params.loss = p.clamp(0.0, 1.0);
+        }
+        if let Some(p) = corruption {
+            self.params.corruption = p.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Restore the baseline quality after a fault window. No-op if the
+    /// link was never degraded.
+    pub fn restore(&mut self) {
+        if let Some((loss, corruption)) = self.base_quality.take() {
+            self.params.loss = loss;
+            self.params.corruption = corruption;
+        }
+    }
+
+    /// Whether a fault window currently overrides the link quality.
+    pub fn is_degraded(&self) -> bool {
+        self.base_quality.is_some()
     }
 
     /// Counters so far.
@@ -554,6 +589,47 @@ mod tests {
             LinkClass::Satellite.params().propagation
                 > LinkClass::EthernetLan.params().propagation * 100
         );
+    }
+
+    #[test]
+    fn degrade_overrides_and_restore_recovers_baseline() {
+        let mut link = Link::new(LinkParams {
+            loss: 0.001,
+            corruption: 0.002,
+            ..quiet_params()
+        });
+        assert!(!link.is_degraded());
+        link.degrade(Some(1.0), None);
+        assert!(link.is_degraded());
+        assert_eq!(link.params().loss, 1.0);
+        assert_eq!(link.params().corruption, 0.002, "untouched field kept");
+        // Stacked degradation still restores to the original baseline.
+        link.degrade(None, Some(0.5));
+        link.restore();
+        assert!(!link.is_degraded());
+        assert_eq!(link.params().loss, 0.001);
+        assert_eq!(link.params().corruption, 0.002);
+        // Restore without degrade is a no-op.
+        link.restore();
+        assert_eq!(link.params().loss, 0.001);
+    }
+
+    #[test]
+    fn blackholed_link_eats_everything_silently() {
+        let mut link = Link::new(quiet_params());
+        link.degrade(Some(1.0), None);
+        let mut rng = Rng::from_seed(3);
+        let mut now = Instant::ZERO;
+        for _ in 0..32 {
+            let mut frame = vec![0u8; 100];
+            assert_eq!(
+                link.transmit(now, &mut frame, &mut rng),
+                LinkOutcome::Dropped(DropReason::Loss)
+            );
+            now += Duration::from_millis(1);
+        }
+        // The link still *looks* up — that is the point.
+        assert!(link.is_up());
     }
 
     #[test]

@@ -5,22 +5,50 @@
 //! through this type. `fork` derives independent streams so that adding a
 //! consumer does not perturb the draws seen by existing consumers (which
 //! would otherwise make experiments non-comparable across configurations).
+//!
+//! The generator is a self-contained xoshiro256++ seeded through SplitMix64,
+//! so simulations are reproducible bit-for-bit on any platform with no
+//! external dependencies.
 
-use rand::rngs::SmallRng;
-use rand::{Rng as _, SeedableRng};
-
-/// A deterministic random number generator.
+/// A deterministic random number generator (xoshiro256++).
 #[derive(Debug, Clone)]
 pub struct Rng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl Rng {
     /// Create from a 64-bit seed.
     pub fn from_seed(seed: u64) -> Rng {
-        Rng {
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        let mut x = seed;
+        let state = [
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+        ];
+        Rng { state }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
     }
 
     /// Derive an independent stream labeled by `stream`.
@@ -28,7 +56,7 @@ impl Rng {
     /// Uses a SplitMix64-style mix of the parent's next draw and the label,
     /// so distinct labels give uncorrelated streams.
     pub fn fork(&mut self, stream: u64) -> Rng {
-        let mut x = self.inner.gen::<u64>() ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut x = self.next_u64() ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         x ^= x >> 31;
@@ -37,7 +65,8 @@ impl Rng {
 
     /// A uniform draw in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high-quality bits into the mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw: true with probability `p` (clamped to `[0, 1]`).
@@ -47,25 +76,36 @@ impl Rng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
     /// A uniform integer in `[0, bound)`. Panics if `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "empty range");
-        self.inner.gen_range(0..bound)
+        // Debiased multiply-shift (Lemire): reject draws from the short
+        // final stripe so every residue is equally likely.
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let wide = (x as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return hi;
+            }
+        }
     }
 
     /// A uniform integer in `[lo, hi)`. Panics if the range is empty.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// A raw 32-bit draw (e.g. for TCP initial sequence numbers).
     pub fn next_u32(&mut self) -> u32 {
-        self.inner.gen()
+        (self.next_u64() >> 32) as u32
     }
 
     /// An exponentially distributed draw with the given mean, as a float.
@@ -73,7 +113,7 @@ impl Rng {
     /// Used for Poisson inter-arrival processes in workload generators.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         debug_assert!(mean > 0.0);
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u = self.unit().max(f64::EPSILON);
         -mean * u.ln()
     }
 }
@@ -140,6 +180,16 @@ mod tests {
             let v = rng.range(10, 20);
             assert!((10..20).contains(&v));
         }
+    }
+
+    #[test]
+    fn below_covers_all_residues() {
+        let mut rng = Rng::from_seed(17);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some residues never drawn");
     }
 
     #[test]

@@ -1,14 +1,23 @@
 //! Property tests for the simulator substrate: total event ordering,
-//! link conservation laws, and statistics consistency.
+//! link conservation laws, and statistics consistency. Inputs are drawn
+//! from the simulator's own seeded `Rng`, so every case is reproducible
+//! from its case number.
 
 use catenet_sim::{Duration, Instant, Link, LinkOutcome, LinkParams, Rng, Scheduler, Summary};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn scheduler_pops_in_nondecreasing_time_order(
-        times in proptest::collection::vec(0u64..1_000_000, 1..128),
-    ) {
+fn case_rng(name: &str, case: u64) -> Rng {
+    let tag: u64 = name.bytes().fold(0xcbf2_9ce4_8422_2325, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    });
+    Rng::from_seed(tag ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+#[test]
+fn scheduler_pops_in_nondecreasing_time_order() {
+    for case in 0..128 {
+        let mut rng = case_rng("sched_order", case);
+        let count = rng.range(1, 128) as usize;
+        let times: Vec<u64> = (0..count).map(|_| rng.below(1_000_000)).collect();
         let mut sched = Scheduler::new();
         for (i, &t) in times.iter().enumerate() {
             sched.schedule_at(Instant::from_micros(t), i);
@@ -16,33 +25,37 @@ proptest! {
         let mut last = Instant::ZERO;
         let mut seen = Vec::new();
         while let Some((at, id)) = sched.pop() {
-            prop_assert!(at >= last, "time went backwards");
+            assert!(at >= last, "time went backwards");
             last = at;
             seen.push(id);
         }
         seen.sort_unstable();
-        prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
+        assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
     }
+}
 
-    #[test]
-    fn scheduler_equal_times_preserve_insertion_order(
-        count in 1usize..64,
-        t in 0u64..1000,
-    ) {
+#[test]
+fn scheduler_equal_times_preserve_insertion_order() {
+    for case in 0..64 {
+        let mut rng = case_rng("sched_fifo", case);
+        let count = rng.range(1, 64) as usize;
+        let t = rng.below(1000);
         let mut sched = Scheduler::new();
         for i in 0..count {
             sched.schedule_at(Instant::from_micros(t), i);
         }
         let order: Vec<usize> = std::iter::from_fn(|| sched.pop()).map(|(_, i)| i).collect();
-        prop_assert_eq!(order, (0..count).collect::<Vec<_>>());
+        assert_eq!(order, (0..count).collect::<Vec<_>>());
     }
+}
 
-    #[test]
-    fn link_conserves_frames(
-        loss in 0.0f64..0.5,
-        frames in 1usize..200,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn link_conserves_frames() {
+    for case in 0..128 {
+        let mut meta = case_rng("link_conserve", case);
+        let loss = meta.unit() * 0.5;
+        let frames = meta.range(1, 200);
+        let seed = u64::from(meta.next_u32()) << 32 | u64::from(meta.next_u32());
         let mut link = Link::new(LinkParams {
             name: "prop",
             bandwidth_bps: 1_000_000,
@@ -52,7 +65,7 @@ proptest! {
             corruption: 0.0,
             mtu: 1500,
             queue_limit: 10_000,
-            });
+        });
         let mut rng = Rng::from_seed(seed);
         let mut delivered = 0u64;
         let mut dropped = 0u64;
@@ -63,10 +76,10 @@ proptest! {
             match link.transmit(now, &mut frame, &mut rng) {
                 LinkOutcome::Delivered { at, .. } => {
                     delivered += 1;
-                    prop_assert!(at > now, "arrival not after send");
+                    assert!(at > now, "arrival not after send");
                     // FIFO serialization: arrivals modulo jitter are
                     // nondecreasing within jitter bounds.
-                    prop_assert!(at + Duration::from_micros(100) >= last_arrival);
+                    assert!(at + Duration::from_micros(100) >= last_arrival);
                     last_arrival = at;
                 }
                 LinkOutcome::Dropped(_) => dropped += 1,
@@ -74,34 +87,42 @@ proptest! {
             now += Duration::from_millis(1);
         }
         let stats = link.stats();
-        prop_assert_eq!(stats.delivered, delivered);
-        prop_assert_eq!(delivered + dropped, frames as u64);
+        assert_eq!(stats.delivered, delivered);
+        assert_eq!(delivered + dropped, frames);
         // Conservation: every accepted frame is delivered or lost.
-        prop_assert_eq!(stats.tx_frames, stats.delivered + stats.lost);
+        assert_eq!(stats.tx_frames, stats.delivered + stats.lost);
     }
+}
 
-    #[test]
-    fn summary_percentiles_are_monotone(
-        values in proptest::collection::vec(-1e6f64..1e6, 1..200),
-    ) {
+#[test]
+fn summary_percentiles_are_monotone() {
+    for case in 0..128 {
+        let mut rng = case_rng("summary_monotone", case);
+        let count = rng.range(1, 200) as usize;
+        let values: Vec<f64> = (0..count).map(|_| (rng.unit() - 0.5) * 2e6).collect();
         let summary = Summary::from_iter(values.iter().copied());
         let mut last = f64::NEG_INFINITY;
         for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
             let v = summary.percentile(q);
-            prop_assert!(v >= last, "percentile({q}) = {v} < {last}");
+            assert!(v >= last, "percentile({q}) = {v} < {last}");
             last = v;
         }
-        prop_assert!(summary.min() <= summary.mean() + 1e-9);
-        prop_assert!(summary.mean() <= summary.max() + 1e-9);
-        prop_assert_eq!(summary.percentile(1.0), summary.max());
+        assert!(summary.min() <= summary.mean() + 1e-9);
+        assert!(summary.mean() <= summary.max() + 1e-9);
+        assert_eq!(summary.percentile(1.0), summary.max());
     }
+}
 
-    #[test]
-    fn rng_chance_is_deterministic_per_seed(seed in any::<u64>(), p in 0.0f64..1.0) {
+#[test]
+fn rng_chance_is_deterministic_per_seed() {
+    for case in 0..64 {
+        let mut meta = case_rng("rng_chance_det", case);
+        let seed = u64::from(meta.next_u32()) << 32 | u64::from(meta.next_u32());
+        let p = meta.unit();
         let mut a = Rng::from_seed(seed);
         let mut b = Rng::from_seed(seed);
         for _ in 0..64 {
-            prop_assert_eq!(a.chance(p), b.chance(p));
+            assert_eq!(a.chance(p), b.chance(p));
         }
     }
 }

@@ -424,6 +424,14 @@ impl Socket {
         self.reset_to_closed();
     }
 
+    /// Whether the connection gave up after `max_retries` consecutive
+    /// RTO expirations (RFC 1122's R2). The closed state it leaves
+    /// behind is an *error* outcome, not a graceful close — callers
+    /// inspecting only [`Socket::state`] would confuse the two.
+    pub fn has_timed_out(&self) -> bool {
+        self.timed_out_conn
+    }
+
     fn reset_to_closed(&mut self) {
         self.state = State::Closed;
         self.tx_buffer.clear();

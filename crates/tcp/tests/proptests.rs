@@ -1,20 +1,29 @@
 //! Property tests for the TCP crate's data structures: the out-of-order
 //! buffer must always reconstruct the exact byte stream, and the RTT
 //! estimator must stay within its documented bounds for any sample
-//! sequence.
+//! sequence. Inputs are drawn from the simulator's seeded `Rng`, so
+//! every case is reproducible from its case number.
 
-use catenet_sim::Duration;
+use catenet_sim::{Duration, Rng};
 use catenet_tcp::{OutOfOrderBuffer, RttEstimator};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn out_of_order_buffer_reconstructs_stream(
-        stream in proptest::collection::vec(any::<u8>(), 1..512),
-        cuts in proptest::collection::vec(1usize..64, 0..12),
-        order_seed in any::<u64>(),
-        duplicate_first in any::<bool>(),
-    ) {
+fn case_rng(name: &str, case: u64) -> Rng {
+    let tag: u64 = name.bytes().fold(0xcbf2_9ce4_8422_2325, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    });
+    Rng::from_seed(tag ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+#[test]
+fn out_of_order_buffer_reconstructs_stream() {
+    for case in 0..256 {
+        let mut rng = case_rng("ooo_reconstruct", case);
+        let stream: Vec<u8> = (0..rng.range(1, 512)).map(|_| rng.below(256) as u8).collect();
+        let cut_count = rng.below(12) as usize;
+        let cuts: Vec<usize> = (0..cut_count).map(|_| rng.range(1, 64) as usize).collect();
+        let order_seed = u64::from(rng.next_u32()) << 32 | u64::from(rng.next_u32());
+        let duplicate_first = rng.chance(0.5);
+
         // Cut the stream into segments at the given widths.
         let mut segments: Vec<(usize, Vec<u8>)> = Vec::new();
         let mut offset = 0;
@@ -38,60 +47,60 @@ proptest! {
         let mut buffer = OutOfOrderBuffer::new(4096);
         let mut out = Vec::new();
         for (seg_offset, data) in segments {
-            // Offsets are relative to the current in-order point.
-            prop_assert!(seg_offset >= out.len() || seg_offset + data.len() <= out.len() ||
-                         true); // overlaps allowed; insert handles them
+            // Offsets are relative to the current in-order point;
+            // overlaps are allowed, insert handles them.
             if seg_offset >= out.len() {
                 buffer.insert(seg_offset - out.len(), &data);
             }
             out.extend_from_slice(&buffer.take_contiguous());
         }
         out.extend_from_slice(&buffer.take_contiguous());
-        prop_assert_eq!(out, stream);
-        prop_assert!(buffer.is_empty());
+        assert_eq!(out, stream, "case {case}");
+        assert!(buffer.is_empty());
     }
+}
 
-    #[test]
-    fn rtt_estimator_bounds_hold_for_any_samples(
-        samples in proptest::collection::vec(1u64..10_000_000, 1..64),
-        retransmits in proptest::collection::vec(any::<bool>(), 1..64),
-    ) {
+#[test]
+fn rtt_estimator_bounds_hold_for_any_samples() {
+    for case in 0..256 {
+        let mut rng = case_rng("rtt_bounds", case);
+        let count = rng.range(1, 64) as usize;
         let mut est = RttEstimator::new();
-        for (i, &micros) in samples.iter().enumerate() {
-            if retransmits.get(i).copied().unwrap_or(false) {
+        for _ in 0..count {
+            if rng.chance(0.5) {
                 est.on_retransmit();
             } else {
-                est.sample(Duration::from_micros(micros));
+                est.sample(Duration::from_micros(rng.range(1, 10_000_000)));
             }
             let rto = est.rto();
-            prop_assert!(rto >= RttEstimator::MIN_RTO, "rto {rto} below floor");
-            prop_assert!(rto <= RttEstimator::MAX_RTO, "rto {rto} above ceiling");
+            assert!(rto >= RttEstimator::MIN_RTO, "rto {rto} below floor");
+            assert!(rto <= RttEstimator::MAX_RTO, "rto {rto} above ceiling");
             // After a clean sample the RTO covers the smoothed RTT.
             if let Some(srtt) = est.srtt() {
                 if est.backoff() == 0 {
-                    prop_assert!(
-                        rto >= srtt.min(RttEstimator::MAX_RTO)
-                            .max(RttEstimator::MIN_RTO)
-                            .min(rto),
+                    assert!(
+                        rto >= srtt.min(RttEstimator::MAX_RTO).max(RttEstimator::MIN_RTO).min(rto),
                         "rto {rto} vs srtt {srtt}"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn backoff_is_monotone_nondecreasing_in_rto(
-        base_ms in 1u64..1000,
-        backoffs in 1usize..12,
-    ) {
+#[test]
+fn backoff_is_monotone_nondecreasing_in_rto() {
+    for case in 0..128 {
+        let mut rng = case_rng("rtt_backoff", case);
+        let base_ms = rng.range(1, 1000);
+        let backoffs = rng.range(1, 12);
         let mut est = RttEstimator::new();
         est.sample(Duration::from_millis(base_ms));
         let mut last = est.rto();
         for _ in 0..backoffs {
             est.on_retransmit();
             let rto = est.rto();
-            prop_assert!(rto >= last, "backoff shrank the RTO");
+            assert!(rto >= last, "backoff shrank the RTO");
             last = rto;
         }
     }

@@ -1,0 +1,99 @@
+//! Chaos engine quickstart: declarative fault injection, live.
+//!
+//! Build the outage-drill topology, but instead of imperatively
+//! crashing one gateway, hand the network a `FaultPlan` — a
+//! seed-deterministic *schedule* of link flaps and gateway crashes —
+//! and let the event loop replay it at exact virtual-time instants
+//! while a 1 MB transfer fights its way through. A `StreamIntegrity`
+//! checker rides the connection end-to-end: every delivered byte must
+//! be the right byte at the right offset.
+//!
+//! ```sh
+//! cargo run --release --example chaos
+//! ```
+
+use catenet::sim::{Duration, FaultPlan, LinkClass, Rng};
+use catenet::stack::app::{BulkSender, SinkServer};
+use catenet::stack::{Endpoint, Network, StreamIntegrity, TcpConfig};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    let mut net = Network::new(1988);
+    let h1 = net.add_host("h1");
+    let ga = net.add_gateway("gA");
+    let gd = net.add_gateway("gD");
+    let gb = net.add_gateway("gB");
+    let gc1 = net.add_gateway("gC1");
+    let gc2 = net.add_gateway("gC2");
+    let h2 = net.add_host("h2");
+    net.connect(h1, ga, LinkClass::EthernetLan);
+    let primary = net.connect(ga, gd, LinkClass::T1Terrestrial);
+    net.connect(gd, gb, LinkClass::T1Terrestrial);
+    net.connect(ga, gc1, LinkClass::T1Terrestrial);
+    net.connect(gc1, gc2, LinkClass::T1Terrestrial);
+    net.connect(gc2, gb, LinkClass::T1Terrestrial);
+    net.connect(gb, h2, LinkClass::EthernetLan);
+    net.converge_routing(Duration::from_secs(60));
+
+    // The chaos schedule: pure data, built up-front from one seed.
+    let t0 = net.now();
+    let mut rng = Rng::from_seed(7);
+    let mut plan = FaultPlan::new();
+    plan.link_flap(
+        primary,
+        t0 + Duration::from_secs(2),
+        t0 + Duration::from_secs(22),
+        Duration::from_secs(2),
+        Duration::from_secs(1),
+        &mut rng,
+    );
+    plan.crash_storm(
+        &[gd],
+        t0 + Duration::from_secs(4),
+        t0 + Duration::from_secs(20),
+        3,
+        (Duration::from_secs(2), Duration::from_secs(6)),
+        &mut rng,
+    );
+    let scheduled = plan.len();
+    net.attach_fault_plan(plan);
+
+    // A 1 MB transfer with an end-to-end integrity checker attached.
+    let integrity = Rc::new(RefCell::new(StreamIntegrity::new()));
+    let dst = net.node(h2).primary_addr();
+    let sink = SinkServer::new(80, TcpConfig::default()).with_integrity(Rc::clone(&integrity));
+    let received = Rc::clone(&sink.received);
+    net.attach_app(h2, Box::new(sink));
+    let sender = BulkSender::new(Endpoint::new(dst, 80), 1_000_000, TcpConfig::default(), t0)
+        .with_integrity(Rc::clone(&integrity));
+    let result = sender.result_handle();
+    net.attach_app(h1, Box::new(sender));
+
+    net.run_for(Duration::from_secs(180));
+
+    let result = result.borrow();
+    let elapsed = result
+        .completed_at
+        .map(|at| at.duration_since(t0).secs_f64());
+    println!(
+        "chaos: {scheduled} scheduled fault events replayed against a 1 MB transfer"
+    );
+    match elapsed {
+        Some(secs) => println!(
+            "transfer COMPLETED in {secs:.3}s with {} retransmits and {} RTO events",
+            result.retransmits, result.timeouts
+        ),
+        None => println!("transfer did NOT complete: {result:?}"),
+    }
+    let integrity = integrity.borrow();
+    println!(
+        "delivered {} B — integrity checker: {} ({} violations)",
+        received.borrow(),
+        if integrity.is_clean() { "CLEAN" } else { "VIOLATED" },
+        integrity.violations().len()
+    );
+    assert!(result.completed_at.is_some(), "chaos must cost time, not the transfer");
+    assert!(integrity.is_clean(), "every byte the right byte at the right offset");
+    println!("chaos cost time, never correctness — the paper's survivability goal, mechanized.");
+}

@@ -154,6 +154,53 @@ fn double_failure_still_heals_if_any_path_remains() {
 }
 
 #[test]
+fn tcp_aborts_with_explicit_error_under_permanent_partition() {
+    // The flip side of survivability: when NO path ever comes back, the
+    // connection must not hang forever — finite patience (RFC 1122 R2)
+    // turns the silence into an explicit TimedOut abort, and everything
+    // delivered before the cut is still intact.
+    use catenet::sim::FaultPlan;
+    use catenet::stack::StreamIntegrity;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let mut r = redundant(59);
+    let dst = r.net.node(r.h2).primary_addr();
+    let config = TcpConfig {
+        max_retries: Some(6),
+        ..TcpConfig::default()
+    };
+    let integrity = Rc::new(RefCell::new(StreamIntegrity::new()));
+    let sink = SinkServer::new(80, config.clone()).with_integrity(Rc::clone(&integrity));
+    r.net.attach_app(r.h2, Box::new(sink));
+    let start = r.net.now();
+    let sender = BulkSender::new(Endpoint::new(dst, 80), 400_000, config, start)
+        .with_integrity(Rc::clone(&integrity));
+    let result = sender.result_handle();
+    r.net.attach_app(r.h1, Box::new(sender));
+
+    // Partition h1's side from everything, scheduled declaratively and
+    // never healed.
+    let mut plan = FaultPlan::new();
+    plan.partition(vec![r.h1, 1], start + Duration::from_secs(2), Duration::from_secs(10_000));
+    r.net.attach_fault_plan(plan);
+
+    r.net.run_for(Duration::from_secs(400));
+    let result = result.borrow();
+    assert!(
+        result.completed_at.is_none(),
+        "nothing completes across a permanent partition: {result:?}"
+    );
+    assert!(
+        result.aborted,
+        "the connection must die with an explicit error, not hang: {result:?}"
+    );
+    assert!(result.bytes_acked > 0, "some data flowed before the cut");
+    let integrity = integrity.borrow();
+    assert!(integrity.is_clean(), "partial delivery still a clean prefix");
+}
+
+#[test]
 fn gateway_crash_loses_no_conversation_state_because_there_is_none() {
     // The cleanest statement of fate-sharing: inspect the gateway.
     let mut r = redundant(58);
