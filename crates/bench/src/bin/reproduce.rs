@@ -1,9 +1,10 @@
 //! Regenerate every experiment table in `EXPERIMENTS.md`.
 //!
 //! ```sh
-//! cargo run --release --bin reproduce            # all experiments
-//! cargo run --release --bin reproduce -- e1 e5   # a subset
-//! cargo run --release --bin reproduce -- --fast  # fewer seeds
+//! cargo run --release --bin reproduce               # all experiments
+//! cargo run --release --bin reproduce -- e1 e5      # a subset
+//! cargo run --release --bin reproduce -- --fast     # fewer seeds
+//! cargo run --release --bin reproduce -- e11 --soak 20   # randomized soak
 //! ```
 
 use catenet_bench::*;
@@ -16,9 +17,15 @@ fn main() {
     } else {
         SEEDS.to_vec()
     };
+    // `--soak N` swaps the e11 battery table for N randomized runs.
+    let soak: Option<usize> = args
+        .windows(2)
+        .find(|w| w[0] == "--soak")
+        .and_then(|w| w[1].parse().ok());
     let selected: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
+        .filter(|a| a.parse::<usize>().is_err())
         .map(|a| a.to_lowercase())
         .collect();
     let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
@@ -67,8 +74,21 @@ fn main() {
     run("e10", "realizations", &|s| {
         e10_realizations::default_table(s)
     });
-    run("e11", "survivability gauntlet", &|s| {
-        e11_gauntlet::default_table(s)
+    if want("e11") {
+        if let Some(runs) = soak {
+            eprintln!("running e11 soak ({runs} randomized runs)...");
+            let start = std::time::Instant::now();
+            let table = e11_gauntlet::soak_table(runs, seeds[0]);
+            eprintln!("  e11 soak done in {:.1}s", start.elapsed().as_secs_f64());
+            println!("{table}");
+        } else {
+            run("e11", "survivability gauntlet", &|s| {
+                e11_gauntlet::default_table(s)
+            });
+        }
+    }
+    run("e12", "per-heal reconvergence", &|s| {
+        e12_reconvergence::default_table(s)
     });
     if want("ablations") || selected.is_empty() {
         eprintln!("running ablations A1–A4...");

@@ -51,6 +51,13 @@ pub enum Chaos {
     LossBurst,
     /// A corruption burst: frames arrive, but damaged.
     CorruptionBurst,
+    /// One-direction loss on the primary link: data drowns while ACKs
+    /// (and routing updates) sail through the clean reverse direction.
+    AsymmetricLoss,
+    /// A latency spike with heavy jitter on the primary link: nothing
+    /// is dropped, but back-to-back segments arrive reordered and RTT
+    /// estimates inflate mid-transfer.
+    DelaySpike,
     /// A gateway crash *while* the backup path is flapping.
     DoubleFault,
     /// A silent blackhole on the primary while a backup gateway crashes.
@@ -104,6 +111,8 @@ pub fn scenarios() -> Vec<Scenario> {
         base("blackhole", Chaos::Blackhole),
         base("loss-burst", Chaos::LossBurst),
         base("corruption-burst", Chaos::CorruptionBurst),
+        base("asymmetric-loss", Chaos::AsymmetricLoss),
+        base("delay-spike", Chaos::DelaySpike),
         base("double-fault", Chaos::DoubleFault),
         base("silent-cascade", Chaos::SilentCascade),
         Scenario {
@@ -113,10 +122,11 @@ pub fn scenarios() -> Vec<Scenario> {
     ]
 }
 
-/// One run's outcome. Everything is integral or boolean so two runs of
-/// the same (scenario, seed) can be compared with `==` — the
-/// determinism check the gauntlet's reproducibility claim rests on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One run's outcome. Everything is integral, boolean or a
+/// deterministic string, so two runs of the same (scenario, seed) can
+/// be compared with `==` — the determinism check the gauntlet's
+/// reproducibility claim rests on.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Outcome {
     /// The transfer finished in time.
     pub completed: bool,
@@ -143,6 +153,10 @@ pub struct Outcome {
     pub faults: u64,
     /// Payload bytes acknowledged end to end.
     pub bytes_acked: u64,
+    /// Flight-recorder dump captured at the *first* invariant
+    /// violation — the causal neighborhood of the failure, in
+    /// virtual-time order. Empty when the run was clean.
+    pub flight_dump: String,
 }
 
 struct Topo {
@@ -232,6 +246,33 @@ fn build_plan(
         Chaos::CorruptionBurst => {
             plan.corruption_burst(topo.l_ad, s(2), Duration::from_secs(10), 0.3);
         }
+        Chaos::AsymmetricLoss => {
+            // Heavy loss on the data direction (gA→gD) only; ACKs and
+            // routing updates cross the clean reverse direction, so the
+            // link keeps *looking* healthy from gD's side. Windows stay
+            // under the 18 s route timeout so one-way update loss can't
+            // silently expire routes.
+            plan.one_way_loss_burst(topo.l_ad, true, s(2), Duration::from_secs(8), 0.5);
+            plan.one_way_loss_burst(topo.l_ad, true, s(14), Duration::from_secs(6), 0.5);
+        }
+        Chaos::DelaySpike => {
+            // +150 ms propagation with 80 ms jitter: segments sent 2 ms
+            // apart routinely swap order. Nothing is lost, so no outage.
+            plan.delay_spike(
+                topo.l_ad,
+                s(2),
+                Duration::from_secs(6),
+                Duration::from_millis(150),
+                Duration::from_millis(80),
+            );
+            plan.delay_spike(
+                topo.l_ad,
+                s(12),
+                Duration::from_secs(6),
+                Duration::from_millis(250),
+                Duration::from_millis(120),
+            );
+        }
         Chaos::DoubleFault => {
             plan.push(s(2), FaultAction::NodeCrash { node: topo.gd });
             plan.push(s(20), FaultAction::NodeRestart { node: topo.gd });
@@ -277,8 +318,16 @@ fn build_plan(
     (plan, outages)
 }
 
-/// Run one scenario with one seed.
+/// Run one scenario with one seed, with the standard 60 s stall limit.
 pub fn run(scenario: Scenario, seed: u64) -> Outcome {
+    run_inner(scenario, seed, Duration::from_secs(60))
+}
+
+/// Run one scenario with an explicit progress-watchdog stall limit.
+/// Tightening the limit below the worst-case RTO backoff manufactures a
+/// stall violation on demand — which is how the flight-recorder capture
+/// path is exercised deterministically.
+pub fn run_inner(scenario: Scenario, seed: u64, stall_limit: Duration) -> Outcome {
     let mut net = Network::new(seed);
     let h1 = net.add_host("h1");
     let ga = net.add_gateway("gA");
@@ -335,18 +384,34 @@ pub fn run(scenario: Scenario, seed: u64) -> Outcome {
     let result = sender.result_handle();
     net.attach_app(h1, Box::new(sender));
 
-    // Stall limit: comfortably beyond worst-case RTO backoff plus
-    // distance-vector reconvergence.
-    let mut watchdog = ProgressWatchdog::new(Duration::from_secs(60), start);
+    // Stall limit: by default comfortably beyond worst-case RTO backoff
+    // plus distance-vector reconvergence.
+    let mut watchdog = ProgressWatchdog::new(stall_limit, start);
     let step = Duration::from_millis(500);
     let end = start + scenario.limit;
     let mut t = start;
+    let mut flight_dump = String::new();
     while t < end {
         t = (t + step).min(end);
         net.run_until(t);
         let path_up = !outages.iter().any(|&(from, to)| t >= from && t < to);
         watchdog.set_path_available(path_up, t);
         watchdog.observe(result.borrow().bytes_acked, t);
+        // First violation: snapshot the flight recorder — the black-box
+        // readout of the causal neighborhood.
+        let violations_now = integrity.borrow().violations().len() + watchdog.stalls();
+        if flight_dump.is_empty() && violations_now > 0 {
+            let detail = integrity
+                .borrow()
+                .violations()
+                .iter()
+                .chain(watchdog.violations())
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("; ");
+            net.record_invariant("e11-end-to-end", false, detail);
+            flight_dump = net.flight_dump();
+        }
         let done = {
             let r = result.borrow();
             r.completed_at.is_some() || r.aborted
@@ -372,6 +437,7 @@ pub fn run(scenario: Scenario, seed: u64) -> Outcome {
         timeouts: result.timeouts,
         faults: net.faults_applied,
         bytes_acked: result.bytes_acked,
+        flight_dump,
     }
 }
 
@@ -426,6 +492,76 @@ pub fn default_table(seeds: &[u64]) -> Table {
     table
 }
 
+/// Randomized soak: `runs` gauntlet runs, each drawing a scenario from
+/// the battery and jittering its transfer size, with per-run seeds
+/// derived deterministically from `base_seed`. The composition is pure
+/// data from the seed — the same `(runs, base_seed)` always soaks the
+/// identical sequence — so a soak failure is as replayable as any
+/// single scenario.
+pub fn soak_table(runs: usize, base_seed: u64) -> Table {
+    let battery = scenarios();
+    let mut compose = Rng::from_seed(base_seed ^ 0x50AC_50AC_50AC_50AC);
+    // Per-scenario aggregates: (runs, completed, clean exits, violations).
+    let mut agg: Vec<(usize, usize, usize, usize)> = vec![(0, 0, 0, 0); battery.len()];
+    for i in 0..runs {
+        let pick = compose.below(battery.len() as u64) as usize;
+        let mut scenario = battery[pick];
+        // Jitter the workload: 1–3 MB, so the chaos windows land at
+        // varying points of the transfer's lifetime.
+        scenario.transfer_bytes = 1_000_000 + compose.below(2_000_000) as usize;
+        let outcome = run(scenario, derive_seed(base_seed, i as u64));
+        let slot = &mut agg[pick];
+        slot.0 += 1;
+        slot.1 += usize::from(outcome.completed);
+        slot.2 += usize::from(outcome.clean_exit);
+        slot.3 += outcome.violations;
+    }
+    let mut table = Table::new(
+        format!(
+            "E11 soak — {runs} randomized gauntlet runs (scenario and transfer size \
+             drawn from seed {base_seed}; every run individually replayable)"
+        ),
+        &["scenario", "runs", "completed", "clean exit", "violations"],
+    );
+    let mut totals = (0usize, 0usize, 0usize, 0usize);
+    for (scenario, &(n, completed, clean, violations)) in battery.iter().zip(&agg) {
+        if n == 0 {
+            continue;
+        }
+        totals.0 += n;
+        totals.1 += completed;
+        totals.2 += clean;
+        totals.3 += violations;
+        table.row(vec![
+            scenario.name.into(),
+            format!("{n}"),
+            format!("{completed}/{n}"),
+            format!("{clean}/{n}"),
+            format!("{violations}"),
+        ]);
+    }
+    table.row(vec![
+        "TOTAL".into(),
+        format!("{}", totals.0),
+        format!("{}/{}", totals.1, totals.0),
+        format!("{}/{}", totals.2, totals.0),
+        format!("{}", totals.3),
+    ]);
+    table.note(
+        "Expected shape: clean exits everywhere, zero violations; completion only \
+         fails on draws of partition-forever, which must abort explicitly instead.",
+    );
+    table
+}
+
+/// SplitMix64 step: decorrelated per-run seeds from one base seed.
+fn derive_seed(base: u64, i: u64) -> u64 {
+    let mut z = base.wrapping_add((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A small, fast configuration for the benchmark harness.
 pub fn quick(seed: u64) -> Outcome {
     run(
@@ -452,8 +588,64 @@ mod tests {
     }
 
     #[test]
-    fn battery_has_twelve_scenarios() {
-        assert_eq!(scenarios().len(), 12);
+    fn battery_has_fourteen_scenarios() {
+        assert_eq!(scenarios().len(), 14);
+    }
+
+    #[test]
+    fn asymmetric_loss_is_survived_with_integrity() {
+        let outcome = run(by_name("asymmetric-loss"), 11);
+        assert!(outcome.completed, "{outcome:?}");
+        assert!(outcome.integrity_ok);
+        assert_eq!(outcome.violations, 0);
+        assert!(
+            outcome.retransmits > 0,
+            "one-way loss must cost retransmissions"
+        );
+    }
+
+    #[test]
+    fn delay_spike_reordering_is_absorbed() {
+        let outcome = run(by_name("delay-spike"), 11);
+        assert!(outcome.completed, "{outcome:?}");
+        assert!(outcome.integrity_ok, "reordering never corrupts the stream");
+        assert_eq!(outcome.violations, 0);
+    }
+
+    #[test]
+    fn induced_violation_produces_a_causal_flight_dump() {
+        // A 1 s stall limit is far below blackhole RTO backoff: the
+        // watchdog must trip once the hole closes and TCP is still
+        // backing off, and the outcome must carry the black-box readout.
+        let outcome = run_inner(by_name("blackhole"), 11, Duration::from_secs(1));
+        assert!(outcome.violations > 0, "stall manufactured: {outcome:?}");
+        let dump = &outcome.flight_dump;
+        assert!(!dump.is_empty(), "dump captured at the violation");
+        assert!(dump.contains("fault: degrade link"), "fault events: {dump}");
+        assert!(dump.contains("rto-fired"), "RTO events: {dump}");
+        assert!(
+            dump.contains("INVARIANT TRIPPED"),
+            "the trip itself is the last entry: {dump}"
+        );
+        // Virtual timestamps are non-decreasing: the ring records only
+        // forward in time.
+        let times: Vec<u64> = dump
+            .lines()
+            .filter_map(|l| l.trim_start().split("us ").next()?.trim().parse().ok())
+            .collect();
+        assert!(times.len() >= 3, "parsed timestamps from: {dump}");
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "time order: {dump}");
+        // And the same induced run replays to the identical dump.
+        let again = run_inner(by_name("blackhole"), 11, Duration::from_secs(1));
+        assert_eq!(outcome, again, "induced violation replays bit-for-bit");
+    }
+
+    #[test]
+    fn soak_is_deterministic() {
+        let a = soak_table(3, 99).to_string();
+        let b = soak_table(3, 99).to_string();
+        assert_eq!(a, b);
+        assert!(a.contains("TOTAL"));
     }
 
     #[test]

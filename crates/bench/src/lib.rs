@@ -18,6 +18,7 @@
 //! | [`e9_byte_sequencing`] | TCP byte sequencing vs packet sequencing |
 //! | [`e10_realizations`] | one architecture across LAN / terrestrial / satellite realizations |
 //! | [`e11_gauntlet`] | end-to-end invariants under scripted chaos (the survivability gauntlet) |
+//! | [`e12_reconvergence`] | per-heal routing reconvergence, measured and bounded |
 //!
 //! [`ablations`] additionally turns individual design choices *off* —
 //! congestion control, split horizon, Nagle, source quench — and
@@ -35,6 +36,7 @@ pub mod channel;
 pub mod e1_survivability;
 pub mod e10_realizations;
 pub mod e11_gauntlet;
+pub mod e12_reconvergence;
 pub mod e2_type_of_service;
 pub mod e3_variety;
 pub mod e4_distributed_mgmt;

@@ -66,10 +66,6 @@ pub struct NodeStats {
     pub dropped_transport_checksum: u64,
     /// Fragments created while forwarding or originating.
     pub frags_created: u64,
-    /// Whole datagrams rebuilt by reassembly.
-    pub reassembled: u64,
-    /// Reassemblies abandoned on timeout.
-    pub reassembly_timeouts: u64,
     /// ICMP messages generated.
     pub icmp_sent: u64,
     /// ICMP messages received for local consumption.
@@ -82,8 +78,10 @@ pub struct NodeStats {
     pub quench_applied: u64,
     /// ARP requests retransmitted after no reply (backoff timer).
     pub arp_retries: u64,
-    /// Drops: ARP resolution gave up (or its pending queue overflowed).
+    /// Drops: ARP pending queue overflowed (or entry raced to Known).
     pub dropped_arp_unresolved: u64,
+    /// Drops: ARP resolution gave up after exhausting its retries.
+    pub dropped_arp_gave_up: u64,
     /// Drops: frame arrived for an interface index we don't have.
     pub dropped_bad_iface: u64,
 }
@@ -208,6 +206,14 @@ impl Node {
     /// The primary (first-interface) address.
     pub fn primary_addr(&self) -> Ipv4Address {
         self.ifaces.first().map(|i| i.addr).unwrap_or_default()
+    }
+
+    /// The IP reassembler — the single source of truth for completed,
+    /// timed-out and evicted reassemblies (its counters reset on crash,
+    /// like everything else volatile: fate-sharing applies to telemetry
+    /// too).
+    pub fn reassembler(&self) -> &Reassembler {
+        &self.reassembler
     }
 
     // ------------------------------------------------------------ fate
@@ -637,10 +643,9 @@ impl Node {
         if local {
             if is_fragment {
                 match self.reassembler.push(&datagram, now) {
-                    Ok(Some(whole)) => {
-                        self.stats.reassembled += 1;
-                        self.deliver_local(now, whole);
-                    }
+                    // The reassembler's own `completed` counter is the
+                    // single source of truth for rebuilt datagrams.
+                    Ok(Some(whole)) => self.deliver_local(now, whole),
                     Ok(None) => {}
                     Err(_) => self.stats.dropped_malformed += 1,
                 }
@@ -1051,9 +1056,8 @@ impl Node {
         if !self.alive {
             return;
         }
-        // Reassembly timeouts.
-        let expired = self.reassembler.expire(now);
-        self.stats.reassembly_timeouts += expired.len() as u64;
+        // Reassembly timeouts (counted by the reassembler itself).
+        let _ = self.reassembler.expire(now);
         self.service_arp(now);
         if let Some(flows) = &mut self.flows {
             flows.expire_idle(now);
@@ -1079,7 +1083,7 @@ impl Node {
                 retries.push((index, target));
             }
             for (_, dropped) in tick.gave_up {
-                self.stats.dropped_arp_unresolved += dropped as u64;
+                self.stats.dropped_arp_gave_up += dropped as u64;
             }
         }
         for (iface, target) in retries {
@@ -1579,7 +1583,8 @@ mod tests {
             "retries beyond the initial request"
         );
         assert_eq!(node.stats.arp_retries, u64::from(crate::arp::MAX_REQUEST_ATTEMPTS - 1));
-        assert_eq!(node.stats.dropped_arp_unresolved, 1, "queued datagram dropped on give-up");
+        assert_eq!(node.stats.dropped_arp_gave_up, 1, "queued datagram dropped on give-up");
+        assert_eq!(node.stats.dropped_arp_unresolved, 0, "queue never overflowed");
         // Give-up: 1+2+4+8 s of backoff plus the final 8 s wait.
         assert_eq!(now, Instant::from_secs(23));
     }
@@ -1608,6 +1613,7 @@ mod tests {
         node.service(Instant::from_secs(30));
         assert_eq!(node.stats.arp_retries, 0, "no retries after resolution");
         assert_eq!(node.stats.dropped_arp_unresolved, 0);
+        assert_eq!(node.stats.dropped_arp_gave_up, 0);
         assert!(count_arp_requests(&node.take_outbox()) == 0);
     }
 

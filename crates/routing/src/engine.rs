@@ -138,6 +138,11 @@ pub struct DvEngine {
     pub updates_received: u64,
     /// Route changes applied.
     pub changes_applied: u64,
+    /// Monotone table version: bumped once per mutation that changes
+    /// what the table *says* (insert, metric change, poison, drop).
+    /// Refreshes that only extend a deadline do not count. Telemetry
+    /// samples this to timestamp reconvergence.
+    version: u64,
 }
 
 impl DvEngine {
@@ -150,12 +155,18 @@ impl DvEngine {
             trigger_pending: false,
             updates_received: 0,
             changes_applied: 0,
+            version: 0,
         }
     }
 
     /// The protocol configuration.
     pub fn config(&self) -> &DvConfig {
         &self.config
+    }
+
+    /// The table's monotone version counter.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Declare a directly connected network on `iface`.
@@ -170,6 +181,7 @@ impl DvEngine {
             },
         );
         self.trigger_pending = true;
+        self.version += 1;
     }
 
     /// Withdraw a connected network (interface went down).
@@ -181,6 +193,7 @@ impl DvEngine {
                 // Hold at infinity for one GC period so neighbors hear it.
                 route.expires_at = Instant::ZERO;
                 self.trigger_pending = true;
+                self.version += 1;
             }
         }
     }
@@ -202,6 +215,7 @@ impl DvEngine {
         }
         if changed {
             self.trigger_pending = true;
+            self.version += 1;
         }
     }
 
@@ -287,6 +301,7 @@ impl DvEngine {
         if changed_any {
             self.changes_applied += 1;
             self.trigger_pending = true;
+            self.version += 1;
         }
         changed_any
     }
@@ -296,6 +311,7 @@ impl DvEngine {
     pub fn tick(&mut self, now: Instant) {
         let gc = self.config.gc_timeout;
         let mut newly_dead = false;
+        let before = self.table.iter().count();
         self.table.retain(|_, route| {
             if route.expires_at > now {
                 return true;
@@ -312,8 +328,12 @@ impl DvEngine {
                 false
             }
         });
+        let dropped = before != self.table.iter().count();
         if newly_dead {
             self.trigger_pending = true;
+        }
+        if newly_dead || dropped {
+            self.version += 1;
         }
     }
 
@@ -383,6 +403,9 @@ impl DvEngine {
     /// re-declared by the owner on reboot — which is trivial, because
     /// they are configuration, not conversation state.
     pub fn clear(&mut self) {
+        if self.table.iter().next().is_some() {
+            self.version += 1;
+        }
         self.table.clear();
         self.trigger_pending = false;
         self.next_periodic = Instant::ZERO;
@@ -743,6 +766,35 @@ mod tests {
         dv.clear();
         assert_eq!(dv.routes().count(), 0);
         assert!(dv.periodic_due(Instant::ZERO));
+    }
+
+    #[test]
+    fn version_counts_material_changes_only() {
+        let mut dv = engine();
+        assert_eq!(dv.version(), 0);
+        dv.add_connected(cidr("10.1.0.0/16"), 0);
+        assert_eq!(dv.version(), 1);
+        let entry = [RipEntry {
+            prefix: cidr("10.9.0.0/16"),
+            metric: 1,
+        }];
+        dv.handle_update(addr("10.0.0.2"), 1, &entry, Instant::ZERO);
+        assert_eq!(dv.version(), 2, "new route learned");
+        // A pure refresh extends the deadline but says nothing new.
+        dv.handle_update(addr("10.0.0.2"), 1, &entry, Instant::from_secs(2));
+        assert_eq!(dv.version(), 2, "refresh is not a change");
+        // A quiet tick changes nothing either.
+        dv.tick(Instant::from_secs(3));
+        assert_eq!(dv.version(), 2);
+        dv.fail_iface(1, Instant::from_secs(4));
+        assert_eq!(dv.version(), 3, "poison is a change");
+        // GC drop of the poisoned route is a change too (12 s hold).
+        dv.tick(Instant::from_secs(17));
+        assert_eq!(dv.version(), 4);
+        dv.clear();
+        assert_eq!(dv.version(), 5);
+        dv.clear();
+        assert_eq!(dv.version(), 5, "clearing empty is a no-op");
     }
 
     #[test]

@@ -74,6 +74,38 @@ pub enum FaultAction {
         /// Link index.
         link: usize,
     },
+    /// Override loss and/or corruption in *one direction only*
+    /// (`a_to_b` selects which). The reverse direction stays clean —
+    /// the asymmetric failure mode where data drowns but ACKs survive
+    /// (or vice versa), which a bidirectional model can never produce.
+    DegradeOneWay {
+        /// Link index.
+        link: usize,
+        /// `true` degrades the a→b direction, `false` the b→a one.
+        a_to_b: bool,
+        /// New loss probability, if overridden.
+        loss: Option<f64>,
+        /// New corruption probability, if overridden.
+        corruption: Option<f64>,
+    },
+    /// Inflate a link's propagation delay by `extra` and replace its
+    /// jitter (both directions). Interfaces stay up and no packet is
+    /// lost — but when `jitter` exceeds the spacing between back-to-back
+    /// frames, they arrive *reordered*: the silent failure mode that
+    /// sequence numbers exist to absorb.
+    DelaySpike {
+        /// Link index.
+        link: usize,
+        /// Added one-way propagation delay.
+        extra: Duration,
+        /// Replacement jitter (reordering pressure).
+        jitter: Duration,
+    },
+    /// Restore a delay-spiked link to its baseline timing.
+    RestoreDelay {
+        /// Link index.
+        link: usize,
+    },
 }
 
 /// A fault action bound to a point in virtual time.
@@ -260,6 +292,44 @@ impl FaultPlan {
     pub fn blackhole(&mut self, link: usize, at: Instant, duration: Duration) {
         self.loss_burst(link, at, duration, 1.0);
     }
+
+    /// An asymmetric loss burst: one direction of the link drops with
+    /// probability `loss` during `[at, at + duration)` while the reverse
+    /// direction stays clean. `a_to_b` selects the lossy direction.
+    pub fn one_way_loss_burst(
+        &mut self,
+        link: usize,
+        a_to_b: bool,
+        at: Instant,
+        duration: Duration,
+        loss: f64,
+    ) {
+        self.push(
+            at,
+            FaultAction::DegradeOneWay {
+                link,
+                a_to_b,
+                loss: Some(loss),
+                corruption: None,
+            },
+        );
+        self.push(at + duration, FaultAction::Restore { link });
+    }
+
+    /// A delay spike: the link's one-way latency grows by `extra` with
+    /// jitter `jitter` during `[at, at + duration)`, then snaps back.
+    /// Nothing is dropped; the damage is reordering and RTT inflation.
+    pub fn delay_spike(
+        &mut self,
+        link: usize,
+        at: Instant,
+        duration: Duration,
+        extra: Duration,
+        jitter: Duration,
+    ) {
+        self.push(at, FaultAction::DelaySpike { link, extra, jitter });
+        self.push(at + duration, FaultAction::RestoreDelay { link });
+    }
 }
 
 #[cfg(test)]
@@ -406,6 +476,47 @@ mod tests {
                 ..
             } if l == 1.0
         )));
+    }
+
+    #[test]
+    fn one_way_burst_names_a_direction_and_restores() {
+        let mut plan = FaultPlan::new();
+        plan.one_way_loss_burst(4, true, secs(2), Duration::from_secs(6), 0.5);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(
+            plan.events()[0].action,
+            FaultAction::DegradeOneWay {
+                link: 4,
+                a_to_b: true,
+                loss: Some(0.5),
+                corruption: None,
+            }
+        );
+        assert_eq!(plan.events()[1].at, secs(8));
+        assert_eq!(plan.events()[1].action, FaultAction::Restore { link: 4 });
+    }
+
+    #[test]
+    fn delay_spike_pairs_with_restore_delay() {
+        let mut plan = FaultPlan::new();
+        plan.delay_spike(
+            1,
+            secs(10),
+            Duration::from_secs(4),
+            Duration::from_millis(150),
+            Duration::from_millis(80),
+        );
+        assert_eq!(plan.len(), 2);
+        assert_eq!(
+            plan.events()[0].action,
+            FaultAction::DelaySpike {
+                link: 1,
+                extra: Duration::from_millis(150),
+                jitter: Duration::from_millis(80),
+            }
+        );
+        assert_eq!(plan.events()[1].at, secs(14));
+        assert_eq!(plan.events()[1].action, FaultAction::RestoreDelay { link: 1 });
     }
 
     #[test]

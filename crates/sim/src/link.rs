@@ -218,6 +218,9 @@ pub struct Link {
     /// Baseline (loss, corruption) saved while a fault window overrides
     /// them; `None` when the link is at its configured quality.
     base_quality: Option<(f64, f64)>,
+    /// Baseline (propagation, jitter) saved while a delay spike
+    /// overrides them; `None` when the link is at its configured delay.
+    base_delay: Option<(Duration, Duration)>,
     /// Completion times of frames still in the queue or in service.
     in_flight: VecDeque<Instant>,
     busy_until: Instant,
@@ -234,6 +237,7 @@ impl Link {
             params,
             up: true,
             base_quality: None,
+            base_delay: None,
             in_flight: VecDeque::new(),
             busy_until: Instant::ZERO,
             stats: LinkStats::default(),
@@ -299,6 +303,36 @@ impl Link {
     /// Whether a fault window currently overrides the link quality.
     pub fn is_degraded(&self) -> bool {
         self.base_quality.is_some()
+    }
+
+    /// Override the link's delay for a fault window: propagation grows
+    /// by `extra` (over the configured baseline, not cumulatively) and
+    /// jitter is replaced by `jitter`. Like [`Link::degrade`] this is
+    /// silent — interfaces stay up and routing notices nothing. When
+    /// `jitter` exceeds the inter-packet spacing the link reorders,
+    /// which is the point of a reordering burst. Repeated spikes rebase
+    /// on the same saved baseline.
+    pub fn delay_spike(&mut self, extra: Duration, jitter: Duration) {
+        if self.base_delay.is_none() {
+            self.base_delay = Some((self.params.propagation, self.params.jitter));
+        }
+        let (base_propagation, _) = self.base_delay.expect("just saved");
+        self.params.propagation = base_propagation + extra;
+        self.params.jitter = jitter;
+    }
+
+    /// Restore the baseline delay after a spike window. No-op if the
+    /// link was never spiked.
+    pub fn restore_delay(&mut self) {
+        if let Some((propagation, jitter)) = self.base_delay.take() {
+            self.params.propagation = propagation;
+            self.params.jitter = jitter;
+        }
+    }
+
+    /// Whether a delay spike currently overrides the link delay.
+    pub fn is_delay_spiked(&self) -> bool {
+        self.base_delay.is_some()
     }
 
     /// Counters so far.
@@ -612,6 +646,52 @@ mod tests {
         // Restore without degrade is a no-op.
         link.restore();
         assert_eq!(link.params().loss, 0.001);
+    }
+
+    #[test]
+    fn delay_spike_slows_delivery_and_restore_recovers() {
+        let mut link = Link::new(quiet_params()); // 1 ms propagation
+        let mut rng = Rng::from_seed(1);
+        link.delay_spike(Duration::from_millis(150), Duration::ZERO);
+        assert!(link.is_delay_spiked());
+        let mut frame = vec![0u8; 1000];
+        match link.transmit(Instant::ZERO, &mut frame, &mut rng) {
+            LinkOutcome::Delivered { at, .. } => {
+                // 1 ms serialization + (1 + 150) ms propagation.
+                assert_eq!(at, Instant::from_millis(152));
+            }
+            other => panic!("{other:?}"),
+        }
+        // A second spike rebases on the original 1 ms, not 151 ms.
+        link.delay_spike(Duration::from_millis(10), Duration::ZERO);
+        assert_eq!(link.params().propagation, Duration::from_millis(11));
+        link.restore_delay();
+        assert!(!link.is_delay_spiked());
+        assert_eq!(link.params().propagation, Duration::from_millis(1));
+        // Restore without a spike is a no-op.
+        link.restore_delay();
+        assert_eq!(link.params().propagation, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn spiked_jitter_reorders_back_to_back_frames() {
+        // Jitter (80 ms) far exceeds packet spacing (1 ms serialization):
+        // some later frame must arrive before an earlier one.
+        let mut link = Link::new(quiet_params());
+        link.delay_spike(Duration::ZERO, Duration::from_millis(80));
+        let mut rng = Rng::from_seed(7);
+        let mut arrivals = Vec::new();
+        for i in 0..16u64 {
+            let mut frame = vec![0u8; 1000];
+            match link.transmit(Instant::from_millis(i * 2), &mut frame, &mut rng) {
+                LinkOutcome::Delivered { at, .. } => arrivals.push(at),
+                LinkOutcome::Dropped(_) => {}
+            }
+        }
+        assert!(
+            arrivals.windows(2).any(|w| w[1] < w[0]),
+            "no reordering observed: {arrivals:?}"
+        );
     }
 
     #[test]

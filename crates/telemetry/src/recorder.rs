@@ -1,0 +1,253 @@
+//! The flight recorder: a bounded ring of structured events.
+//!
+//! When an end-to-end invariant trips, "violations: 1" is useless for
+//! diagnosis; what matters is the causal neighborhood — which fault
+//! fired, which routes moved, which retransmission timers expired, in
+//! what order. The recorder keeps the last N such events with virtual
+//! timestamps; the dump is the black-box readout.
+
+use catenet_sim::Instant;
+use std::collections::VecDeque;
+
+/// A structured event worth remembering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A fault-plan action was applied.
+    FaultInjected {
+        /// Human-readable description of the action.
+        description: String,
+    },
+    /// A node's routing table changed (version advanced).
+    RouteChanged {
+        /// The node whose table changed.
+        node: usize,
+        /// Its new table version.
+        version: u64,
+    },
+    /// A TCP retransmission timeout fired on some socket of a node.
+    RtoFired {
+        /// The node owning the socket.
+        node: usize,
+        /// The node's cumulative RTO count after this firing.
+        total_timeouts: u64,
+    },
+    /// An invariant was evaluated.
+    InvariantChecked {
+        /// Which invariant.
+        name: &'static str,
+        /// Whether it held.
+        ok: bool,
+    },
+    /// An invariant tripped; the recorder dump at this moment is the
+    /// causal trace.
+    InvariantTripped {
+        /// The violation, rendered.
+        description: String,
+    },
+    /// Free-form annotation from the harness.
+    Note {
+        /// The annotation.
+        text: String,
+    },
+}
+
+impl core::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EventKind::FaultInjected { description } => write!(f, "fault: {description}"),
+            EventKind::RouteChanged { node, version } => {
+                write!(f, "route-changed: node{node} table v{version}")
+            }
+            EventKind::RtoFired { node, total_timeouts } => {
+                write!(f, "rto-fired: node{node} (total {total_timeouts})")
+            }
+            EventKind::InvariantChecked { name, ok } => {
+                write!(f, "invariant-checked: {name} {}", if *ok { "ok" } else { "VIOLATED" })
+            }
+            EventKind::InvariantTripped { description } => {
+                write!(f, "INVARIANT TRIPPED: {description}")
+            }
+            EventKind::Note { text } => write!(f, "note: {text}"),
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Virtual time of the event.
+    pub at: Instant,
+    /// Monotone sequence number (never reused, survives ring eviction;
+    /// gaps reveal how much history was lost).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The bounded ring buffer.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    buf: VecDeque<FlightEvent>,
+    next_seq: u64,
+    evicted: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            buf: VecDeque::new(),
+            next_seq: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Record an event, evicting the oldest if the ring is full.
+    pub fn record(&mut self, at: Instant, kind: EventKind) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(FlightEvent {
+            at,
+            seq: self.next_seq,
+            kind,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Events currently held, oldest first (and therefore in virtual-time
+    /// order: recording only moves forward).
+    pub fn events(&self) -> impl Iterator<Item = &FlightEvent> {
+        self.buf.iter()
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events recorded over the recorder's lifetime (held + evicted).
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events lost to ring eviction.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The black-box readout: every held event, one line each, oldest
+    /// first with virtual timestamps. Deterministic.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        if self.evicted > 0 {
+            out.push_str(&format!(
+                "... {} earlier event(s) evicted from the ring ...\n",
+                self.evicted
+            ));
+        }
+        for event in &self.buf {
+            out.push_str(&format!(
+                "{:>12}us #{:<5} {}\n",
+                event.at.total_micros(),
+                event.seq,
+                event.kind
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn note(text: &str) -> EventKind {
+        EventKind::Note {
+            text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn records_in_order_until_capacity() {
+        let mut rec = FlightRecorder::new(8);
+        for i in 0..5u64 {
+            rec.record(Instant::from_secs(i), note("x"));
+        }
+        assert_eq!(rec.len(), 5);
+        assert_eq!(rec.evicted(), 0);
+        let seqs: Vec<u64> = rec.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wraparound_keeps_only_the_newest_and_counts_evictions() {
+        let mut rec = FlightRecorder::new(3);
+        for i in 0..10u64 {
+            rec.record(Instant::from_secs(i), note("e"));
+        }
+        assert_eq!(rec.len(), 3, "bounded");
+        assert_eq!(rec.evicted(), 7);
+        assert_eq!(rec.total_recorded(), 10);
+        let seqs: Vec<u64> = rec.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9], "oldest evicted first");
+        let times: Vec<Instant> = rec.events().map(|e| e.at).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "time order");
+        assert!(rec.dump().starts_with("... 7 earlier event(s) evicted"));
+    }
+
+    #[test]
+    fn capacity_of_zero_is_clamped_to_one() {
+        let mut rec = FlightRecorder::new(0);
+        rec.record(Instant::ZERO, note("a"));
+        rec.record(Instant::from_secs(1), note("b"));
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.events().next().unwrap().seq, 1, "newest survives");
+    }
+
+    #[test]
+    fn dump_renders_kinds_readably() {
+        let mut rec = FlightRecorder::new(8);
+        rec.record(
+            Instant::from_millis(1_500),
+            EventKind::FaultInjected {
+                description: "link 2 down".to_string(),
+            },
+        );
+        rec.record(
+            Instant::from_millis(2_000),
+            EventKind::RouteChanged { node: 1, version: 4 },
+        );
+        rec.record(
+            Instant::from_millis(2_500),
+            EventKind::RtoFired {
+                node: 0,
+                total_timeouts: 3,
+            },
+        );
+        rec.record(
+            Instant::from_millis(3_000),
+            EventKind::InvariantTripped {
+                description: "stall".to_string(),
+            },
+        );
+        let dump = rec.dump();
+        assert!(dump.contains("fault: link 2 down"));
+        assert!(dump.contains("route-changed: node1 table v4"));
+        assert!(dump.contains("rto-fired: node0 (total 3)"));
+        assert!(dump.contains("INVARIANT TRIPPED: stall"));
+    }
+}

@@ -1,0 +1,255 @@
+//! The metrics registry: typed counters and gauges interned by name and
+//! scope.
+//!
+//! The design splits the cost asymmetrically. Registration and interning
+//! pay hash lookups once; after that a metric instance is an index into a
+//! dense `Vec<u64>`, so the hot path — a gateway bumping a drop counter
+//! per datagram — is one bounds-checked add. The sorted, deterministic
+//! text dump walks everything and is only paid for when an experiment
+//! asks for output.
+
+use std::collections::HashMap;
+
+/// What a metric instance is attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scope {
+    /// The whole network.
+    Global,
+    /// One node (host or gateway), by id.
+    Node(usize),
+    /// One duplex link, by id.
+    Link(usize),
+    /// One TCP socket: owning node and socket handle.
+    Socket {
+        /// Owning node id.
+        node: usize,
+        /// Socket handle within the node.
+        handle: usize,
+    },
+}
+
+impl core::fmt::Display for Scope {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Scope::Global => write!(f, "global"),
+            Scope::Node(id) => write!(f, "node{id}"),
+            Scope::Link(id) => write!(f, "link{id}"),
+            Scope::Socket { node, handle } => write!(f, "node{node}/sock{handle}"),
+        }
+    }
+}
+
+/// Counter (monotone) or gauge (set to the latest value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Point-in-time value, overwritten on each set.
+    Gauge,
+}
+
+/// A pre-interned (metric, scope) pair: the hot-path handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrumentId(usize);
+
+#[derive(Debug)]
+struct Metric {
+    name: &'static str,
+    kind: MetricKind,
+}
+
+/// The registry itself.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Vec<Metric>,
+    by_name: HashMap<&'static str, usize>,
+    /// (metric index, scope) → slot in `values`.
+    instruments: HashMap<(usize, Scope), usize>,
+    /// Parallel to `values`: which (metric, scope) each slot is.
+    keys: Vec<(usize, Scope)>,
+    values: Vec<u64>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn metric_index(&mut self, name: &'static str, kind: MetricKind) -> usize {
+        if let Some(&index) = self.by_name.get(name) {
+            assert_eq!(
+                self.metrics[index].kind, kind,
+                "metric {name:?} registered with two kinds"
+            );
+            return index;
+        }
+        let index = self.metrics.len();
+        self.metrics.push(Metric { name, kind });
+        self.by_name.insert(name, index);
+        index
+    }
+
+    /// Intern a counter instance, creating it at zero if new.
+    pub fn counter(&mut self, name: &'static str, scope: Scope) -> InstrumentId {
+        let metric = self.metric_index(name, MetricKind::Counter);
+        self.instrument(metric, scope)
+    }
+
+    /// Intern a gauge instance, creating it at zero if new.
+    pub fn gauge(&mut self, name: &'static str, scope: Scope) -> InstrumentId {
+        let metric = self.metric_index(name, MetricKind::Gauge);
+        self.instrument(metric, scope)
+    }
+
+    fn instrument(&mut self, metric: usize, scope: Scope) -> InstrumentId {
+        if let Some(&slot) = self.instruments.get(&(metric, scope)) {
+            return InstrumentId(slot);
+        }
+        let slot = self.values.len();
+        self.values.push(0);
+        self.keys.push((metric, scope));
+        self.instruments.insert((metric, scope), slot);
+        InstrumentId(slot)
+    }
+
+    /// Add to a counter (or gauge) slot. O(1).
+    pub fn add(&mut self, id: InstrumentId, delta: u64) {
+        self.values[id.0] = self.values[id.0].saturating_add(delta);
+    }
+
+    /// Overwrite a gauge (or counter) slot. O(1).
+    pub fn set(&mut self, id: InstrumentId, value: u64) {
+        self.values[id.0] = value;
+    }
+
+    /// Read a slot. O(1).
+    pub fn value(&self, id: InstrumentId) -> u64 {
+        self.values[id.0]
+    }
+
+    /// Read by name and scope; zero if never interned.
+    pub fn get(&self, name: &str, scope: Scope) -> u64 {
+        self.by_name
+            .get(name)
+            .and_then(|&metric| self.instruments.get(&(metric, scope)))
+            .map_or(0, |&slot| self.values[slot])
+    }
+
+    /// Sum of a metric across all scopes it was interned for.
+    pub fn total(&self, name: &str) -> u64 {
+        let Some(&metric) = self.by_name.get(name) else {
+            return 0;
+        };
+        self.keys
+            .iter()
+            .zip(&self.values)
+            .filter(|((m, _), _)| *m == metric)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Number of interned instances.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Deterministic text dump: one `name{scope} value` line per
+    /// instance, sorted by metric name then scope. Byte-identical across
+    /// runs that performed the same recording.
+    pub fn dump(&self) -> String {
+        let mut rows: Vec<(&'static str, Scope, u64)> = self
+            .keys
+            .iter()
+            .zip(&self.values)
+            .map(|(&(metric, scope), &value)| (self.metrics[metric].name, scope, value))
+            .collect();
+        rows.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let mut out = String::new();
+        for (name, scope, value) in rows {
+            out.push_str(&format!("{name}{{{scope}}} {value}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_cheap_to_reuse() {
+        let mut reg = Registry::new();
+        let a = reg.counter("drops", Scope::Node(3));
+        let b = reg.counter("drops", Scope::Node(3));
+        assert_eq!(a, b, "same instance");
+        reg.add(a, 2);
+        reg.add(b, 3);
+        assert_eq!(reg.value(a), 5);
+        assert_eq!(reg.get("drops", Scope::Node(3)), 5);
+        assert_eq!(reg.get("drops", Scope::Node(4)), 0, "never interned");
+    }
+
+    #[test]
+    fn scopes_keep_instances_apart_and_total_sums_them() {
+        let mut reg = Registry::new();
+        let n0 = reg.counter("frags", Scope::Node(0));
+        let n1 = reg.counter("frags", Scope::Node(1));
+        let g = reg.counter("frags", Scope::Global);
+        reg.add(n0, 10);
+        reg.add(n1, 4);
+        reg.add(g, 1);
+        assert_eq!(reg.total("frags"), 15);
+        assert_eq!(reg.total("unknown"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut reg = Registry::new();
+        let g = reg.gauge("queue_depth", Scope::Link(2));
+        reg.set(g, 7);
+        reg.set(g, 3);
+        assert_eq!(reg.value(g), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "two kinds")]
+    fn kind_conflicts_are_refused() {
+        let mut reg = Registry::new();
+        reg.counter("x", Scope::Global);
+        reg.gauge("x", Scope::Global);
+    }
+
+    #[test]
+    fn dump_is_sorted_and_stable_regardless_of_insertion_order() {
+        let build = |reverse: bool| {
+            let mut reg = Registry::new();
+            let mut ops: Vec<(&'static str, Scope, u64)> = vec![
+                ("zeta", Scope::Global, 1),
+                ("alpha", Scope::Node(2), 2),
+                ("alpha", Scope::Node(1), 3),
+                ("mid", Scope::Socket { node: 0, handle: 1 }, 4),
+                ("mid", Scope::Link(0), 5),
+            ];
+            if reverse {
+                ops.reverse();
+            }
+            for (name, scope, v) in ops {
+                let id = reg.counter(name, scope);
+                reg.add(id, v);
+            }
+            reg.dump()
+        };
+        let dump = build(false);
+        assert_eq!(dump, build(true), "insertion order is invisible");
+        assert_eq!(
+            dump,
+            "alpha{node1} 3\nalpha{node2} 2\nmid{link0} 5\nmid{node0/sock1} 4\nzeta{global} 1\n"
+        );
+    }
+}

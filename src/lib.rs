@@ -11,6 +11,7 @@
 //! - [`ip`] — IP forwarding, fragmentation/reassembly, routing tables
 //! - [`tcp`] — the TCP state machine with 1988-era congestion control
 //! - [`routing`] — distance-vector routing with multi-AS policy
+//! - [`telemetry`] — metrics registry, time-series sampler, flight recorder
 //! - [`stack`] — hosts, stateless gateways, sockets, realizations, baselines
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
@@ -21,4 +22,5 @@ pub use catenet_ip as ip;
 pub use catenet_routing as routing;
 pub use catenet_sim as sim;
 pub use catenet_tcp as tcp;
+pub use catenet_telemetry as telemetry;
 pub use catenet_wire as wire;

@@ -35,7 +35,7 @@ fn tcp_crosses_a_smaller_mtu_than_its_mss_via_ip_fragmentation() {
         net.node(g).stats.frags_created > 0,
         "the gateway fragmented TCP segments"
     );
-    assert!(net.node(h2).stats.reassembled > 0);
+    assert!(net.node(h2).reassembler().completed > 0);
 }
 
 #[test]
