@@ -5,6 +5,7 @@
 //! cargo run --release --bin reproduce -- e1 e5      # a subset
 //! cargo run --release --bin reproduce -- --fast     # fewer seeds
 //! cargo run --release --bin reproduce -- e11 --soak 20   # randomized soak
+//! cargo run --release --bin reproduce -- e13 --check     # timing-free JSON
 //! ```
 
 use catenet_bench::*;
@@ -12,6 +13,9 @@ use catenet_bench::*;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
+    // `--check` strips wall-clock fields from BENCH_e13.json so CI can
+    // run twice and diff (it also implies the fast topology set).
+    let check = args.iter().any(|a| a == "--check");
     let seeds: Vec<u64> = if fast {
         SEEDS[..2].to_vec()
     } else {
@@ -90,6 +94,16 @@ fn main() {
     run("e12", "per-heal reconvergence", &|s| {
         e12_reconvergence::default_table(s)
     });
+    if want("e13") {
+        eprintln!("running e13 (scheduler scale benchmark)...");
+        let start = std::time::Instant::now();
+        let results = e13_scale::run_battery(fast || check, SEEDS[0]);
+        eprintln!("  e13 done in {:.1}s", start.elapsed().as_secs_f64());
+        println!("{}", e13_scale::table(&results));
+        let json = e13_scale::to_json(&results, !check);
+        std::fs::write("BENCH_e13.json", &json).expect("write BENCH_e13.json");
+        eprintln!("  wrote BENCH_e13.json");
+    }
     if want("ablations") || selected.is_empty() {
         eprintln!("running ablations A1–A4...");
         println!("{}", ablations::collapse_table(&seeds));

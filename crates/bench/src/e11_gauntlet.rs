@@ -25,7 +25,7 @@
 use crate::table::Table;
 use catenet_core::app::{BulkSender, SinkServer};
 use catenet_core::{Endpoint, Network, ProgressWatchdog, StreamIntegrity, TcpConfig};
-use catenet_sim::{Duration, FaultAction, FaultPlan, Instant, LinkClass, Rng};
+use catenet_sim::{Duration, FaultAction, FaultPlan, Instant, LinkClass, Rng, SchedulerKind};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -318,6 +318,24 @@ fn build_plan(
     (plan, outages)
 }
 
+/// Everything observable about one gauntlet run: the scored outcome
+/// plus the full telemetry dumps. The differential harness asserts two
+/// `RunArtifacts` from different scheduler backends are `==` — i.e. the
+/// backends are indistinguishable down to every metric line, sampler
+/// row, and flight-recorder entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunArtifacts {
+    /// The scored outcome (includes the delivered-stream digest).
+    pub outcome: Outcome,
+    /// Deterministic metrics-registry dump.
+    pub metrics: String,
+    /// Deterministic time-series dump.
+    pub series: String,
+    /// Full flight-recorder ring at end of run (the outcome's
+    /// `flight_dump` is the snapshot at first violation; this is final).
+    pub flight: String,
+}
+
 /// Run one scenario with one seed, with the standard 60 s stall limit.
 pub fn run(scenario: Scenario, seed: u64) -> Outcome {
     run_inner(scenario, seed, Duration::from_secs(60))
@@ -328,7 +346,22 @@ pub fn run(scenario: Scenario, seed: u64) -> Outcome {
 /// stall violation on demand — which is how the flight-recorder capture
 /// path is exercised deterministically.
 pub fn run_inner(scenario: Scenario, seed: u64, stall_limit: Duration) -> Outcome {
-    let mut net = Network::new(seed);
+    run_full(scenario, seed, stall_limit, SchedulerKind::default()).outcome
+}
+
+/// Run one scenario on an explicit scheduler backend and keep every
+/// observable artifact.
+pub fn run_with(scenario: Scenario, seed: u64, kind: SchedulerKind) -> RunArtifacts {
+    run_full(scenario, seed, Duration::from_secs(60), kind)
+}
+
+fn run_full(
+    scenario: Scenario,
+    seed: u64,
+    stall_limit: Duration,
+    kind: SchedulerKind,
+) -> RunArtifacts {
+    let mut net = Network::with_scheduler(seed, kind);
     let h1 = net.add_host("h1");
     let ga = net.add_gateway("gA");
     let gd = net.add_gateway("gD");
@@ -424,7 +457,7 @@ pub fn run_inner(scenario: Scenario, seed: u64, stall_limit: Duration) -> Outcom
     let result = result.borrow();
     let integrity = integrity.borrow();
     let completed = result.completed_at.is_some();
-    Outcome {
+    let outcome = Outcome {
         completed,
         aborted: result.aborted,
         clean_exit: completed || result.aborted,
@@ -438,6 +471,12 @@ pub fn run_inner(scenario: Scenario, seed: u64, stall_limit: Duration) -> Outcom
         faults: net.faults_applied,
         bytes_acked: result.bytes_acked,
         flight_dump,
+    };
+    RunArtifacts {
+        outcome,
+        metrics: net.metrics_dump(),
+        series: net.series_dump(),
+        flight: net.flight_dump(),
     }
 }
 
@@ -500,16 +539,12 @@ pub fn default_table(seeds: &[u64]) -> Table {
 /// single scenario.
 pub fn soak_table(runs: usize, base_seed: u64) -> Table {
     let battery = scenarios();
-    let mut compose = Rng::from_seed(base_seed ^ 0x50AC_50AC_50AC_50AC);
     // Per-scenario aggregates: (runs, completed, clean exits, violations).
     let mut agg: Vec<(usize, usize, usize, usize)> = vec![(0, 0, 0, 0); battery.len()];
-    for i in 0..runs {
-        let pick = compose.below(battery.len() as u64) as usize;
+    for (pick, transfer_bytes, seed) in soak_plan(runs, base_seed) {
         let mut scenario = battery[pick];
-        // Jitter the workload: 1–3 MB, so the chaos windows land at
-        // varying points of the transfer's lifetime.
-        scenario.transfer_bytes = 1_000_000 + compose.below(2_000_000) as usize;
-        let outcome = run(scenario, derive_seed(base_seed, i as u64));
+        scenario.transfer_bytes = transfer_bytes;
+        let outcome = run(scenario, seed);
         let slot = &mut agg[pick];
         slot.0 += 1;
         slot.1 += usize::from(outcome.completed);
@@ -552,6 +587,24 @@ pub fn soak_table(runs: usize, base_seed: u64) -> Table {
          fails on draws of partition-forever, which must abort explicitly instead.",
     );
     table
+}
+
+/// The soak composition as pure data: for each of `runs` draws, the
+/// scenario index into [`scenarios`], the jittered transfer size
+/// (1–3 MB, so chaos windows land at varying points of the transfer's
+/// lifetime), and the derived per-run seed. `soak_table` executes
+/// exactly this plan, so pinning the plan pins the soak: the same
+/// `(runs, base_seed)` always soaks the identical sequence.
+pub fn soak_plan(runs: usize, base_seed: u64) -> Vec<(usize, usize, u64)> {
+    let battery_len = scenarios().len() as u64;
+    let mut compose = Rng::from_seed(base_seed ^ 0x50AC_50AC_50AC_50AC);
+    (0..runs)
+        .map(|i| {
+            let pick = compose.below(battery_len) as usize;
+            let bytes = 1_000_000 + compose.below(2_000_000) as usize;
+            (pick, bytes, derive_seed(base_seed, i as u64))
+        })
+        .collect()
 }
 
 /// SplitMix64 step: decorrelated per-run seeds from one base seed.
@@ -638,6 +691,25 @@ mod tests {
         // And the same induced run replays to the identical dump.
         let again = run_inner(by_name("blackhole"), 11, Duration::from_secs(1));
         assert_eq!(outcome, again, "induced violation replays bit-for-bit");
+    }
+
+    #[test]
+    fn soak_plan_is_pinned_to_the_base_seed() {
+        // The soak's reproducibility claim: composition is pure data
+        // from (runs, base_seed).
+        let a = soak_plan(50, 11);
+        assert_eq!(a, soak_plan(50, 11), "same base seed, same triples");
+        assert_ne!(a, soak_plan(50, 12), "different base seed diverges");
+        // A shorter soak is a prefix of a longer one with the same seed,
+        // so growing N never invalidates earlier repro reports.
+        assert_eq!(a[..10], soak_plan(10, 11)[..]);
+        let n = scenarios().len();
+        for &(pick, bytes, _) in &a {
+            assert!(pick < n, "scenario index in range");
+            assert!((1_000_000..3_000_000).contains(&bytes), "1–3 MB jitter");
+        }
+        let distinct: std::collections::HashSet<u64> = a.iter().map(|t| t.2).collect();
+        assert_eq!(distinct.len(), a.len(), "per-run seeds decorrelated");
     }
 
     #[test]

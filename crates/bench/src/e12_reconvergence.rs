@@ -26,7 +26,7 @@
 
 use crate::table::Table;
 use catenet_core::{Network, ReconvergenceBound};
-use catenet_sim::{Duration, FaultAction, FaultPlan, LinkClass};
+use catenet_sim::{Duration, FaultAction, FaultPlan, LinkClass, SchedulerKind};
 use catenet_telemetry::Reconvergence;
 
 /// The reconvergence bound every heal is checked against.
@@ -66,8 +66,20 @@ pub const RING_SIZES: [usize; 3] = [3, 5, 7];
 /// Run one disruption-then-heal cycle on a `gateways`-node ring and
 /// return the tracer's per-heal measurements.
 pub fn run(gateways: usize, fault: FaultKind, seed: u64) -> Vec<Reconvergence> {
+    run_with(gateways, fault, seed, SchedulerKind::default()).0
+}
+
+/// [`run`] on an explicit scheduler backend, additionally returning the
+/// full telemetry dumps (metrics, series, flight) so the differential
+/// harness can compare heap against wheel byte for byte.
+pub fn run_with(
+    gateways: usize,
+    fault: FaultKind,
+    seed: u64,
+    kind: SchedulerKind,
+) -> (Vec<Reconvergence>, [String; 3]) {
     assert!(gateways >= 3, "a ring needs a backup path");
-    let mut net = Network::new(seed);
+    let mut net = Network::with_scheduler(seed, kind);
     let h1 = net.add_host("h1");
     let gs: Vec<usize> = (0..gateways)
         .map(|i| net.add_gateway(format!("g{i}")))
@@ -103,7 +115,9 @@ pub fn run(gateways: usize, fault: FaultKind, seed: u64) -> Vec<Reconvergence> {
     // Post-heal window: bound + quiescence gap + slack, so a
     // bound-respecting heal always has room to *prove* it settled.
     net.run_for(Duration::from_secs(5) + heal_after + BOUND + Duration::from_secs(15));
-    net.telemetry().convergence.reconvergences(net.now())
+    let recs = net.telemetry().convergence.reconvergences(net.now());
+    let dumps = [net.metrics_dump(), net.series_dump(), net.flight_dump()];
+    (recs, dumps)
 }
 
 /// Check one run's measurements against the bound. Every heal must be

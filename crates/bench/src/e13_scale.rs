@@ -1,0 +1,354 @@
+//! E13 — Scheduler scale benchmark (ROADMAP "performance re-anchor").
+//!
+//! **Claim.** Clark's gateways are cheap, stateless store-and-forward
+//! elements; stressing the architecture's claims at realistic size
+//! means simulating *hundreds* of them. The event loop must not be the
+//! blocker — and a perf rewrite of the measurement substrate is only
+//! trustworthy if it is proven observably identical to what it
+//! replaced.
+//!
+//! **Experiment.** Gateway rings of 50–400 nodes (plus a grid-mesh
+//! arm) run their cold-start distance-vector convergence storm — the
+//! densest event mix the stack produces — once under each scheduler
+//! backend. Three things are measured per topology:
+//!
+//! 1. **Equivalence at scale**: the metrics, time-series, and
+//!    flight-recorder dumps of the heap run and the wheel run must be
+//!    byte-identical (the differential harness's system-level check,
+//!    here at 400 gateways).
+//! 2. **End-to-end wall clock** per backend for the full simulation.
+//! 3. **Substrate throughput**: the wheel run records its scheduler op
+//!    trace (every post-clamp schedule and pop), and the trace is
+//!    replayed against both backends in isolation. Replay isolates the
+//!    event-queue cost from protocol work, so the heap/wheel speedup
+//!    is measured on the *real* event mix, not a synthetic one.
+//!
+//! Results are rendered as a table and emitted as `BENCH_e13.json`. In
+//! `--check` mode the JSON omits wall-clock fields, leaving only
+//! seed-deterministic numbers — CI runs it twice and diffs.
+
+use crate::table::Table;
+use catenet_core::app::{BulkSender, SinkServer};
+use catenet_core::{Endpoint, Network, TcpConfig};
+use catenet_sim::{diffsched, Duration, LinkClass, SchedulerKind, TraceOp};
+
+/// Ring sizes (gateway counts) in the full battery.
+pub const RING_SIZES: [usize; 4] = [50, 100, 200, 400];
+/// Ring sizes in the fast/CI battery.
+pub const RING_SIZES_FAST: [usize; 2] = [50, 100];
+/// Virtual time each topology runs: long enough for the cold-start
+/// storm, several periodic update rounds, and the bulk transfers.
+pub const VIRTUAL: Duration = Duration::from_secs(30);
+/// Replay repetitions per backend; the minimum wall time is reported
+/// (the run least perturbed by the host machine).
+const REPLAY_REPS: usize = 7;
+/// A host pair with a bulk transfer every this many gateways.
+const FLOW_SPACING: usize = 2;
+/// Bytes per bulk transfer.
+const FLOW_BYTES: usize = 500_000;
+
+/// Attach host pairs around the topology: at every [`FLOW_SPACING`]-th
+/// gateway, a sender host two gateways away from a sink host, with a
+/// [`FLOW_BYTES`] transfer starting once nearby routes have had time to
+/// propagate. Local flows (short paths) keep the workload meaningful
+/// during the convergence storm, and dozens of concurrent sockets give
+/// the scheduler a deep pending queue — the regime where O(log n) heap
+/// operations actually cost something.
+fn add_flows(net: &mut Network, gateways: &[usize]) {
+    for i in (0..gateways.len()).step_by(FLOW_SPACING) {
+        let near = gateways[i];
+        let far = gateways[(i + 2) % gateways.len()];
+        let sender = net.add_host(format!("src{i}"));
+        let sink = net.add_host(format!("dst{i}"));
+        net.connect(sender, near, LinkClass::EthernetLan);
+        net.connect(sink, far, LinkClass::EthernetLan);
+        let dst = net.node(sink).primary_addr();
+        let config = TcpConfig::default();
+        net.attach_app(sink, Box::new(SinkServer::new(80, config.clone())));
+        net.attach_app(
+            sender,
+            Box::new(BulkSender::new(
+                Endpoint::new(dst, 80),
+                FLOW_BYTES,
+                config,
+                catenet_sim::Instant::from_secs(8),
+            )),
+        );
+    }
+}
+
+/// One topology's measurements.
+#[derive(Debug, Clone)]
+pub struct TopoResult {
+    /// Display name, e.g. `ring-400` or `mesh-10x10`.
+    pub name: String,
+    /// Gateway count.
+    pub gateways: usize,
+    /// Events the simulation processed (identical across backends).
+    pub events: u64,
+    /// Entries that crossed the wheel's overflow map.
+    pub overflow_inserts: u64,
+    /// Heap and wheel telemetry dumps were byte-identical.
+    pub dumps_equal: bool,
+    /// Full-simulation wall clock, `[heap, wheel]`, milliseconds.
+    pub sim_ms: [f64; 2],
+    /// Trace-replay wall clock, `[heap, wheel]`, milliseconds (min of
+    /// [`REPLAY_REPS`] reps).
+    pub replay_ms: [f64; 2],
+    /// Trace-replay throughput, `[heap, wheel]`, events per second.
+    pub replay_eps: [f64; 2],
+    /// Substrate speedup: heap replay time / wheel replay time.
+    pub speedup: f64,
+}
+
+/// Build a `gateways`-node ring with a host hanging off either side —
+/// the E12 topology scaled up. `trace` must be armed before the first
+/// `connect` (topology kicks schedule events; a replayable trace has to
+/// start at event zero).
+fn build_ring(gateways: usize, seed: u64, kind: SchedulerKind, trace: bool) -> Network {
+    let mut net = Network::with_scheduler(seed, kind);
+    net.set_sched_trace(trace);
+    let h1 = net.add_host("h1");
+    let gs: Vec<usize> = (0..gateways)
+        .map(|i| net.add_gateway(format!("g{i}")))
+        .collect();
+    net.connect(h1, gs[0], LinkClass::EthernetLan);
+    for i in 0..gateways {
+        net.connect(gs[i], gs[(i + 1) % gateways], LinkClass::T1Terrestrial);
+    }
+    let h2 = net.add_host("h2");
+    net.connect(gs[gateways / 2], h2, LinkClass::EthernetLan);
+    add_flows(&mut net, &gs);
+    net
+}
+
+/// Build a `side`×`side` grid mesh of gateways (each connected to its
+/// right and down neighbors) with hosts at opposite corners. Meshes
+/// have far more redundant paths than rings, so the convergence storm
+/// is denser per node.
+fn build_mesh(side: usize, seed: u64, kind: SchedulerKind, trace: bool) -> Network {
+    let mut net = Network::with_scheduler(seed, kind);
+    net.set_sched_trace(trace);
+    let gs: Vec<usize> = (0..side * side)
+        .map(|i| net.add_gateway(format!("g{i}")))
+        .collect();
+    for row in 0..side {
+        for col in 0..side {
+            let here = gs[row * side + col];
+            if col + 1 < side {
+                net.connect(here, gs[row * side + col + 1], LinkClass::T1Terrestrial);
+            }
+            if row + 1 < side {
+                net.connect(here, gs[(row + 1) * side + col], LinkClass::T1Terrestrial);
+            }
+        }
+    }
+    let h1 = net.add_host("h1");
+    let h2 = net.add_host("h2");
+    net.connect(h1, gs[0], LinkClass::EthernetLan);
+    net.connect(h2, gs[side * side - 1], LinkClass::EthernetLan);
+    add_flows(&mut net, &gs);
+    net
+}
+
+fn dumps(net: &Network) -> [String; 3] {
+    [net.metrics_dump(), net.series_dump(), net.flight_dump()]
+}
+
+/// Measure one topology under both backends. `build` must construct the
+/// identical network modulo the scheduler kind, arming the op trace
+/// when the second argument is true.
+fn measure(
+    name: &str,
+    gateways: usize,
+    build: &dyn Fn(SchedulerKind, bool) -> Network,
+) -> TopoResult {
+    // Wheel run carries the op-trace recorder (recording is push-only
+    // and kind-independent, but one trace suffices).
+    let mut wheel_net = build(SchedulerKind::Wheel, true);
+    let t0 = std::time::Instant::now();
+    wheel_net.run_for(VIRTUAL);
+    let wheel_sim_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let trace: Vec<TraceOp> = wheel_net.take_sched_trace();
+    let wheel_dumps = dumps(&wheel_net);
+    let stats = wheel_net.sched_stats();
+
+    let mut heap_net = build(SchedulerKind::Heap, false);
+    let t0 = std::time::Instant::now();
+    heap_net.run_for(VIRTUAL);
+    let heap_sim_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let heap_dumps = dumps(&heap_net);
+    assert_eq!(
+        heap_net.sched_stats().processed,
+        stats.processed,
+        "{name}: backends processed different event counts"
+    );
+
+    let replay_ms = |kind: SchedulerKind| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPLAY_REPS {
+            let t0 = std::time::Instant::now();
+            let processed = diffsched::replay_trace(kind, &trace);
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(processed, stats.processed, "{name}: replay drift");
+        }
+        best
+    };
+    let heap_replay = replay_ms(SchedulerKind::Heap);
+    let wheel_replay = replay_ms(SchedulerKind::Wheel);
+    let eps = |ms: f64| stats.processed as f64 / (ms / 1e3);
+
+    TopoResult {
+        name: name.to_string(),
+        gateways,
+        events: stats.processed,
+        overflow_inserts: stats.wheel.overflow_inserts,
+        dumps_equal: wheel_dumps == heap_dumps,
+        sim_ms: [heap_sim_ms, wheel_sim_ms],
+        replay_ms: [heap_replay, wheel_replay],
+        replay_eps: [eps(heap_replay), eps(wheel_replay)],
+        speedup: heap_replay / wheel_replay,
+    }
+}
+
+/// Run the battery. `fast` selects the CI-sized topologies.
+pub fn run_battery(fast: bool, seed: u64) -> Vec<TopoResult> {
+    let sizes: &[usize] = if fast { &RING_SIZES_FAST } else { &RING_SIZES };
+    let mut results = Vec::new();
+    for &gateways in sizes {
+        results.push(measure(&format!("ring-{gateways}"), gateways, &|kind, trace| {
+            build_ring(gateways, seed, kind, trace)
+        }));
+    }
+    let side = if fast { 5 } else { 10 };
+    results.push(measure(
+        &format!("mesh-{side}x{side}"),
+        side * side,
+        &|kind, trace| build_mesh(side, seed, kind, trace),
+    ));
+    results
+}
+
+/// Render the battery as an experiment table.
+pub fn table(results: &[TopoResult]) -> Table {
+    let mut table = Table::new(
+        format!(
+            "E13 — Scheduler scale benchmark: cold-start DV convergence storm \
+             plus concurrent bulk TCP flows, {VIRTUAL} of virtual time per \
+             topology; heap vs wheel backend (replay = scheduler op trace \
+             re-run through the backend alone)"
+        ),
+        &[
+            "topology",
+            "gateways",
+            "events",
+            "dumps equal",
+            "sim heap (ms)",
+            "sim wheel (ms)",
+            "replay heap (ms)",
+            "replay wheel (ms)",
+            "substrate speedup",
+        ],
+    );
+    for r in results {
+        table.row(vec![
+            r.name.clone(),
+            format!("{}", r.gateways),
+            format!("{}", r.events),
+            if r.dumps_equal { "yes" } else { "NO" }.into(),
+            format!("{:.1}", r.sim_ms[0]),
+            format!("{:.1}", r.sim_ms[1]),
+            format!("{:.2}", r.replay_ms[0]),
+            format!("{:.2}", r.replay_ms[1]),
+            format!("{:.2}x", r.speedup),
+        ]);
+    }
+    table.note(
+        "Expected shape: dumps equal everywhere (the backends are observably \
+         identical); substrate speedup grows with topology size and clears 2x at \
+         the 400-gateway ring. Wall-clock columns vary run to run; event counts \
+         and dump equality are seed-deterministic.",
+    );
+    table
+}
+
+/// Serialize results as `BENCH_e13.json`. With `timings: false` (CI
+/// `--check` mode) all wall-clock fields are omitted, leaving only
+/// seed-deterministic numbers — run twice and diff.
+pub fn to_json(results: &[TopoResult], timings: bool) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"e13\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n  \"virtual_secs\": {},\n  \"topologies\": [\n",
+        if timings { "full" } else { "check" },
+        VIRTUAL.total_micros() / 1_000_000
+    ));
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"gateways\": {},\n", r.gateways));
+        out.push_str(&format!("      \"events\": {},\n", r.events));
+        out.push_str(&format!(
+            "      \"overflow_inserts\": {},\n",
+            r.overflow_inserts
+        ));
+        out.push_str(&format!("      \"dumps_equal\": {}", r.dumps_equal));
+        if timings {
+            out.push_str(&format!(
+                ",\n      \"heap\": {{\"sim_ms\": {:.3}, \"replay_ms\": {:.3}, \"replay_events_per_sec\": {:.0}}},\n",
+                r.sim_ms[0], r.replay_ms[0], r.replay_eps[0]
+            ));
+            out.push_str(&format!(
+                "      \"wheel\": {{\"sim_ms\": {:.3}, \"replay_ms\": {:.3}, \"replay_events_per_sec\": {:.0}}},\n",
+                r.sim_ms[1], r.replay_ms[1], r.replay_eps[1]
+            ));
+            out.push_str(&format!("      \"replay_speedup\": {:.3}\n", r.speedup));
+        } else {
+            out.push('\n');
+        }
+        out.push_str(if i + 1 < results.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_ring_backends_agree_and_wheel_overflows() {
+        // One small topology end to end: byte-equal dumps, a sane event
+        // count, and far timers actually crossing the overflow map (so
+        // the benchmark exercises the wheel's paging path, not just the
+        // in-window fast path).
+        let r = measure("ring-4", 4, &|kind, trace| build_ring(4, 11, kind, trace));
+        assert!(r.dumps_equal, "heap and wheel dumps must be identical");
+        assert!(r.events > 1_000, "convergence storm happened: {}", r.events);
+        assert!(r.overflow_inserts > 0, "3 s DV timers cross windows");
+        assert!(r.speedup.is_finite() && r.speedup > 0.0);
+    }
+
+    #[test]
+    fn json_check_mode_is_deterministic_and_timing_free() {
+        let a = measure("ring-3", 3, &|kind, trace| build_ring(3, 11, kind, trace));
+        let b = measure("ring-3", 3, &|kind, trace| build_ring(3, 11, kind, trace));
+        let ja = to_json(&[a], false);
+        let jb = to_json(&[b], false);
+        assert_eq!(ja, jb, "check-mode JSON replays bit-for-bit");
+        assert!(!ja.contains("_ms"), "no wall-clock fields in check mode");
+        assert!(ja.contains("\"mode\": \"check\""));
+        assert!(ja.contains("\"dumps_equal\": true"));
+    }
+
+    #[test]
+    fn mesh_builds_and_agrees() {
+        let r = measure("mesh-3x3", 9, &|kind, trace| build_mesh(3, 23, kind, trace));
+        assert!(r.dumps_equal);
+        assert!(r.events > 1_000);
+    }
+}
+

@@ -12,7 +12,7 @@ use crate::iface::{Framing, Iface};
 use crate::node::{Node, NodeRole};
 use catenet_sim::{
     Duration, FaultAction, FaultPlan, Instant, Link, LinkClass, LinkOutcome, LinkParams, Rng,
-    Scheduler,
+    SchedStats, Scheduler, SchedulerKind, TraceOp,
 };
 use catenet_telemetry::{EventKind, Scope, Telemetry};
 use catenet_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
@@ -90,17 +90,30 @@ pub struct Network {
     /// reassembly evictions) per node, for delta-counting into the
     /// registry.
     last_harvest: Vec<(u64, u64, u64, u64)>,
+    /// Service passes executed per node (each pass may handle a whole
+    /// batch of same-instant events; see [`Network::run_until`]).
+    service_count: Vec<u64>,
+    /// Scratch list of nodes touched by the current same-instant batch,
+    /// kept around so steady-state batching allocates nothing.
+    touched: Vec<NodeId>,
 }
 
 impl Network {
-    /// A fresh network. All randomness derives from `seed`.
+    /// A fresh network on the default scheduler backend. All randomness
+    /// derives from `seed`.
     pub fn new(seed: u64) -> Network {
+        Network::with_scheduler(seed, SchedulerKind::default())
+    }
+
+    /// A fresh network on an explicit scheduler backend (the
+    /// differential harness and E13 run both and compare).
+    pub fn with_scheduler(seed: u64, kind: SchedulerKind) -> Network {
         Network {
             nodes: Vec::new(),
             apps: Vec::new(),
             links: Vec::new(),
             endpoint_index: HashMap::new(),
-            sched: Scheduler::new(),
+            sched: Scheduler::with_kind(kind),
             rng: Rng::from_seed(seed),
             now: Instant::ZERO,
             next_wake: Vec::new(),
@@ -116,12 +129,47 @@ impl Network {
             last_rto_total: Vec::new(),
             last_sampled_acked: Vec::new(),
             last_harvest: Vec::new(),
+            service_count: Vec::new(),
+            touched: Vec::new(),
         }
     }
 
     /// Current virtual time.
     pub fn now(&self) -> Instant {
         self.now
+    }
+
+    /// Which scheduler backend this network runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.sched.kind()
+    }
+
+    /// Scheduler counters (events scheduled/processed, backend stats).
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched.stats()
+    }
+
+    /// Arm or disarm scheduler op tracing (see [`catenet_sim::TraceOp`]).
+    /// Arm it before the first topology call: a replayable trace has to
+    /// start at event zero.
+    pub fn set_sched_trace(&mut self, on: bool) {
+        self.sched.set_trace(on);
+    }
+
+    /// Take the recorded scheduler op trace, leaving tracing disarmed.
+    pub fn take_sched_trace(&mut self) -> Vec<TraceOp> {
+        self.sched.take_trace()
+    }
+
+    /// When the next scheduled event is due, if any.
+    pub fn next_event_at(&self) -> Option<Instant> {
+        self.sched.peek_time()
+    }
+
+    /// How many service passes a node has executed (a same-instant
+    /// batch of events costs one pass, not one per event).
+    pub fn service_passes(&self, id: NodeId) -> u64 {
+        self.service_count[id]
     }
 
     /// Add a host.
@@ -143,6 +191,7 @@ impl Network {
         self.last_rto_total.push(0);
         self.last_sampled_acked.push(0);
         self.last_harvest.push((0, 0, 0, 0));
+        self.service_count.push(0);
         self.nodes.len() - 1
     }
 
@@ -533,19 +582,40 @@ impl Network {
                 self.take_sample(at);
                 continue;
             }
-            let (at, event) = self.sched.pop().expect("peeked");
-            match event {
-                Event::Frame { to, iface, frame } => {
-                    self.nodes[to].handle_frame(at, iface, frame);
-                    self.service_node(to);
-                }
-                Event::Wake { node } => {
-                    if self.next_wake[node] == Some(at) {
-                        self.next_wake[node] = None;
+            // Batched delivery: drain *every* scheduler event due at
+            // this instant (frames are handed to their nodes in FIFO
+            // pop order), then service each touched node exactly once,
+            // in first-touch order. Same-instant events scheduled by
+            // those services form a fresh batch on the next outer
+            // iteration, so nothing is ever starved or reordered — but
+            // a node hit by k same-instant frames pays one service
+            // pass, not k.
+            let mut event = Some(self.sched.pop().expect("peeked").1);
+            let mut touched = core::mem::take(&mut self.touched);
+            touched.clear();
+            while let Some(ev) = event {
+                match ev {
+                    Event::Frame { to, iface, frame } => {
+                        self.nodes[to].handle_frame(at, iface, frame);
+                        if !touched.contains(&to) {
+                            touched.push(to);
+                        }
                     }
-                    self.service_node(node);
+                    Event::Wake { node } => {
+                        if self.next_wake[node] == Some(at) {
+                            self.next_wake[node] = None;
+                        }
+                        if !touched.contains(&node) {
+                            touched.push(node);
+                        }
+                    }
                 }
+                event = self.sched.pop_due(at);
             }
+            for &node in &touched {
+                self.service_node(node);
+            }
+            self.touched = touched;
         }
         self.now = t;
     }
@@ -571,6 +641,7 @@ impl Network {
     }
 
     fn service_node(&mut self, id: NodeId) {
+        self.service_count[id] += 1;
         let now = self.now;
         // Applications first: they may write into sockets.
         let mut apps = core::mem::take(&mut self.apps[id]);
@@ -760,6 +831,23 @@ impl Network {
         self.telemetry
             .sampler
             .record(at, "faults_applied", Scope::Global, self.faults_applied);
+        // Event-loop progress rows. Both are backend-independent by
+        // construction (the loop drives them, not the queue's innards),
+        // which the differential harness relies on: they make the dumps
+        // sensitive to scheduling or batching divergence without making
+        // them sensitive to which backend ran.
+        self.telemetry.sampler.record(
+            at,
+            "sched_events",
+            Scope::Global,
+            self.sched.processed(),
+        );
+        self.telemetry.sampler.record(
+            at,
+            "service_passes",
+            Scope::Global,
+            self.service_count.iter().sum(),
+        );
     }
 
     /// Post-service observation for one node: detect routing-table
@@ -999,6 +1087,62 @@ mod tests {
         };
         assert_eq!(run(7), run(7), "same seed, same universe");
         assert_ne!(run(7), run(8), "different seed, different losses");
+    }
+
+    #[test]
+    fn replay_payload_matches_the_real_event_size() {
+        // E13's trace replay measures the scheduler backends with a
+        // dummy payload sized like the real event enum; if Event grows
+        // or shrinks, the replay constant must follow.
+        assert_eq!(
+            std::mem::size_of::<Event>(),
+            catenet_sim::diffsched::REPLAY_PAYLOAD_BYTES,
+        );
+    }
+
+    #[test]
+    fn same_instant_frames_keep_fifo_order_in_one_service_pass() {
+        // Two senders on identical deterministic links, equal-size
+        // datagrams loaded before either is serviced: both frames
+        // arrive at the receiver at the same instant. Batched delivery
+        // must hand them over in schedule order and charge the receiver
+        // exactly one service pass for the pair.
+        let mut net = Network::new(5);
+        let a = net.add_host("a");
+        let b = net.add_host("b");
+        let c = net.add_host("c");
+        let quiet = LinkParams {
+            name: "quiet-t1",
+            bandwidth_bps: 1_544_000,
+            propagation: Duration::from_millis(5),
+            jitter: Duration::ZERO,
+            loss: 0.0,
+            corruption: 0.0,
+            mtu: 1500,
+            queue_limit: 50,
+        };
+        net.connect_with(a, c, quiet.clone(), Framing::RawIp);
+        net.connect_with(b, c, quiet, Framing::RawIp);
+        net.node_mut(c).udp_bind(9000);
+        let dst = crate::Endpoint::new(net.node(c).primary_addr(), 9000);
+        let sa = net.node_mut(a).udp_bind(9001);
+        let sb = net.node_mut(b).udp_bind(9002);
+        net.node_mut(a).udp_sockets[sa].send_to(dst, b"first");
+        net.node_mut(b).udp_sockets[sb].send_to(dst, b"other");
+        net.kick(a);
+        net.kick(b);
+        let passes_before = net.service_passes(c);
+        let arrival = net.next_event_at().expect("two frames in flight");
+        net.run_until(arrival);
+        assert_eq!(
+            net.service_passes(c),
+            passes_before + 1,
+            "two same-instant frames cost one batched service pass"
+        );
+        let first = net.node_mut(c).udp_sockets[0].recv().expect("first frame");
+        let other = net.node_mut(c).udp_sockets[0].recv().expect("second frame");
+        assert_eq!(first.payload, b"first", "FIFO by schedule order");
+        assert_eq!(other.payload, b"other");
     }
 
     #[test]

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod diffsched;
 pub mod event;
 pub mod fault;
 pub mod link;
@@ -39,8 +40,9 @@ pub mod pcap;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
-pub use event::Scheduler;
+pub use event::{SchedStats, Scheduler, SchedulerKind, TraceOp};
 pub use fault::{FaultAction, FaultEvent, FaultPlan};
 pub use link::{DropReason, Link, LinkClass, LinkOutcome, LinkParams};
 pub use rng::Rng;

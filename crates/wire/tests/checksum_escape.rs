@@ -1,0 +1,223 @@
+//! Quantifying the Internet checksum's blind spots.
+//!
+//! The 16-bit one's-complement checksum is the *only* integrity
+//! mechanism the 1988 architecture assumes of itself, and it is
+//! deliberately weak: cheap to compute incrementally in software on
+//! every hop, at the cost of a known set of undetectable corruptions.
+//! These tests pin down exactly what escapes:
+//!
+//! - a 16-bit word flipped between `0x0000` and `0xFFFF` (one's
+//!   complement has two zeros, and the sum cannot tell them apart);
+//! - any *pair* of word corruptions whose deltas cancel modulo
+//!   `0xFFFF` — for uniformly random double corruption that is a
+//!   ~1/65536 escape rate, measured here by exhaustive enumeration of
+//!   the cancelling pairs and by random sampling through
+//!   [`checksum::verify`];
+//! - transposed 16-bit-aligned words (addition commutes, so reordering
+//!   is invisible).
+//!
+//! Everything else — in particular every single-word corruption other
+//! than the zero flip — is always caught. The simulator's corruption
+//! faults (E11's corruption-burst scenario) lean on exactly this
+//! boundary: flipped frames are dropped by checksum at the receiver
+//! unless they land in the blind spot, which is why end-to-end
+//! integrity still belongs to the endpoints (the paper's survivability
+//! argument, applied to bit errors).
+
+use catenet_sim::Rng;
+use catenet_wire::checksum;
+
+/// A fixed 32-byte message with its checksum stored at `CK` — the
+/// shape of a small UDP datagram. `verify` over the whole buffer
+/// returns true iff the sum including the stored checksum folds to
+/// all-ones.
+const CK: usize = 6;
+
+fn sealed_message() -> Vec<u8> {
+    let mut msg: Vec<u8> = (0..32u8).map(|i| i.wrapping_mul(37) ^ 0x5a).collect();
+    // Plant a genuine 0x0000 word so the zero-flip blind spot is
+    // reachable at a known offset.
+    msg[20] = 0;
+    msg[21] = 0;
+    msg[CK] = 0;
+    msg[CK + 1] = 0;
+    let ck = checksum::checksum(&msg);
+    msg[CK..CK + 2].copy_from_slice(&ck.to_be_bytes());
+    assert!(checksum::verify(&msg), "seal failed");
+    msg
+}
+
+fn with_word(msg: &[u8], offset: usize, value: u16) -> Vec<u8> {
+    let mut out = msg.to_vec();
+    out[offset..offset + 2].copy_from_slice(&value.to_be_bytes());
+    out
+}
+
+fn word_at(msg: &[u8], offset: usize) -> u16 {
+    u16::from_be_bytes([msg[offset], msg[offset + 1]])
+}
+
+/// One's-complement congruence: the checksum cannot distinguish two
+/// words that are equal modulo 0xFFFF — which pairs exactly {0x0000,
+/// 0xFFFF} and nothing else.
+fn same_residue(a: u16, b: u16) -> bool {
+    u32::from(a) % 0xffff == u32::from(b) % 0xffff
+}
+
+/// Exhaustive single-word corruption: replace one aligned word with
+/// every one of its 65535 other values. A word that is not a
+/// one's-complement zero never escapes; a zero word escapes exactly
+/// once — as its complement 0xFFFF.
+#[test]
+fn single_word_corruption_escapes_only_via_the_zero_flip() {
+    let msg = sealed_message();
+    for &offset in &[2usize, 20] {
+        let original = word_at(&msg, offset);
+        let mut escapes = Vec::new();
+        for value in 0..=u16::MAX {
+            if value == original {
+                continue;
+            }
+            if checksum::verify(&with_word(&msg, offset, value)) {
+                escapes.push(value);
+            }
+        }
+        if original == 0x0000 || original == 0xffff {
+            assert_eq!(
+                escapes,
+                vec![!original],
+                "zero word at {offset} must escape exactly as its complement"
+            );
+        } else {
+            assert!(
+                escapes.is_empty(),
+                "word {original:#06x} at {offset} escaped as {escapes:x?}"
+            );
+        }
+    }
+}
+
+/// Exhaustive paired corruption: corrupt two distinct words so their
+/// deltas cancel modulo 0xFFFF. Enumerating all 65536 values of the
+/// first word and deriving every cancelling second value counts the
+/// full escape set for this position pair: out of 2^32 possible value
+/// pairs, ~2^16 escape — a 1/65536 escape rate, the checksum's real
+/// strength against random double corruption. Every cancelling pair is
+/// confirmed undetected through `verify`, and a one-off-by-one probe
+/// confirms near-misses are caught.
+#[test]
+fn paired_word_corruption_escapes_at_one_in_65536() {
+    let msg = sealed_message();
+    let (off_a, off_b) = (2usize, 10);
+    let (a, b) = (word_at(&msg, off_a), word_at(&msg, off_b));
+
+    let mut escaping_pairs: u64 = 0;
+    for new_a in 0..=u16::MAX {
+        // The second word must absorb the first word's delta:
+        // residue(new_b) == residue(b) - (residue(new_a) - residue(a)).
+        let need = (u32::from(b) % 0xffff + 0xffff + u32::from(a) % 0xffff
+            - u32::from(new_a) % 0xffff)
+            % 0xffff;
+        // Each residue is hit by one 16-bit value, except residue 0
+        // which both 0x0000 and 0xFFFF produce.
+        let candidates: &[u16] = if need == 0 { &[0x0000, 0xffff] } else { &[need as u16] };
+        for &new_b in candidates {
+            if new_a == a && new_b == b {
+                continue; // not a corruption
+            }
+            let corrupt = with_word(&with_word(&msg, off_a, new_a), off_b, new_b);
+            assert!(
+                checksum::verify(&corrupt),
+                "cancelling pair ({new_a:#06x}, {new_b:#06x}) should escape"
+            );
+            escaping_pairs += 1;
+            // The neighbouring non-cancelling value must be caught.
+            // (`^ 1` rather than `+ 1`: incrementing 0xFFFF wraps to
+            // 0x0000, the one neighbour that shares its residue.)
+            let near = with_word(&with_word(&msg, off_a, new_a), off_b, new_b ^ 1);
+            assert!(
+                !checksum::verify(&near),
+                "near-miss ({new_a:#06x}, {:#06x}) slipped through",
+                new_b ^ 1
+            );
+        }
+    }
+
+    // ~2^16 cancelling pairs out of 2^32 total: a 1-in-65536 blind spot.
+    let total_pairs = (1u64 << 32) - 1; // all (new_a, new_b) minus the identity
+    assert!(
+        (65_536..=131_072).contains(&escaping_pairs),
+        "expected ~2^16 escaping pairs, counted {escaping_pairs}"
+    );
+    let rate_denominator = total_pairs / escaping_pairs;
+    assert!(
+        (32_768..=65_536).contains(&rate_denominator),
+        "escape rate 1/{rate_denominator} is outside the predicted band"
+    );
+}
+
+/// Random double corruption at the measured rate: flip two random
+/// bytes in distinct words to random new values and count what
+/// `verify` misses. The binomial expectation at p = 1/65536 over the
+/// sample is ~30; the assertion band is wide enough to be
+/// deterministic for this seed yet tight enough that a checksum an
+/// order of magnitude weaker (or stronger) would fail it.
+#[test]
+fn sampled_double_corruption_matches_the_predicted_rate() {
+    let msg = sealed_message();
+    let mut rng = Rng::from_seed(0xC4EC_5A9E);
+    const SAMPLES: u64 = 2_000_000;
+    let mut escapes = 0u64;
+    for _ in 0..SAMPLES {
+        let off_a = (rng.below(16) * 2) as usize;
+        let mut off_b = (rng.below(16) * 2) as usize;
+        while off_b == off_a {
+            off_b = (rng.below(16) * 2) as usize;
+        }
+        let new_a = rng.below(65_536) as u16;
+        let new_b = rng.below(65_536) as u16;
+        if new_a == word_at(&msg, off_a) && new_b == word_at(&msg, off_b) {
+            continue;
+        }
+        let corrupt = with_word(&with_word(&msg, off_a, new_a), off_b, new_b);
+        if checksum::verify(&corrupt) {
+            escapes += 1;
+            // Every escape must be a cancelling pair — the only
+            // mechanism the exhaustive test predicts.
+            assert!(
+                same_residue(word_at(&msg, off_a), new_a)
+                    == same_residue(word_at(&msg, off_b), new_b)
+            );
+        }
+    }
+    assert!(
+        (10..=70).contains(&escapes),
+        "{escapes} escapes in {SAMPLES} samples — expected ~{}",
+        SAMPLES / 65_536
+    );
+}
+
+/// Reordering blindness: swapping any two 16-bit-aligned words leaves
+/// the sum unchanged, so `verify` accepts every transposition. This is
+/// why the checksum guards payload *values* but not payload *layout* —
+/// sequence numbers, not the checksum, are what TCP trusts for order.
+#[test]
+fn word_transpositions_always_escape() {
+    let msg = sealed_message();
+    let mut transpositions = 0;
+    for i in 0..16usize {
+        for j in (i + 1)..16 {
+            let (wa, wb) = (word_at(&msg, i * 2), word_at(&msg, j * 2));
+            if wa == wb {
+                continue; // swap is a no-op, not a corruption
+            }
+            let swapped = with_word(&with_word(&msg, i * 2, wb), j * 2, wa);
+            assert!(
+                checksum::verify(&swapped),
+                "transposing words {i} and {j} was detected"
+            );
+            transpositions += 1;
+        }
+    }
+    assert!(transpositions > 50, "too few distinct-word swaps exercised");
+}

@@ -1,0 +1,137 @@
+//! Differential proof that the timer-wheel scheduler is observably
+//! identical to the binary heap it replaced.
+//!
+//! The wheel is the default backend (`SchedulerKind::Wheel`), so every
+//! simulation result in this repo now rests on it. This harness earns
+//! that trust three ways:
+//!
+//! 1. **System level, chaos**: the full E11 survivability gauntlet —
+//!    all 14 scenarios across all 5 standard seeds — run once per
+//!    backend, asserting the complete [`RunArtifacts`] are equal:
+//!    outcome, delivered-stream digest, metrics dump, time-series dump
+//!    and flight-recorder ring, byte for byte.
+//! 2. **System level, routing**: the E12 reconvergence experiment —
+//!    every ring size × fault kind — compared the same way.
+//! 3. **Property level**: thousands of seeded random schedule/pop
+//!    interleavings driven through both backends in lockstep
+//!    ([`catenet_sim::diffsched::run_lockstep`]), which checks every
+//!    observable (`peek_time`, `len`, `now`, each popped `(at,
+//!    payload)` pair) after every single op — FIFO tie-breaking and
+//!    the expired-timer clamp included.
+//!
+//! If the backends ever diverge, the failure message names the
+//! scenario/seed (or the op index) that exposed it, which is exactly
+//! the reproduction recipe.
+//!
+//! [`RunArtifacts`]: catenet_bench::e11_gauntlet::RunArtifacts
+
+use catenet_bench::e11_gauntlet::{run_with, scenarios};
+use catenet_bench::{e12_reconvergence, SEEDS};
+use catenet_sim::diffsched::{random_ops, run_lockstep};
+use catenet_sim::{Rng, SchedulerKind};
+
+/// E11: every gauntlet scenario, every standard seed, both backends.
+/// `RunArtifacts` equality covers the scored outcome (including the
+/// delivered-stream digest) and all three telemetry dumps.
+#[test]
+fn e11_battery_is_bit_identical_across_backends() {
+    for scenario in scenarios() {
+        for &seed in SEEDS.iter() {
+            let heap = run_with(scenario, seed, SchedulerKind::Heap);
+            let wheel = run_with(scenario, seed, SchedulerKind::Wheel);
+            assert_eq!(
+                heap.outcome, wheel.outcome,
+                "outcome diverged: scenario={} seed={seed}",
+                scenario.name
+            );
+            assert_eq!(
+                heap.metrics, wheel.metrics,
+                "metrics dump diverged: scenario={} seed={seed}",
+                scenario.name
+            );
+            assert_eq!(
+                heap.series, wheel.series,
+                "series dump diverged: scenario={} seed={seed}",
+                scenario.name
+            );
+            assert_eq!(
+                heap.flight, wheel.flight,
+                "flight ring diverged: scenario={} seed={seed}",
+                scenario.name
+            );
+            // Either the transfer finished or it ended with an explicit
+            // error — a hung run would make "equal" vacuous.
+            assert!(
+                heap.outcome.completed || heap.outcome.aborted,
+                "unresolved run: scenario={} seed={seed}",
+                scenario.name
+            );
+        }
+    }
+}
+
+/// E12: one disruption-then-heal cycle per (ring size, fault kind),
+/// comparing the reconvergence measurements and all telemetry dumps.
+#[test]
+fn e12_reconvergence_is_bit_identical_across_backends() {
+    for &gateways in e12_reconvergence::RING_SIZES.iter() {
+        for fault in e12_reconvergence::FaultKind::all() {
+            for &seed in &SEEDS[..2] {
+                let (recs_h, dumps_h) =
+                    e12_reconvergence::run_with(gateways, fault, seed, SchedulerKind::Heap);
+                let (recs_w, dumps_w) =
+                    e12_reconvergence::run_with(gateways, fault, seed, SchedulerKind::Wheel);
+                assert_eq!(
+                    recs_h,
+                    recs_w,
+                    "reconvergence diverged: ring={gateways} fault={} seed={seed}",
+                    fault.name()
+                );
+                for (i, name) in ["metrics", "series", "flight"].iter().enumerate() {
+                    assert_eq!(
+                        dumps_h[i],
+                        dumps_w[i],
+                        "{name} dump diverged: ring={gateways} fault={} seed={seed}",
+                        fault.name()
+                    );
+                }
+                assert!(
+                    !recs_h.is_empty(),
+                    "no heals measured: ring={gateways} fault={} seed={seed}",
+                    fault.name()
+                );
+            }
+        }
+    }
+}
+
+/// Property test: 2400 seeded random interleavings of schedule-after /
+/// schedule-at(-in-the-past) / pop, each driven through both backends
+/// in lockstep with every observable compared after every op. Workload
+/// lengths vary so drain points land at different depths; the
+/// distribution is biased toward timer-wheel edge cases (same-instant
+/// bursts, far-future overflow, scheduling mid-drain, expired clamps).
+#[test]
+fn random_interleavings_never_diverge() {
+    const CASES: u64 = 2400;
+    let mut total_pops = 0u64;
+    for case in 0..CASES {
+        let mut rng = Rng::from_seed(0x5EED_D1FF_0000_0000 | case);
+        let len = 80 + (case as usize % 9) * 35;
+        let ops = random_ops(&mut rng, len);
+        let (pops, fingerprint) = run_lockstep(&ops);
+        total_pops += pops;
+        // Replaying the identical workload must reproduce the identical
+        // pop sequence — spot-checked on a slice of cases to keep the
+        // suite fast.
+        if case % 240 == 0 {
+            assert_eq!(
+                run_lockstep(&ops),
+                (pops, fingerprint),
+                "case {case} is not deterministic"
+            );
+        }
+    }
+    // Sanity: the property wasn't satisfied vacuously.
+    assert!(total_pops > 100_000, "only {total_pops} pops across all cases");
+}
