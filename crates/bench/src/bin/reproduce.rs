@@ -104,6 +104,9 @@ fn main() {
         std::fs::write("BENCH_e13.json", &json).expect("write BENCH_e13.json");
         eprintln!("  wrote BENCH_e13.json");
     }
+    run("e14", "route-guard pricing", &|s| {
+        e14_routeguard::default_table(s)
+    });
     if want("ablations") || selected.is_empty() {
         eprintln!("running ablations A1–A4...");
         println!("{}", ablations::collapse_table(&seeds));

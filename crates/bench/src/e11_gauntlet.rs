@@ -11,8 +11,9 @@
 //! under a battery of named chaos scenarios, each a deterministic
 //! [`FaultPlan`] derived from the run seed: link flaps, crash storms,
 //! partitions (healed and permanent), silent blackholes, loss and
-//! corruption bursts, and combinations. Every run is scored against the
-//! end-to-end invariants in `catenet_core::invariant`:
+//! corruption bursts, a byzantine gateway that lies to attract the
+//! traffic it then eats, and combinations. Every run is scored against
+//! the end-to-end invariants in `catenet_core::invariant`:
 //!
 //! - **integrity** — the delivered stream is a byte-for-byte prefix of
 //!   the sent stream, always;
@@ -25,7 +26,9 @@
 use crate::table::Table;
 use catenet_core::app::{BulkSender, SinkServer};
 use catenet_core::{Endpoint, Network, ProgressWatchdog, StreamIntegrity, TcpConfig};
-use catenet_sim::{Duration, FaultAction, FaultPlan, Instant, LinkClass, Rng, SchedulerKind};
+use catenet_sim::{
+    ByzantineAttack, Duration, FaultAction, FaultPlan, Instant, LinkClass, Rng, SchedulerKind,
+};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -62,6 +65,12 @@ pub enum Chaos {
     DoubleFault,
     /// A silent blackhole on the primary while a backup gateway crashes.
     SilentCascade,
+    /// A compromised gateway advertises a metric-0 route for the
+    /// receiver's LAN — attracting the traffic — while its forwarding
+    /// plane silently eats it: the blackhole failure mode escalated
+    /// from a sick link to a lying router. Rehabilitated after a
+    /// window.
+    ByzantineBlackhole,
     /// Flaps, crashes, loss, corruption and a partition, all at once.
     KitchenSink,
 }
@@ -115,6 +124,7 @@ pub fn scenarios() -> Vec<Scenario> {
         base("delay-spike", Chaos::DelaySpike),
         base("double-fault", Chaos::DoubleFault),
         base("silent-cascade", Chaos::SilentCascade),
+        base("byzantine-blackhole", Chaos::ByzantineBlackhole),
         Scenario {
             limit: Duration::from_secs(240),
             ..base("kitchen-sink", Chaos::KitchenSink)
@@ -170,6 +180,9 @@ struct Topo {
     gd: usize,
     gc1: usize,
     gc2: usize,
+    /// h2's LAN (address bytes, prefix length) — the byzantine
+    /// scenario's lie targets the receiver's subnet.
+    victim_lan: ([u8; 4], u8),
 }
 
 /// Build the fault schedule for one chaos archetype. Returns the plan
@@ -292,6 +305,22 @@ fn build_plan(
             plan.push(s(14), FaultAction::NodeRestart { node: topo.gc1 });
             outages.push((s(2), s(14)));
         }
+        Chaos::ByzantineBlackhole => {
+            // gD advertises a metric-0 route for h2's LAN: no honest
+            // route can compete, so failover never helps — the window
+            // is an outage by construction. Rehabilitation clears the
+            // forwarding-plane hole instantly (the route through gD is
+            // honest again), so the outage ends with the window plus a
+            // second of slack for in-flight frames.
+            let (addr, prefix_len) = topo.victim_lan;
+            plan.compromise_window(
+                topo.gd,
+                ByzantineAttack::BlackholeVictim { addr, prefix_len },
+                s(2),
+                Duration::from_secs(10),
+            );
+            outages.push((s(2), s(13)));
+        }
         Chaos::KitchenSink => {
             plan.link_flap(
                 topo.l_ad,
@@ -375,9 +404,10 @@ fn run_full(
     let l_ac1 = net.connect(ga, gc1, LinkClass::T1Terrestrial);
     let l_c1c2 = net.connect(gc1, gc2, LinkClass::T1Terrestrial);
     let l_c2b = net.connect(gc2, gb, LinkClass::T1Terrestrial);
-    net.connect(gb, h2, LinkClass::EthernetLan);
+    let l_bh2 = net.connect(gb, h2, LinkClass::EthernetLan);
     net.converge_routing(Duration::from_secs(90));
     let start = net.now();
+    let lan = net.link_subnet(l_bh2);
     let topo = Topo {
         l_ad,
         l_db,
@@ -389,6 +419,7 @@ fn run_full(
         gd,
         gc1,
         gc2,
+        victim_lan: (lan.address().0, lan.prefix_len()),
     };
 
     // The fault schedule is pure data derived from the seed: two runs
@@ -641,8 +672,21 @@ mod tests {
     }
 
     #[test]
-    fn battery_has_fourteen_scenarios() {
-        assert_eq!(scenarios().len(), 14);
+    fn battery_has_fifteen_scenarios() {
+        assert_eq!(scenarios().len(), 15);
+    }
+
+    #[test]
+    fn byzantine_blackhole_is_survived_with_integrity() {
+        let outcome = run(by_name("byzantine-blackhole"), 11);
+        assert!(outcome.completed, "{outcome:?}");
+        assert!(outcome.integrity_ok);
+        assert_eq!(outcome.violations, 0);
+        assert!(
+            outcome.retransmits > 0,
+            "the lying gateway cost retransmissions: {outcome:?}"
+        );
+        assert_eq!(outcome.faults, 2, "compromise + rehabilitate");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | [`e11_gauntlet`] | end-to-end invariants under scripted chaos (the survivability gauntlet) |
 //! | [`e12_reconvergence`] | per-heal routing reconvergence, measured and bounded |
 //! | [`e13_scale`] | event-loop scale: heap vs timer-wheel scheduler at 50–400 gateways |
+//! | [`e14_routeguard`] | byzantine blast radius with and without the route-guard defense |
 //!
 //! [`ablations`] additionally turns individual design choices *off* —
 //! congestion control, split horizon, Nagle, source quench — and
@@ -39,6 +40,7 @@ pub mod e10_realizations;
 pub mod e11_gauntlet;
 pub mod e12_reconvergence;
 pub mod e13_scale;
+pub mod e14_routeguard;
 pub mod e2_type_of_service;
 pub mod e3_variety;
 pub mod e4_distributed_mgmt;

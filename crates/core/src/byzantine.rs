@@ -1,0 +1,402 @@
+//! Byzantine corruption of a compromised gateway's outgoing routing
+//! announcements.
+//!
+//! A [`catenet_sim::FaultAction::Compromise`] marks a node as lying on the
+//! control plane. The network applies the lie at the last possible moment
+//! — in `Network::transmit`, after the node has honestly computed its
+//! advertisement — by rewriting the RIP payload of outgoing frames. The
+//! node itself is unmodified: its table, its split-horizon policy and its
+//! timers all still tell the truth internally, which is exactly what makes
+//! byzantine faults nastier than crashes (the liar keeps participating).
+//!
+//! Only well-formed RIP-over-UDP frames are touched; data traffic, ARP and
+//! everything else passes through byte-identical. The rewrite preserves
+//! the original IP identification, TTL and ToS so the corruption is
+//! invisible below the routing layer, and refills both checksums so
+//! receivers cannot detect it by accident — detection has to come from the
+//! route guard (or not at all, which is the point E14 prices).
+
+use catenet_routing::message::MAX_ENTRIES;
+use catenet_routing::{RipEntry, RipMessage, INFINITY_METRIC, RIP_PORT};
+use catenet_sim::ByzantineAttack;
+use catenet_wire::{
+    EtherType, EthernetFrame, EthernetRepr, IpProtocol, Ipv4Address, Ipv4Cidr, Ipv4Packet,
+    Ipv4Repr, UdpPacket, UdpRepr,
+};
+use std::collections::BTreeMap;
+
+use crate::iface::Framing;
+
+/// Per-compromised-node corruption state.
+#[derive(Debug, Clone)]
+pub(crate) struct ByzantineState {
+    /// The lie this node tells.
+    pub(crate) attack: ByzantineAttack,
+    /// Outgoing RIP messages seen per interface (drives flap alternation).
+    sends: BTreeMap<usize, u64>,
+    /// First RIP payload seen per interface, replayed verbatim thereafter.
+    snapshots: BTreeMap<usize, Vec<u8>>,
+    /// RIP messages actually rewritten (for the flight recorder).
+    pub(crate) corrupted: u64,
+}
+
+impl ByzantineState {
+    pub(crate) fn new(attack: ByzantineAttack) -> ByzantineState {
+        ByzantineState {
+            attack,
+            sends: BTreeMap::new(),
+            snapshots: BTreeMap::new(),
+            corrupted: 0,
+        }
+    }
+
+    /// Rewrite an outgoing frame if it carries a RIP advertisement.
+    ///
+    /// Returns the replacement frame, or `None` when the frame is left
+    /// alone (not RIP, or the attack chooses truth this round — flapping
+    /// alternates, replay lets the first advert through to snapshot it).
+    pub(crate) fn corrupt_frame(
+        &mut self,
+        iface: usize,
+        framing: Framing,
+        frame: &[u8],
+    ) -> Option<Vec<u8>> {
+        let (eth, ip_bytes): (Option<EthernetRepr>, &[u8]) = match framing {
+            Framing::Ethernet => {
+                let eth_frame = EthernetFrame::new_checked(frame).ok()?;
+                if eth_frame.ethertype() != EtherType::Ipv4 {
+                    return None;
+                }
+                let repr = EthernetRepr {
+                    src_addr: eth_frame.src_addr(),
+                    dst_addr: eth_frame.dst_addr(),
+                    ethertype: EtherType::Ipv4,
+                };
+                (Some(repr), &frame[catenet_wire::ethernet::HEADER_LEN..])
+            }
+            Framing::RawIp => (None, frame),
+        };
+        let ip = Ipv4Packet::new_checked(ip_bytes).ok()?;
+        if ip.protocol() != IpProtocol::Udp || ip.is_fragment() {
+            return None;
+        }
+        let (src, dst) = (ip.src_addr(), ip.dst_addr());
+        let (ident, hop_limit, tos) = (ip.ident(), ip.hop_limit(), ip.tos());
+        let udp = UdpPacket::new_checked(ip.payload()).ok()?;
+        if udp.dst_port() != RIP_PORT {
+            return None;
+        }
+        let (src_port, dst_port) = (udp.src_port(), udp.dst_port());
+        let mut message = RipMessage::decode(udp.payload()).ok()?;
+
+        let send_index = *self.sends.entry(iface).or_insert(0);
+        *self.sends.get_mut(&iface).unwrap() += 1;
+
+        match self.attack {
+            ByzantineAttack::BogusOrigins { count } => {
+                // Claim direct attachment to prefixes nobody owns
+                // (198.18.0.0/15 is benchmarking space — guaranteed
+                // absent from any honest table here).
+                for j in 0..count {
+                    push_capped(
+                        &mut message.entries,
+                        RipEntry {
+                            prefix: Ipv4Cidr::new(Ipv4Address::new(198, 18, j, 0), 24),
+                            metric: 1,
+                        },
+                    );
+                }
+            }
+            ByzantineAttack::BlackholeVictim { addr, prefix_len } => {
+                // Advertise metric 0 for the victim: one better than any
+                // honest connected route, so every neighbor prefers the
+                // liar. The liar's forwarding path then eats the traffic.
+                let victim = Ipv4Cidr::new(Ipv4Address::from_bytes(&addr), prefix_len).network();
+                message.entries.retain(|entry| entry.prefix != victim);
+                push_capped(
+                    &mut message.entries,
+                    RipEntry {
+                        prefix: victim,
+                        metric: 0,
+                    },
+                );
+            }
+            ByzantineAttack::ReplayStale => {
+                match self.snapshots.get(&iface) {
+                    Some(stale) => {
+                        message = RipMessage::decode(stale)
+                            .expect("snapshot was decoded once already");
+                    }
+                    None => {
+                        // The first advertisement goes out truthfully and
+                        // becomes the stale state replayed forever after.
+                        self.snapshots.insert(iface, udp.payload().to_vec());
+                        return None;
+                    }
+                }
+            }
+            ByzantineAttack::FlapAdverts => {
+                if send_index.is_multiple_of(2) {
+                    return None; // even rounds tell the truth
+                }
+                for entry in &mut message.entries {
+                    entry.metric = INFINITY_METRIC;
+                }
+            }
+        }
+        self.corrupted += 1;
+
+        let rip_payload = message.encode();
+        let udp_repr = UdpRepr {
+            src_port,
+            dst_port,
+            payload_len: rip_payload.len(),
+        };
+        let mut udp_buf = vec![0u8; udp_repr.buffer_len()];
+        {
+            let mut udp_out = UdpPacket::new_unchecked(&mut udp_buf[..]);
+            udp_repr.emit(&mut udp_out);
+            udp_out.payload_mut().copy_from_slice(&rip_payload);
+            udp_out.fill_checksum(src, dst);
+        }
+        let datagram = catenet_ip::build_ipv4(
+            &Ipv4Repr {
+                src_addr: src,
+                dst_addr: dst,
+                protocol: IpProtocol::Udp,
+                payload_len: udp_buf.len(),
+                hop_limit,
+                tos,
+            },
+            ident,
+            false,
+            &udp_buf,
+        );
+        match eth {
+            Some(repr) => {
+                let mut out = vec![0u8; repr.buffer_len() + datagram.len()];
+                let mut frame_out = EthernetFrame::new_unchecked(&mut out[..]);
+                repr.emit(&mut frame_out);
+                frame_out.payload_mut().copy_from_slice(&datagram);
+                Some(out)
+            }
+            None => Some(datagram),
+        }
+    }
+}
+
+/// Append an entry, replacing the last one when the page is already full
+/// (the lie must still fit the wire format's 64-entry page).
+fn push_capped(entries: &mut Vec<RipEntry>, entry: RipEntry) {
+    if entries.len() < MAX_ENTRIES {
+        entries.push(entry);
+    } else if let Some(last) = entries.last_mut() {
+        *last = entry;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catenet_wire::Tos;
+
+    const SRC: Ipv4Address = Ipv4Address::new(10, 0, 0, 1);
+    const DST: Ipv4Address = Ipv4Address::new(10, 0, 0, 2);
+
+    fn rip_frame(entries: Vec<RipEntry>) -> Vec<u8> {
+        let payload = RipMessage { entries }.encode();
+        let udp_repr = UdpRepr {
+            src_port: RIP_PORT,
+            dst_port: RIP_PORT,
+            payload_len: payload.len(),
+        };
+        let mut udp_buf = vec![0u8; udp_repr.buffer_len()];
+        {
+            let mut udp = UdpPacket::new_unchecked(&mut udp_buf[..]);
+            udp_repr.emit(&mut udp);
+            udp.payload_mut().copy_from_slice(&payload);
+            udp.fill_checksum(SRC, DST);
+        }
+        catenet_ip::build_ipv4(
+            &Ipv4Repr {
+                src_addr: SRC,
+                dst_addr: DST,
+                protocol: IpProtocol::Udp,
+                payload_len: udp_buf.len(),
+                hop_limit: 64,
+                tos: Tos::default(),
+            },
+            7,
+            false,
+            &udp_buf,
+        )
+    }
+
+    fn decode_frame(frame: &[u8]) -> RipMessage {
+        let ip = Ipv4Packet::new_checked(frame).unwrap();
+        assert!(ip.verify_checksum(), "rewritten IP checksum must be valid");
+        let udp = UdpPacket::new_checked(ip.payload()).unwrap();
+        assert!(
+            udp.verify_checksum(ip.src_addr(), ip.dst_addr()),
+            "rewritten UDP checksum must be valid"
+        );
+        RipMessage::decode(udp.payload()).unwrap()
+    }
+
+    fn honest_entries() -> Vec<RipEntry> {
+        vec![
+            RipEntry {
+                prefix: "10.1.0.0/16".parse().unwrap(),
+                metric: 1,
+            },
+            RipEntry {
+                prefix: "10.2.0.0/16".parse().unwrap(),
+                metric: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn blackhole_injects_metric_zero_and_keeps_headers() {
+        let mut state = ByzantineState::new(ByzantineAttack::BlackholeVictim {
+            addr: [10, 9, 0, 0],
+            prefix_len: 16,
+        });
+        let frame = rip_frame(honest_entries());
+        let out = state
+            .corrupt_frame(0, Framing::RawIp, &frame)
+            .expect("RIP frame must be rewritten");
+        let ip = Ipv4Packet::new_checked(&out[..]).unwrap();
+        assert_eq!(ip.ident(), 7, "identification preserved");
+        assert_eq!(ip.hop_limit(), 64, "TTL preserved");
+        let message = decode_frame(&out);
+        let victim: Ipv4Cidr = "10.9.0.0/16".parse().unwrap();
+        let lie = message
+            .entries
+            .iter()
+            .find(|e| e.prefix == victim)
+            .expect("victim prefix advertised");
+        assert_eq!(lie.metric, 0, "metric 0 beats every honest route");
+        assert_eq!(message.entries.len(), 3, "honest entries still present");
+        assert_eq!(state.corrupted, 1);
+    }
+
+    #[test]
+    fn flapping_alternates_truth_and_infinity() {
+        let mut state = ByzantineState::new(ByzantineAttack::FlapAdverts);
+        let frame = rip_frame(honest_entries());
+        assert!(
+            state.corrupt_frame(0, Framing::RawIp, &frame).is_none(),
+            "first send is truthful"
+        );
+        let poisoned = state.corrupt_frame(0, Framing::RawIp, &frame).unwrap();
+        assert!(
+            decode_frame(&poisoned)
+                .entries
+                .iter()
+                .all(|e| e.metric == INFINITY_METRIC),
+            "second send withdraws everything"
+        );
+        assert!(
+            state.corrupt_frame(0, Framing::RawIp, &frame).is_none(),
+            "third send is truthful again"
+        );
+        // A different interface flaps on its own schedule.
+        assert!(state.corrupt_frame(1, Framing::RawIp, &frame).is_none());
+    }
+
+    #[test]
+    fn replay_snapshots_the_first_advert_and_repeats_it() {
+        let mut state = ByzantineState::new(ByzantineAttack::ReplayStale);
+        let first = rip_frame(honest_entries());
+        assert!(
+            state.corrupt_frame(0, Framing::RawIp, &first).is_none(),
+            "first advert passes (and is snapshotted)"
+        );
+        // The node's table has since changed — but the liar replays t=0.
+        let newer = rip_frame(vec![RipEntry {
+            prefix: "10.3.0.0/16".parse().unwrap(),
+            metric: 5,
+        }]);
+        let out = state.corrupt_frame(0, Framing::RawIp, &newer).unwrap();
+        assert_eq!(
+            decode_frame(&out).entries,
+            honest_entries(),
+            "stale state substituted"
+        );
+    }
+
+    #[test]
+    fn bogus_origins_append_benchmark_space() {
+        let mut state = ByzantineState::new(ByzantineAttack::BogusOrigins { count: 3 });
+        let frame = rip_frame(honest_entries());
+        let out = state.corrupt_frame(0, Framing::RawIp, &frame).unwrap();
+        let message = decode_frame(&out);
+        assert_eq!(message.entries.len(), 5);
+        let bogus: Ipv4Cidr = "198.18.2.0/24".parse().unwrap();
+        assert!(message.entries.iter().any(|e| e.prefix == bogus && e.metric == 1));
+    }
+
+    #[test]
+    fn non_rip_traffic_passes_untouched() {
+        let mut state = ByzantineState::new(ByzantineAttack::FlapAdverts);
+        // UDP to a non-RIP port.
+        let udp_repr = UdpRepr {
+            src_port: 9999,
+            dst_port: 9999,
+            payload_len: 4,
+        };
+        let mut udp_buf = vec![0u8; udp_repr.buffer_len()];
+        {
+            let mut udp = UdpPacket::new_unchecked(&mut udp_buf[..]);
+            udp_repr.emit(&mut udp);
+            udp.payload_mut().copy_from_slice(b"data");
+            udp.fill_checksum(SRC, DST);
+        }
+        let frame = catenet_ip::build_ipv4(
+            &Ipv4Repr {
+                src_addr: SRC,
+                dst_addr: DST,
+                protocol: IpProtocol::Udp,
+                payload_len: udp_buf.len(),
+                hop_limit: 64,
+                tos: Tos::default(),
+            },
+            1,
+            false,
+            &udp_buf,
+        );
+        assert!(state.corrupt_frame(0, Framing::RawIp, &frame).is_none());
+        // Garbage is not a frame at all.
+        assert!(state.corrupt_frame(0, Framing::RawIp, &[0u8; 3]).is_none());
+        assert_eq!(state.corrupted, 0);
+    }
+
+    #[test]
+    fn ethernet_framing_is_round_tripped() {
+        let mut state = ByzantineState::new(ByzantineAttack::BlackholeVictim {
+            addr: [10, 9, 0, 0],
+            prefix_len: 16,
+        });
+        let datagram = rip_frame(honest_entries());
+        let repr = EthernetRepr {
+            src_addr: catenet_wire::EthernetAddress::new(2, 0, 0, 0, 0, 1),
+            dst_addr: catenet_wire::EthernetAddress::new(2, 0, 0, 0, 0, 2),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut framed = vec![0u8; repr.buffer_len() + datagram.len()];
+        {
+            let mut frame = EthernetFrame::new_unchecked(&mut framed[..]);
+            repr.emit(&mut frame);
+            frame.payload_mut().copy_from_slice(&datagram);
+        }
+        let out = state
+            .corrupt_frame(0, Framing::Ethernet, &framed)
+            .expect("ethernet RIP frame rewritten");
+        let eth = EthernetFrame::new_checked(&out[..]).unwrap();
+        assert_eq!(eth.src_addr(), repr.src_addr, "MAC header preserved");
+        assert_eq!(eth.dst_addr(), repr.dst_addr);
+        let message = decode_frame(eth.payload());
+        assert!(message.entries.iter().any(|e| e.metric == 0));
+    }
+}

@@ -50,6 +50,7 @@ pub mod accounting;
 pub mod app;
 pub mod arp;
 pub mod baseline;
+mod byzantine;
 pub mod flow;
 pub mod iface;
 pub mod invariant;

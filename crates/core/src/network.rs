@@ -8,15 +8,17 @@
 //! architecture itself prescribes.
 
 use crate::app::Application;
+use crate::byzantine::ByzantineState;
 use crate::iface::{Framing, Iface};
 use crate::node::{Node, NodeRole};
+use catenet_routing::GuardPolicy;
 use catenet_sim::{
-    Duration, FaultAction, FaultPlan, Instant, Link, LinkClass, LinkOutcome, LinkParams, Rng,
-    SchedStats, Scheduler, SchedulerKind, TraceOp,
+    ByzantineAttack, Duration, FaultAction, FaultPlan, Instant, Link, LinkClass, LinkOutcome,
+    LinkParams, Rng, SchedStats, Scheduler, SchedulerKind, TraceOp,
 };
 use catenet_telemetry::{EventKind, Scope, Telemetry};
 use catenet_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Index of a node within the network.
 pub type NodeId = usize;
@@ -93,6 +95,13 @@ pub struct Network {
     /// Service passes executed per node (each pass may handle a whole
     /// batch of same-instant events; see [`Network::run_until`]).
     service_count: Vec<u64>,
+    /// Byzantine corruption state per compromised node (see
+    /// [`FaultAction::Compromise`]): the liar's outgoing RIP frames are
+    /// rewritten in `transmit`, after the node honestly computed them.
+    compromised: BTreeMap<NodeId, ByzantineState>,
+    /// Last harvested route-guard verdict totals per node and neighbor,
+    /// for delta-counting into the registry.
+    last_guard: Vec<BTreeMap<Ipv4Address, (u64, u64, u64, u64)>>,
     /// Scratch list of nodes touched by the current same-instant batch,
     /// kept around so steady-state batching allocates nothing.
     touched: Vec<NodeId>,
@@ -131,6 +140,8 @@ impl Network {
             last_harvest: Vec::new(),
             service_count: Vec::new(),
             touched: Vec::new(),
+            compromised: BTreeMap::new(),
+            last_guard: Vec::new(),
         }
     }
 
@@ -192,7 +203,20 @@ impl Network {
         self.last_sampled_acked.push(0);
         self.last_harvest.push((0, 0, 0, 0));
         self.service_count.push(0);
+        self.last_guard.push(BTreeMap::new());
         self.nodes.len() - 1
+    }
+
+    /// Install a route-guard policy on every node that runs routing.
+    /// The policy survives node crash/restart (conversation state dies
+    /// with a node; configuration does not). Call after the topology is
+    /// built — nodes added later keep the default (guard off).
+    pub fn set_guard_policy(&mut self, policy: GuardPolicy) {
+        for node in &mut self.nodes {
+            if let Some(dv) = &mut node.dv {
+                dv.set_guard_policy(policy);
+            }
+        }
     }
 
     /// Borrow a node.
@@ -531,6 +555,25 @@ impl Network {
                     duplex.ba.restore_delay();
                 }
             }
+            FaultAction::Compromise { node, attack } => {
+                if *node < self.nodes.len() && !self.compromised.contains_key(node) {
+                    self.compromised.insert(*node, ByzantineState::new(*attack));
+                    if let ByzantineAttack::BlackholeVictim { addr, prefix_len } = attack {
+                        // The lie needs teeth: the liar's forwarding path
+                        // silently eats traffic for the prefix it claims.
+                        self.nodes[*node].blackhole_prefixes.push(
+                            Ipv4Cidr::new(Ipv4Address::from_bytes(addr), *prefix_len).network(),
+                        );
+                    }
+                    self.telemetry.convergence.disruption(now);
+                }
+            }
+            FaultAction::Rehabilitate { node } => {
+                if self.compromised.remove(node).is_some() {
+                    self.nodes[*node].blackhole_prefixes.clear();
+                    self.telemetry.convergence.heal(now);
+                }
+            }
         }
     }
 
@@ -688,6 +731,15 @@ impl Network {
             self.unconnected_drops += 1;
             return;
         };
+        // A compromised node lies on the wire, not in its own state: the
+        // rewrite happens here so the tap (and the receiver) see exactly
+        // what a byzantine gateway would have emitted.
+        if let Some(state) = self.compromised.get_mut(&from) {
+            let framing = self.nodes[from].ifaces[iface].framing;
+            if let Some(corrupted) = state.corrupt_frame(iface, framing, &frame) {
+                frame = corrupted;
+            }
+        }
         if let Some(tap) = &mut self.tap {
             tap(self.now, &frame);
         }
@@ -914,6 +966,49 @@ impl Network {
                 }
             }
         }
+        // Route-guard harvest: verdict deltas per neighbor into the
+        // registry, incidents into the flight recorder. With the guard
+        // off neither accrues, so unguarded dumps stay byte-identical.
+        let mut verdict_rows: Vec<(Ipv4Address, (u64, u64, u64, u64))> = Vec::new();
+        let mut incidents = Vec::new();
+        if let Some(dv) = &mut self.nodes[id].dv {
+            if dv.guard().enabled() {
+                verdict_rows = dv
+                    .guard()
+                    .verdicts()
+                    .map(|(addr, v)| (addr, (v.accepted, v.sanitized, v.damped, v.quarantined)))
+                    .collect();
+            }
+            incidents = dv.guard_mut().drain_incidents();
+        }
+        for (addr, cur) in verdict_rows {
+            let last = self.last_guard[id].get(&addr).copied().unwrap_or((0, 0, 0, 0));
+            if cur == last {
+                continue;
+            }
+            self.last_guard[id].insert(addr, cur);
+            let scope = Scope::Neighbor { node: id, addr: addr.0 };
+            for (name, value, floor) in [
+                ("guard_accepted", cur.0, last.0),
+                ("guard_sanitized", cur.1, last.1),
+                ("guard_damped", cur.2, last.2),
+                ("guard_quarantined", cur.3, last.3),
+            ] {
+                if value > floor {
+                    let c = self.telemetry.registry.counter(name, scope);
+                    self.telemetry.registry.add(c, value - floor);
+                }
+            }
+        }
+        for incident in incidents {
+            self.telemetry.recorder.record(
+                now,
+                EventKind::GuardAction {
+                    node: id,
+                    detail: incident.to_string(),
+                },
+            );
+        }
     }
 
     /// Aggregate link statistics: (frames offered, frames delivered,
@@ -1001,6 +1096,10 @@ fn describe_fault(action: &FaultAction) -> String {
             format!("delay-spike link {link} +{extra} jitter {jitter}")
         }
         FaultAction::RestoreDelay { link } => format!("restore-delay link {link}"),
+        FaultAction::Compromise { node, attack } => {
+            format!("compromise node {node} ({})", attack.name())
+        }
+        FaultAction::Rehabilitate { node } => format!("rehabilitate node {node}"),
     }
 }
 
@@ -1663,5 +1762,69 @@ mod tests {
             )
         };
         assert_eq!(run(13), run(13), "same seed, same chaos, same outcome");
+    }
+
+    /// Five-gateway ring, source host at g4, victim host at g2. g0 is
+    /// compromised to advertise metric 0 for the victim's LAN and eat
+    /// whatever arrives. Returns echo replies received by the source
+    /// plus the liar's byzantine-drop count and the metrics dump.
+    fn blackhole_ring(guard: bool) -> (usize, u64, String) {
+        let mut net = Network::new(42);
+        let gs: Vec<NodeId> = (0..5)
+            .map(|i| net.add_gateway(format!("g{i}")))
+            .collect();
+        for &g in &gs {
+            net.node_mut(g).set_dv_config(catenet_routing::DvConfig::fast());
+        }
+        for i in 0..5 {
+            net.connect(gs[i], gs[(i + 1) % 5], LinkClass::T1Terrestrial);
+        }
+        let src = net.add_host("src");
+        net.connect(src, gs[4], LinkClass::EthernetLan);
+        let victim = net.add_host("victim");
+        let victim_link = net.connect(gs[2], victim, LinkClass::EthernetLan);
+        if guard {
+            net.set_guard_policy(GuardPolicy::standard());
+        }
+        net.converge_routing(Duration::from_secs(120));
+        let lan = net.link_subnet(victim_link);
+        net.apply_fault(&FaultAction::Compromise {
+            node: gs[0],
+            attack: ByzantineAttack::BlackholeVictim {
+                addr: lan.address().0,
+                prefix_len: lan.prefix_len(),
+            },
+        });
+        // Two fast periodic intervals: the lie (or its rejection) settles.
+        net.run_for(Duration::from_secs(10));
+        let dst = net.node(victim).primary_addr();
+        let now = net.now();
+        net.node_mut(src).send_ping(dst, 7, 1, 32, now);
+        net.kick(src);
+        net.run_for(Duration::from_secs(5));
+        let replies = net.node_mut(src).take_icmp_events().len();
+        (replies, net.node(gs[0]).stats.dropped_byzantine, net.metrics_dump())
+    }
+
+    #[test]
+    fn compromised_gateway_blackholes_unguarded_ring() {
+        let (replies, eaten, metrics) = blackhole_ring(false);
+        assert_eq!(replies, 0, "metric-0 lie pulls traffic into the liar");
+        assert!(eaten > 0, "the liar ate the redirected datagram");
+        assert!(
+            !metrics.contains("guard_"),
+            "guard off: no guard metric is ever interned"
+        );
+    }
+
+    #[test]
+    fn route_guard_defeats_the_blackhole() {
+        let (replies, eaten, metrics) = blackhole_ring(true);
+        assert_eq!(replies, 1, "sanitized neighbors keep the honest route");
+        assert_eq!(eaten, 0, "nothing is pulled toward the liar");
+        assert!(
+            metrics.contains("guard_sanitized"),
+            "verdict counters harvested into the registry:\n{metrics}"
+        );
     }
 }

@@ -25,8 +25,9 @@ use catenet_sim::{Duration, Instant};
 use catenet_tcp::{Endpoint, Socket as TcpSocket, SocketConfig as TcpConfig, State as TcpState};
 use catenet_wire::{
     ArpOperation, ArpPacket, ArpRepr, DstUnreachable, EtherType, EthernetAddress, EthernetFrame,
-    EthernetRepr, Icmpv4Message, Icmpv4Packet, Icmpv4Repr, IpProtocol, Ipv4Address, Ipv4Packet,
-    Ipv4Repr, TcpControl, TcpPacket, TcpRepr, TcpSeqNumber, TimeExceeded, Tos, UdpPacket, UdpRepr,
+    EthernetRepr, Icmpv4Message, Icmpv4Packet, Icmpv4Repr, IpProtocol, Ipv4Address, Ipv4Cidr,
+    Ipv4Packet, Ipv4Repr, TcpControl, TcpPacket, TcpRepr, TcpSeqNumber, TimeExceeded, Tos,
+    UdpPacket, UdpRepr,
 };
 use std::collections::HashMap;
 
@@ -84,6 +85,9 @@ pub struct NodeStats {
     pub dropped_arp_gave_up: u64,
     /// Drops: frame arrived for an interface index we don't have.
     pub dropped_bad_iface: u64,
+    /// Drops: this (compromised) gateway silently ate a datagram for a
+    /// victim prefix it had attracted with a black-hole advertisement.
+    pub dropped_byzantine: u64,
 }
 
 /// An ICMP message delivered to this node (for ping apps and error
@@ -145,6 +149,10 @@ pub struct Node {
     pub source_quench_enabled: bool,
     /// Rate limiter: last quench emission time.
     last_quench: Instant,
+    /// Prefixes whose transit traffic this node silently eats — set by
+    /// the fault driver while the node is compromised with a black-hole
+    /// attack (the lie attracts the traffic; this makes the lie lethal).
+    pub blackhole_prefixes: Vec<Ipv4Cidr>,
 }
 
 impl Node {
@@ -178,6 +186,7 @@ impl Node {
             default_ttl: 64,
             source_quench_enabled: role == NodeRole::Gateway,
             last_quench: Instant::ZERO,
+            blackhole_prefixes: Vec::new(),
         }
     }
 
@@ -266,10 +275,14 @@ impl Node {
     /// Replace the distance-vector configuration (gateways only),
     /// re-declaring connected networks into the fresh engine.
     pub fn set_dv_config(&mut self, config: catenet_routing::DvConfig) {
-        if self.dv.is_none() {
+        let Some(old) = &self.dv else {
             return;
-        }
+        };
+        // The guard policy is configuration, like the timers: it
+        // survives an engine swap.
+        let guard_policy = *old.guard().policy();
         let mut dv = DvEngine::new(config);
+        dv.set_guard_policy(guard_policy);
         for (index, iface) in self.ifaces.iter().enumerate() {
             dv.add_connected(iface.cidr.network(), index);
         }
@@ -679,6 +692,18 @@ impl Node {
                 &datagram,
                 Icmpv4Message::TimeExceeded(TimeExceeded::TtlExpired),
             );
+            return;
+        }
+        // A compromised gateway eats victim-prefix transit silently —
+        // no ICMP, no log: from the outside it looks like the path
+        // simply lost the datagram, which is what makes a routing
+        // black hole so hard to diagnose.
+        if self
+            .blackhole_prefixes
+            .iter()
+            .any(|prefix| prefix.contains(dst))
+        {
+            self.stats.dropped_byzantine += 1;
             return;
         }
         match self.route(dst) {

@@ -7,6 +7,7 @@
 //! that crashes and reboots with an empty table re-learns everything
 //! within a few update intervals. Experiment E1 depends on exactly this.
 
+use crate::guard::{GuardPolicy, GuardVerdict, RouteGuard};
 use crate::message::{RipEntry, INFINITY_METRIC};
 use catenet_ip::RoutingTable;
 use catenet_sim::{Duration, Instant};
@@ -143,6 +144,9 @@ pub struct DvEngine {
     /// Refreshes that only extend a deadline do not count. Telemetry
     /// samples this to timestamp reconvergence.
     version: u64,
+    /// Defensive admission of announcements (off by default — the
+    /// trusting 1988 behavior).
+    guard: RouteGuard,
 }
 
 impl DvEngine {
@@ -156,12 +160,30 @@ impl DvEngine {
             updates_received: 0,
             changes_applied: 0,
             version: 0,
+            guard: RouteGuard::new(GuardPolicy::off()),
         }
     }
 
     /// The protocol configuration.
     pub fn config(&self) -> &DvConfig {
         &self.config
+    }
+
+    /// The route guard (verdict totals, quarantine state).
+    pub fn guard(&self) -> &RouteGuard {
+        &self.guard
+    }
+
+    /// Mutable guard access (the owner drains incidents through this).
+    pub fn guard_mut(&mut self) -> &mut RouteGuard {
+        &mut self.guard
+    }
+
+    /// Install a guard policy. Existing guard history is forgotten;
+    /// routes already in the table are untouched (the guard screens
+    /// what comes *in*, it does not audit the past).
+    pub fn set_guard_policy(&mut self, policy: GuardPolicy) {
+        self.guard.set_policy(policy);
     }
 
     /// The table's monotone version counter.
@@ -242,6 +264,12 @@ impl DvEngine {
     /// Process an advertisement from `gateway` heard on `iface`.
     /// Returns true if anything changed (the caller may then ask for
     /// triggered updates).
+    ///
+    /// With a guard policy enabled, the announcement first passes
+    /// through [`RouteGuard::admit`]; only the entries that survive
+    /// sanitization, damping and quarantine reach the table. With the
+    /// policy off (the default) this path is byte-for-byte the trusting
+    /// 1988 behavior.
     pub fn handle_update(
         &mut self,
         gateway: Ipv4Address,
@@ -250,6 +278,24 @@ impl DvEngine {
         now: Instant,
     ) -> bool {
         self.updates_received += 1;
+        let admission;
+        let entries: &[RipEntry] = if self.guard.enabled() {
+            let own: Vec<Ipv4Cidr> = self
+                .table
+                .iter()
+                .filter(|(_, r)| {
+                    matches!(r.next_hop, NextHop::Connected { .. }) && r.metric == 1
+                })
+                .map(|(p, _)| *p)
+                .collect();
+            admission = self.guard.admit(gateway, entries, now, &own);
+            if admission.verdict == GuardVerdict::Quarantined {
+                return false;
+            }
+            &admission.entries
+        } else {
+            entries
+        };
         let mut changed_any = false;
         for entry in entries {
             let advertised = entry.metric.saturating_add(1).min(INFINITY_METRIC);
@@ -409,6 +455,9 @@ impl DvEngine {
         self.table.clear();
         self.trigger_pending = false;
         self.next_periodic = Instant::ZERO;
+        // Guard history is volatile too — fate-sharing — but the
+        // policy itself is configuration and survives the reboot.
+        self.guard.reset();
     }
 }
 
@@ -795,6 +844,45 @@ mod tests {
         assert_eq!(dv.version(), 5);
         dv.clear();
         assert_eq!(dv.version(), 5, "clearing empty is a no-op");
+    }
+
+    #[test]
+    fn guarded_engine_rejects_blackhole_advert() {
+        let mut trusting = engine();
+        let mut guarded = engine();
+        guarded.set_guard_policy(GuardPolicy::standard());
+        let blackhole = [RipEntry {
+            prefix: cidr("10.9.0.0/16"),
+            metric: 0,
+        }];
+        // The trusting engine installs the metric-0 lie at cost 1 —
+        // unbeatable by any honest path.
+        assert!(trusting.handle_update(addr("10.0.0.2"), 0, &blackhole, Instant::ZERO));
+        assert_eq!(trusting.lookup(addr("10.9.0.1")).unwrap().metric, 1);
+        // The guarded engine refuses it outright.
+        assert!(!guarded.handle_update(addr("10.0.0.2"), 0, &blackhole, Instant::ZERO));
+        assert!(guarded.lookup(addr("10.9.0.1")).is_none());
+        let verdicts: Vec<_> = guarded.guard().verdicts().collect();
+        assert_eq!(verdicts[0].1.sanitized, 1);
+    }
+
+    #[test]
+    fn guard_off_is_bitwise_trusting_behavior() {
+        let mut dv = engine();
+        assert!(!dv.guard().enabled());
+        // Policy off: even a metric-0 lie flows straight in, exactly as
+        // the 1988 architecture trusted it to.
+        dv.handle_update(
+            addr("10.0.0.2"),
+            0,
+            &[RipEntry {
+                prefix: cidr("10.9.0.0/16"),
+                metric: 0,
+            }],
+            Instant::ZERO,
+        );
+        assert_eq!(dv.lookup(addr("10.9.0.1")).unwrap().metric, 1);
+        assert_eq!(dv.guard().verdicts().count(), 0, "no guard state accrues");
     }
 
     #[test]

@@ -1,0 +1,771 @@
+//! Route-guard: defensive admission of routing announcements.
+//!
+//! Clark's fourth goal — distributed management — is the one the 1988
+//! architecture satisfied least: gateways run by different
+//! administrations exchange routing tables, yet nothing in the
+//! architecture defends against a neighbor that *lies*. A compromised
+//! gateway can advertise a metric-0 black hole for a victim prefix,
+//! originate prefixes it does not own, replay stale tables, or flap its
+//! announcements to churn every table in reach.
+//!
+//! The [`RouteGuard`] sits between the wire and
+//! [`crate::DvEngine::handle_update`] and applies the defenses the 1988
+//! design lacked, in order:
+//!
+//! 1. **Quarantine wall** — announcements from a quarantined neighbor
+//!    are discarded wholesale until a timed parole expires.
+//! 2. **Per-neighbor rate limiting** — a fixed window caps how many
+//!    announcements one neighbor may send; excess messages are dropped
+//!    and count as offenses.
+//! 3. **Wire-level sanitization** — entries with out-of-range prefix
+//!    lengths are dropped, metrics above infinity are clamped, metric-0
+//!    entries are rejected outright (no honest gateway advertises below
+//!    1 — a connected network costs 1 — so metric 0 is the black-hole
+//!    signature), finite metrics beyond the configured topology radius
+//!    are clamped to infinity, and finite-metric echoes of our own
+//!    connected prefixes from off-link neighbors are rejected (an
+//!    on-link peer legitimately shares a link prefix; a distant liar
+//!    claiming a better route to our own network does not).
+//! 4. **Flap damping** — per (neighbor, prefix), reachable↔unreachable
+//!    transitions inside a window trip a hold-down that suppresses the
+//!    prefix until the hold-down expires.
+//!
+//! Rate-limit hits and damping trips accumulate as offenses; enough
+//! offenses quarantine the neighbor. Sanitization does *not* escalate —
+//! it already neutralizes the bad entry surgically, and escalating it
+//! would let a single poisoned prefix take down every honest route the
+//! same neighbor carries.
+//!
+//! Everything is behind a [`GuardPolicy`] switch whose default is *off*
+//! — the trusting 1988 behavior, kept as the reference the defense is
+//! measured against (experiment E14). Every verdict and incident is
+//! observable: per Allman's measurability principle, a rejected
+//! announcement is a first-class event, not a silent drop.
+
+use crate::message::{RipEntry, INFINITY_METRIC};
+use catenet_sim::{Duration, Instant};
+use catenet_wire::{Ipv4Address, Ipv4Cidr};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The guard's knobs. `Default` is the policy-off trusting behavior;
+/// [`GuardPolicy::standard`] enables the full defense with values tuned
+/// to the fast DV profile ([`crate::DvConfig::fast`], 3 s updates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardPolicy {
+    /// Master switch. Off = announcements flow straight into the
+    /// engine, exactly as the 1988 architecture trusted them to.
+    pub enabled: bool,
+    /// If set, no honest finite metric can exceed this (the known
+    /// topology radius plus slack); larger finite metrics are clamped
+    /// to infinity.
+    pub topology_radius: Option<u8>,
+    /// Fixed window over which announcements per neighbor are counted.
+    pub rate_window: Duration,
+    /// Maximum announcements one neighbor may send per window.
+    pub rate_limit: u32,
+    /// Window over which reachable↔unreachable flips are counted.
+    pub flap_window: Duration,
+    /// Flips within the window that trip the hold-down.
+    pub flap_threshold: u32,
+    /// How long a damped prefix stays suppressed.
+    pub holddown: Duration,
+    /// Offenses (rate-limit hits + damping trips) that quarantine the
+    /// neighbor.
+    pub quarantine_threshold: u32,
+    /// How long a quarantined neighbor is ignored before parole.
+    pub quarantine_parole: Duration,
+}
+
+impl Default for GuardPolicy {
+    fn default() -> GuardPolicy {
+        GuardPolicy::off()
+    }
+}
+
+impl GuardPolicy {
+    /// The full defense, tuned to the fast DV profile: honest neighbors
+    /// send ~4 announcements per 10 s (3 s periodic plus triggered
+    /// bursts), so 40 per window is generous; four flips in 12 s is two
+    /// full die/revive cycles inside four update periods — churn no
+    /// honest route survives twice.
+    pub fn standard() -> GuardPolicy {
+        GuardPolicy {
+            enabled: true,
+            topology_radius: None,
+            rate_window: Duration::from_secs(10),
+            rate_limit: 40,
+            flap_window: Duration::from_secs(12),
+            flap_threshold: 4,
+            holddown: Duration::from_secs(20),
+            quarantine_threshold: 6,
+            quarantine_parole: Duration::from_secs(45),
+        }
+    }
+
+    /// The explicit trusting policy (same as `Default`): the standard
+    /// knob values with the master switch off.
+    pub fn off() -> GuardPolicy {
+        GuardPolicy {
+            enabled: false,
+            ..GuardPolicy::standard()
+        }
+    }
+}
+
+/// Message-level outcome of admission, in increasing severity. A
+/// message earns the worst verdict any of its entries earned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GuardVerdict {
+    /// Every entry admitted unchanged.
+    Accepted,
+    /// At least one entry was dropped or clamped.
+    Sanitized,
+    /// At least one prefix is under hold-down (or the message was
+    /// rate-limited away).
+    Damped,
+    /// The neighbor is quarantined; the message was discarded.
+    Quarantined,
+}
+
+impl GuardVerdict {
+    /// Short display name (used as a counter suffix in telemetry).
+    pub fn name(self) -> &'static str {
+        match self {
+            GuardVerdict::Accepted => "accepted",
+            GuardVerdict::Sanitized => "sanitized",
+            GuardVerdict::Damped => "damped",
+            GuardVerdict::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Per-neighbor verdict totals, one counter per [`GuardVerdict`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NeighborVerdicts {
+    /// Messages admitted unchanged.
+    pub accepted: u64,
+    /// Messages with at least one entry dropped or clamped.
+    pub sanitized: u64,
+    /// Messages damped (hold-down suppression or rate limit).
+    pub damped: u64,
+    /// Messages discarded at the quarantine wall.
+    pub quarantined: u64,
+}
+
+/// One observable guard action, drained by the owner into the flight
+/// recorder — control-plane misbehavior must be measurable in-protocol,
+/// not just injected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuardIncident {
+    /// Entries were dropped and/or clamped out of a message.
+    Sanitized {
+        /// Who sent the message.
+        neighbor: Ipv4Address,
+        /// Entries rejected outright.
+        dropped: usize,
+        /// Entries admitted with a corrected metric.
+        clamped: usize,
+    },
+    /// A flapping prefix tripped its hold-down.
+    Damped {
+        /// Who sent the flapping announcements.
+        neighbor: Ipv4Address,
+        /// The prefix now suppressed.
+        prefix: Ipv4Cidr,
+        /// When the hold-down expires.
+        until: Instant,
+    },
+    /// A message exceeded the per-neighbor rate limit.
+    RateLimited {
+        /// The over-talkative neighbor.
+        neighbor: Ipv4Address,
+    },
+    /// Accumulated offenses quarantined the neighbor.
+    Quarantined {
+        /// The quarantined neighbor.
+        neighbor: Ipv4Address,
+        /// When parole is due.
+        until: Instant,
+    },
+    /// A quarantine expired; the neighbor is heard again.
+    Paroled {
+        /// The paroled neighbor.
+        neighbor: Ipv4Address,
+    },
+}
+
+impl fmt::Display for GuardIncident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardIncident::Sanitized { neighbor, dropped, clamped } => write!(
+                f,
+                "sanitized {neighbor}: {dropped} dropped, {clamped} clamped"
+            ),
+            GuardIncident::Damped { neighbor, prefix, until } => write!(
+                f,
+                "damped {prefix} from {neighbor} until t={:.1}s",
+                until.total_micros() as f64 / 1e6
+            ),
+            GuardIncident::RateLimited { neighbor } => {
+                write!(f, "rate-limited {neighbor}")
+            }
+            GuardIncident::Quarantined { neighbor, until } => write!(
+                f,
+                "quarantined {neighbor} until t={:.1}s",
+                until.total_micros() as f64 / 1e6
+            ),
+            GuardIncident::Paroled { neighbor } => write!(f, "paroled {neighbor}"),
+        }
+    }
+}
+
+/// What admission decided: the entries the engine may believe, plus the
+/// message-level verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Admission {
+    /// The sanitized entry list (possibly empty).
+    pub entries: Vec<RipEntry>,
+    /// The worst verdict any entry earned.
+    pub verdict: GuardVerdict,
+}
+
+/// Flap-damping state for one (neighbor, prefix).
+#[derive(Debug, Clone)]
+struct PrefixState {
+    last_reachable: bool,
+    window_start: Instant,
+    flips: u32,
+    holddown_until: Option<Instant>,
+}
+
+impl PrefixState {
+    fn new(now: Instant, reachable: bool) -> PrefixState {
+        PrefixState {
+            last_reachable: reachable,
+            window_start: now,
+            flips: 0,
+            holddown_until: None,
+        }
+    }
+}
+
+/// Everything the guard remembers about one neighbor.
+#[derive(Debug, Clone)]
+struct NeighborState {
+    msg_window_start: Instant,
+    msgs_in_window: u32,
+    offenses: u32,
+    quarantined_until: Option<Instant>,
+    verdicts: NeighborVerdicts,
+    prefixes: BTreeMap<Ipv4Cidr, PrefixState>,
+}
+
+impl NeighborState {
+    fn new(now: Instant) -> NeighborState {
+        NeighborState {
+            msg_window_start: now,
+            msgs_in_window: 0,
+            offenses: 0,
+            quarantined_until: None,
+            verdicts: NeighborVerdicts::default(),
+            prefixes: BTreeMap::new(),
+        }
+    }
+}
+
+/// The guard itself: per-neighbor admission state plus the incident log
+/// the owner drains into telemetry. All state lives in `BTreeMap`s so
+/// iteration — and therefore every harvested counter — is
+/// deterministic.
+#[derive(Debug, Clone)]
+pub struct RouteGuard {
+    policy: GuardPolicy,
+    neighbors: BTreeMap<Ipv4Address, NeighborState>,
+    incidents: Vec<GuardIncident>,
+}
+
+impl RouteGuard {
+    /// A guard with the given policy and no history.
+    pub fn new(policy: GuardPolicy) -> RouteGuard {
+        RouteGuard {
+            policy,
+            neighbors: BTreeMap::new(),
+            incidents: Vec::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &GuardPolicy {
+        &self.policy
+    }
+
+    /// Replace the policy and forget all per-neighbor history (changing
+    /// the rules mid-game would make old offenses incomparable).
+    pub fn set_policy(&mut self, policy: GuardPolicy) {
+        self.policy = policy;
+        self.reset();
+    }
+
+    /// Whether admission is enforced at all.
+    pub fn enabled(&self) -> bool {
+        self.policy.enabled
+    }
+
+    /// Forget all per-neighbor state and pending incidents; the policy
+    /// survives (it is configuration, not conversation state).
+    pub fn reset(&mut self) {
+        self.neighbors.clear();
+        self.incidents.clear();
+    }
+
+    /// Per-neighbor verdict totals, in address order.
+    pub fn verdicts(&self) -> impl Iterator<Item = (Ipv4Address, NeighborVerdicts)> + '_ {
+        self.neighbors.iter().map(|(addr, s)| (*addr, s.verdicts))
+    }
+
+    /// Take the pending incident log (oldest first).
+    pub fn drain_incidents(&mut self) -> Vec<GuardIncident> {
+        std::mem::take(&mut self.incidents)
+    }
+
+    /// How many neighbors are quarantined at `now`.
+    pub fn quarantined_count(&self, now: Instant) -> usize {
+        self.neighbors
+            .values()
+            .filter(|s| s.quarantined_until.is_some_and(|t| now < t))
+            .count()
+    }
+
+    /// Admit (what survives of) an announcement from `neighbor`.
+    /// `own_prefixes` lists the owner's *live* connected networks — the
+    /// prefixes nobody else may claim a finite-metric route to, unless
+    /// they share the link.
+    pub fn admit(
+        &mut self,
+        neighbor: Ipv4Address,
+        entries: &[RipEntry],
+        now: Instant,
+        own_prefixes: &[Ipv4Cidr],
+    ) -> Admission {
+        let p = self.policy;
+        let state = self
+            .neighbors
+            .entry(neighbor)
+            .or_insert_with(|| NeighborState::new(now));
+
+        // 1. Quarantine wall, with timed parole.
+        if let Some(until) = state.quarantined_until {
+            if now < until {
+                state.verdicts.quarantined += 1;
+                return Admission {
+                    entries: Vec::new(),
+                    verdict: GuardVerdict::Quarantined,
+                };
+            }
+            *state = NeighborState::new(now);
+            self.incidents.push(GuardIncident::Paroled { neighbor });
+        }
+
+        // 2. Per-neighbor rate limit (fixed window).
+        if now.duration_since(state.msg_window_start) >= p.rate_window {
+            state.msg_window_start = now;
+            state.msgs_in_window = 0;
+        }
+        state.msgs_in_window += 1;
+        if state.msgs_in_window > p.rate_limit {
+            state.offenses += 1;
+            self.incidents.push(GuardIncident::RateLimited { neighbor });
+            if state.offenses >= p.quarantine_threshold {
+                let until = now + p.quarantine_parole;
+                state.quarantined_until = Some(until);
+                self.incidents
+                    .push(GuardIncident::Quarantined { neighbor, until });
+            }
+            state.verdicts.damped += 1;
+            return Admission {
+                entries: Vec::new(),
+                verdict: GuardVerdict::Damped,
+            };
+        }
+
+        // 3. Per-entry sanitization, then 4. flap damping.
+        let mut admitted = Vec::with_capacity(entries.len());
+        let mut dropped = 0usize;
+        let mut clamped = 0usize;
+        let mut damped_any = false;
+        for entry in entries {
+            if entry.prefix.prefix_len() > 32 {
+                dropped += 1;
+                continue;
+            }
+            let mut metric = entry.metric;
+            if metric > INFINITY_METRIC {
+                metric = INFINITY_METRIC;
+                clamped += 1;
+            }
+            if metric == 0 {
+                // Below the minimum any honest gateway can announce: the
+                // black-hole signature.
+                dropped += 1;
+                continue;
+            }
+            if let Some(radius) = p.topology_radius {
+                if metric < INFINITY_METRIC && metric > radius {
+                    metric = INFINITY_METRIC;
+                    clamped += 1;
+                }
+            }
+            let prefix = entry.prefix.network();
+            if metric < INFINITY_METRIC
+                && own_prefixes.iter().any(|own| own.network() == prefix)
+                && !prefix.contains(neighbor)
+            {
+                // A distant neighbor claims a live route to our own
+                // connected network. (An on-link peer sharing the
+                // prefix is normal; infinity echoes are poisoned
+                // reverse — both pass.)
+                dropped += 1;
+                continue;
+            }
+
+            let reachable = metric < INFINITY_METRIC;
+            let ps = state
+                .prefixes
+                .entry(prefix)
+                .or_insert_with(|| PrefixState::new(now, reachable));
+            if let Some(until) = ps.holddown_until {
+                if now < until {
+                    damped_any = true;
+                    continue;
+                }
+                // Hold-down served: the prefix starts over.
+                *ps = PrefixState::new(now, reachable);
+            } else if ps.last_reachable != reachable {
+                if now.duration_since(ps.window_start) >= p.flap_window {
+                    ps.window_start = now;
+                    ps.flips = 0;
+                }
+                ps.flips += 1;
+                ps.last_reachable = reachable;
+                if ps.flips >= p.flap_threshold {
+                    let until = now + p.holddown;
+                    ps.holddown_until = Some(until);
+                    state.offenses += 1;
+                    self.incidents
+                        .push(GuardIncident::Damped { neighbor, prefix, until });
+                    damped_any = true;
+                    continue;
+                }
+            }
+            admitted.push(RipEntry {
+                prefix: entry.prefix,
+                metric,
+            });
+        }
+
+        if dropped + clamped > 0 {
+            self.incidents.push(GuardIncident::Sanitized {
+                neighbor,
+                dropped,
+                clamped,
+            });
+        }
+        if state.quarantined_until.is_none() && state.offenses >= p.quarantine_threshold {
+            let until = now + p.quarantine_parole;
+            state.quarantined_until = Some(until);
+            self.incidents
+                .push(GuardIncident::Quarantined { neighbor, until });
+        }
+
+        let mut verdict = GuardVerdict::Accepted;
+        if dropped + clamped > 0 {
+            verdict = verdict.max(GuardVerdict::Sanitized);
+        }
+        if damped_any {
+            verdict = verdict.max(GuardVerdict::Damped);
+        }
+        match verdict {
+            GuardVerdict::Accepted => state.verdicts.accepted += 1,
+            GuardVerdict::Sanitized => state.verdicts.sanitized += 1,
+            GuardVerdict::Damped => state.verdicts.damped += 1,
+            GuardVerdict::Quarantined => state.verdicts.quarantined += 1,
+        }
+        Admission {
+            entries: admitted,
+            verdict,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cidr(s: &str) -> Ipv4Cidr {
+        s.parse().unwrap()
+    }
+
+    fn addr(s: &str) -> Ipv4Address {
+        s.parse().unwrap()
+    }
+
+    fn entry(prefix: &str, metric: u8) -> RipEntry {
+        RipEntry {
+            prefix: cidr(prefix),
+            metric,
+        }
+    }
+
+    fn guard() -> RouteGuard {
+        RouteGuard::new(GuardPolicy::standard())
+    }
+
+    fn secs(s: u64) -> Instant {
+        Instant::from_secs(s)
+    }
+
+    #[test]
+    fn default_policy_is_off_standard_is_on() {
+        assert!(!GuardPolicy::default().enabled);
+        assert!(!GuardPolicy::off().enabled);
+        assert!(GuardPolicy::standard().enabled);
+        assert!(!RouteGuard::new(GuardPolicy::off()).enabled());
+    }
+
+    #[test]
+    fn clean_message_accepted_verbatim() {
+        let mut g = guard();
+        let entries = [entry("10.9.0.0/16", 2), entry("10.8.0.0/16", 16)];
+        let a = g.admit(addr("10.0.0.2"), &entries, secs(0), &[]);
+        assert_eq!(a.verdict, GuardVerdict::Accepted);
+        assert_eq!(a.entries, entries.to_vec());
+        assert!(g.drain_incidents().is_empty());
+    }
+
+    #[test]
+    fn metric_zero_is_dropped_as_blackhole_signature() {
+        let mut g = guard();
+        let a = g.admit(
+            addr("10.0.0.2"),
+            &[entry("10.9.0.0/16", 0), entry("10.8.0.0/16", 3)],
+            secs(0),
+            &[],
+        );
+        assert_eq!(a.verdict, GuardVerdict::Sanitized);
+        assert_eq!(a.entries, vec![entry("10.8.0.0/16", 3)]);
+        let incidents = g.drain_incidents();
+        assert_eq!(
+            incidents,
+            vec![GuardIncident::Sanitized {
+                neighbor: addr("10.0.0.2"),
+                dropped: 1,
+                clamped: 0,
+            }]
+        );
+    }
+
+    #[test]
+    fn over_infinity_metric_clamped() {
+        let mut g = guard();
+        let a = g.admit(addr("10.0.0.2"), &[entry("10.9.0.0/16", 200)], secs(0), &[]);
+        assert_eq!(a.verdict, GuardVerdict::Sanitized);
+        assert_eq!(a.entries, vec![entry("10.9.0.0/16", INFINITY_METRIC)]);
+    }
+
+    #[test]
+    fn radius_clamps_impossible_finite_metrics() {
+        let mut policy = GuardPolicy::standard();
+        policy.topology_radius = Some(6);
+        let mut g = RouteGuard::new(policy);
+        let a = g.admit(
+            addr("10.0.0.2"),
+            &[entry("10.9.0.0/16", 7), entry("10.8.0.0/16", 6)],
+            secs(0),
+            &[],
+        );
+        assert_eq!(a.verdict, GuardVerdict::Sanitized);
+        assert_eq!(
+            a.entries,
+            vec![
+                entry("10.9.0.0/16", INFINITY_METRIC),
+                entry("10.8.0.0/16", 6)
+            ]
+        );
+    }
+
+    #[test]
+    fn off_link_echo_of_own_prefix_rejected() {
+        let mut g = guard();
+        let own = [cidr("10.1.0.0/16")];
+        // A neighbor outside 10.1/16 claims a finite route to it: lie.
+        let a = g.admit(addr("10.99.0.2"), &[entry("10.1.0.0/16", 2)], secs(0), &own);
+        assert_eq!(a.verdict, GuardVerdict::Sanitized);
+        assert!(a.entries.is_empty());
+        // Infinity echoes (poisoned reverse) pass.
+        let a = g.admit(
+            addr("10.99.0.2"),
+            &[entry("10.1.0.0/16", INFINITY_METRIC)],
+            secs(1),
+            &own,
+        );
+        assert_eq!(a.verdict, GuardVerdict::Accepted);
+    }
+
+    #[test]
+    fn on_link_peer_may_share_our_prefix() {
+        let mut g = guard();
+        // The far end of a point-to-point link advertises the link
+        // prefix we also have connected: normal, not an attack.
+        let own = [cidr("10.12.0.0/24")];
+        let a = g.admit(addr("10.12.0.2"), &[entry("10.12.0.0/24", 1)], secs(0), &own);
+        assert_eq!(a.verdict, GuardVerdict::Accepted);
+        assert_eq!(a.entries.len(), 1);
+    }
+
+    #[test]
+    fn flapping_prefix_trips_holddown_then_paroles() {
+        let mut g = guard(); // threshold 4 flips / 12 s, holddown 20 s
+        let n = addr("10.0.0.2");
+        // Alternate reachable/unreachable every second: flips at t=1..4.
+        for t in 0..4u64 {
+            let metric = if t % 2 == 0 { 2 } else { INFINITY_METRIC };
+            g.admit(n, &[entry("10.9.0.0/16", metric)], secs(t), &[]);
+        }
+        let a = g.admit(n, &[entry("10.9.0.0/16", 2)], secs(4), &[]);
+        assert_eq!(a.verdict, GuardVerdict::Damped);
+        assert!(a.entries.is_empty(), "prefix suppressed under hold-down");
+        assert!(g
+            .drain_incidents()
+            .iter()
+            .any(|i| matches!(i, GuardIncident::Damped { .. })));
+        // Hold-down still active at t=23 (tripped at t=4, holds 20 s).
+        let a = g.admit(n, &[entry("10.9.0.0/16", 2)], secs(23), &[]);
+        assert_eq!(a.verdict, GuardVerdict::Damped);
+        // Expired at t=24: the prefix is re-admitted fresh.
+        let a = g.admit(n, &[entry("10.9.0.0/16", 2)], secs(25), &[]);
+        assert_eq!(a.verdict, GuardVerdict::Accepted);
+        assert_eq!(a.entries.len(), 1);
+    }
+
+    #[test]
+    fn slow_flaps_never_trip() {
+        let mut g = guard(); // window 12 s
+        let n = addr("10.0.0.2");
+        // One flip per 13 s: the window resets before the count builds.
+        for t in 0..8u64 {
+            let metric = if t % 2 == 0 { 2 } else { INFINITY_METRIC };
+            let a = g.admit(n, &[entry("10.9.0.0/16", metric)], secs(t * 13), &[]);
+            assert_ne!(a.verdict, GuardVerdict::Damped, "flip {t}");
+        }
+    }
+
+    #[test]
+    fn rate_limit_drops_excess_messages() {
+        let mut g = guard(); // 40 per 10 s
+        let n = addr("10.0.0.2");
+        for _ in 0..40 {
+            let a = g.admit(n, &[entry("10.9.0.0/16", 2)], secs(1), &[]);
+            assert_eq!(a.verdict, GuardVerdict::Accepted);
+        }
+        let a = g.admit(n, &[entry("10.9.0.0/16", 2)], secs(1), &[]);
+        assert_eq!(a.verdict, GuardVerdict::Damped);
+        assert!(a.entries.is_empty());
+        assert!(g
+            .drain_incidents()
+            .iter()
+            .any(|i| matches!(i, GuardIncident::RateLimited { .. })));
+        // A new window admits again.
+        let a = g.admit(n, &[entry("10.9.0.0/16", 2)], secs(12), &[]);
+        assert_eq!(a.verdict, GuardVerdict::Accepted);
+    }
+
+    #[test]
+    fn offenses_quarantine_then_parole_resets() {
+        let mut policy = GuardPolicy::standard();
+        policy.flap_threshold = 1; // every flip is an instant offense
+        policy.quarantine_threshold = 2;
+        policy.quarantine_parole = Duration::from_secs(30);
+        policy.holddown = Duration::from_secs(1);
+        let mut g = RouteGuard::new(policy);
+        let n = addr("10.0.0.2");
+        // Two prefixes flip once each: two offenses → quarantine.
+        g.admit(n, &[entry("10.9.0.0/16", 2), entry("10.8.0.0/16", 2)], secs(0), &[]);
+        let a = g.admit(
+            n,
+            &[
+                entry("10.9.0.0/16", INFINITY_METRIC),
+                entry("10.8.0.0/16", INFINITY_METRIC),
+            ],
+            secs(1),
+            &[],
+        );
+        assert_eq!(a.verdict, GuardVerdict::Damped);
+        assert_eq!(g.quarantined_count(secs(2)), 1);
+        assert!(g
+            .drain_incidents()
+            .iter()
+            .any(|i| matches!(i, GuardIncident::Quarantined { .. })));
+        // While quarantined: everything discarded.
+        let a = g.admit(n, &[entry("10.7.0.0/16", 2)], secs(10), &[]);
+        assert_eq!(a.verdict, GuardVerdict::Quarantined);
+        assert!(a.entries.is_empty());
+        // After parole (t=31): heard again, history wiped.
+        let a = g.admit(n, &[entry("10.7.0.0/16", 2)], secs(32), &[]);
+        assert_eq!(a.verdict, GuardVerdict::Accepted);
+        assert_eq!(g.quarantined_count(secs(32)), 0);
+        assert!(g
+            .drain_incidents()
+            .iter()
+            .any(|i| matches!(i, GuardIncident::Paroled { .. })));
+    }
+
+    #[test]
+    fn verdict_totals_accumulate_per_neighbor() {
+        let mut g = guard();
+        let n1 = addr("10.0.0.2");
+        let n2 = addr("10.0.0.3");
+        g.admit(n1, &[entry("10.9.0.0/16", 2)], secs(0), &[]);
+        g.admit(n1, &[entry("10.9.0.0/16", 0)], secs(1), &[]);
+        g.admit(n2, &[entry("10.9.0.0/16", 2)], secs(2), &[]);
+        let v: Vec<_> = g.verdicts().collect();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].0, n1);
+        assert_eq!(v[0].1.accepted, 1);
+        assert_eq!(v[0].1.sanitized, 1);
+        assert_eq!(v[1].0, n2);
+        assert_eq!(v[1].1.accepted, 1);
+    }
+
+    #[test]
+    fn reset_forgets_history_keeps_policy() {
+        let mut g = guard();
+        g.admit(addr("10.0.0.2"), &[entry("10.9.0.0/16", 0)], secs(0), &[]);
+        g.reset();
+        assert_eq!(g.verdicts().count(), 0);
+        assert!(g.drain_incidents().is_empty());
+        assert!(g.enabled());
+    }
+
+    #[test]
+    fn incidents_render_for_the_flight_recorder() {
+        let neighbor = addr("10.0.0.2");
+        let texts = [
+            GuardIncident::Sanitized { neighbor, dropped: 2, clamped: 1 }.to_string(),
+            GuardIncident::Damped {
+                neighbor,
+                prefix: cidr("10.9.0.0/16"),
+                until: secs(30),
+            }
+            .to_string(),
+            GuardIncident::RateLimited { neighbor }.to_string(),
+            GuardIncident::Quarantined { neighbor, until: secs(60) }.to_string(),
+            GuardIncident::Paroled { neighbor }.to_string(),
+        ];
+        assert_eq!(texts[0], "sanitized 10.0.0.2: 2 dropped, 1 clamped");
+        assert_eq!(texts[1], "damped 10.9.0.0/16 from 10.0.0.2 until t=30.0s");
+        assert_eq!(texts[2], "rate-limited 10.0.0.2");
+        assert_eq!(texts[3], "quarantined 10.0.0.2 until t=60.0s");
+        assert_eq!(texts[4], "paroled 10.0.0.2");
+    }
+}

@@ -17,12 +17,21 @@
 //! timeout/garbage-collection of silent routes. The engine is sans-IO:
 //! `catenet-core` feeds it received updates and transmits the
 //! advertisements it produces.
+//!
+//! The [`guard`] module adds what 1988 lacked: defensive admission of
+//! announcements (sanitization, rate limiting, flap damping,
+//! quarantine) behind a [`GuardPolicy`] switch whose default — off —
+//! preserves the original trusting behavior as the reference.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod engine;
+pub mod guard;
 pub mod message;
 
 pub use engine::{DvConfig, DvEngine, DvRoute, ExportPolicy, NextHop};
+pub use guard::{
+    Admission, GuardIncident, GuardPolicy, GuardVerdict, NeighborVerdicts, RouteGuard,
+};
 pub use message::{RipEntry, RipMessage, INFINITY_METRIC, RIP_PORT};

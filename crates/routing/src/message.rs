@@ -70,6 +70,11 @@ impl RipMessage {
         if data.len() < 2 + count * ENTRY_LEN {
             return Err(Error::Truncated);
         }
+        if data.len() > 2 + count * ENTRY_LEN {
+            // Honest encoders produce exactly-sized messages; trailing
+            // bytes mean a forged count or a smuggling attempt.
+            return Err(Error::Malformed);
+        }
         let mut entries = Vec::with_capacity(count);
         for i in 0..count {
             let base = 2 + i * ENTRY_LEN;
@@ -83,7 +88,10 @@ impl RipMessage {
                 return Err(Error::Malformed);
             }
             entries.push(RipEntry {
-                prefix: Ipv4Cidr::new(addr, prefix_len),
+                // Canonicalize here so stray host bits never reach the
+                // engine (two spellings of one prefix must not become
+                // two routes anywhere downstream).
+                prefix: Ipv4Cidr::new(addr, prefix_len).network(),
                 metric,
             });
         }
@@ -180,6 +188,49 @@ mod tests {
         let mut bad_metric = msg.encode();
         bad_metric[7] = 17;
         assert_eq!(RipMessage::decode(&bad_metric).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let msg = RipMessage {
+            entries: vec![RipEntry {
+                prefix: cidr("10.0.0.0/8"),
+                metric: 1,
+            }],
+        };
+        let mut bytes = msg.encode();
+        bytes.push(0xFF);
+        assert_eq!(RipMessage::decode(&bytes).unwrap_err(), Error::Malformed);
+        // A forged count that undersells the payload is the same lie.
+        let mut undersold = msg.encode();
+        undersold[1] = 0;
+        assert_eq!(RipMessage::decode(&undersold).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn host_bits_canonicalized_at_decode() {
+        // Hand-craft an entry whose address has bits below the prefix:
+        // 10.1.2.3/16 must decode as 10.1.0.0/16.
+        let bytes = vec![1, 1, 10, 1, 2, 3, 16, 2];
+        let msg = RipMessage::decode(&bytes).unwrap();
+        assert_eq!(msg.entries[0].prefix, cidr("10.1.0.0/16"));
+        assert_eq!(msg.entries[0].metric, 2);
+    }
+
+    #[test]
+    fn boundary_fields_accepted() {
+        // metric == INFINITY and prefix_len == 32 are the legal maxima.
+        let bytes = vec![1, 1, 10, 1, 2, 3, 32, INFINITY_METRIC];
+        let msg = RipMessage::decode(&bytes).unwrap();
+        assert_eq!(msg.entries[0].prefix, cidr("10.1.2.3/32"));
+        assert_eq!(msg.entries[0].metric, INFINITY_METRIC);
+    }
+
+    #[test]
+    fn overcount_rejected() {
+        let mut bytes = RipMessage::default().encode();
+        bytes[1] = (MAX_ENTRIES + 1) as u8;
+        assert_eq!(RipMessage::decode(&bytes).unwrap_err(), Error::Malformed);
     }
 
     #[test]

@@ -22,6 +22,58 @@
 use crate::rng::Rng;
 use crate::time::{Duration, Instant};
 
+/// How a compromised gateway lies in its routing announcements.
+///
+/// Clark's fourth goal — distributed management — assumed gateways from
+/// different administrations would exchange routing tables in good
+/// faith; the 1988 architecture has no defense against a neighbor that
+/// lies. These are the classic control-plane attacks a byzantine
+/// gateway can mount with nothing but forged announcements. The plan
+/// stays topology-ignorant: victim prefixes are raw address bytes, and
+/// the driver (in `catenet-core`) rewrites the compromised node's
+/// outgoing routing messages deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByzantineAttack {
+    /// Originate `count` bogus prefixes the gateway does not own, at an
+    /// attractive metric — route-table pollution that soaks up
+    /// forwarding state and attracts traffic for addresses nobody
+    /// serves.
+    BogusOrigins {
+        /// How many fabricated prefixes to append to each announcement.
+        count: u8,
+    },
+    /// Advertise a metric-0 route for a victim prefix — below the
+    /// minimum any honest gateway can announce (a connected network is
+    /// metric 1) — so every neighbor prefers the liar, then silently
+    /// drop the attracted traffic: the classic black hole.
+    BlackholeVictim {
+        /// Victim network address, big-endian bytes.
+        addr: [u8; 4],
+        /// Victim prefix length in bits.
+        prefix_len: u8,
+    },
+    /// Replay the first announcement ever sent on each interface
+    /// forever after — a stale-table replay that freezes the liar's
+    /// contribution to routing while the real topology moves on.
+    ReplayStale,
+    /// Alternate every announcement between the truth and
+    /// all-routes-unreachable — advertisement flapping that makes every
+    /// neighbor's table churn on each routing period.
+    FlapAdverts,
+}
+
+impl ByzantineAttack {
+    /// Short display name for tables and flight-recorder events.
+    pub fn name(self) -> &'static str {
+        match self {
+            ByzantineAttack::BogusOrigins { .. } => "bogus-origins",
+            ByzantineAttack::BlackholeVictim { .. } => "blackhole-victim",
+            ByzantineAttack::ReplayStale => "replay-stale",
+            ByzantineAttack::FlapAdverts => "flap-adverts",
+        }
+    }
+}
+
 /// One primitive fault the driver knows how to apply.
 ///
 /// Everything a plan can express is compiled down to these. Node and
@@ -105,6 +157,23 @@ pub enum FaultAction {
     RestoreDelay {
         /// Link index.
         link: usize,
+    },
+    /// Compromise a node: from now on the driver corrupts its outgoing
+    /// routing announcements according to `attack`. The node otherwise
+    /// runs normally — it forwards, answers ARP, keeps its own table —
+    /// which is exactly what makes a lying gateway harder to spot than
+    /// a dead one.
+    Compromise {
+        /// Node index.
+        node: usize,
+        /// The lie it tells.
+        attack: ByzantineAttack,
+    },
+    /// Rehabilitate a compromised node: its announcements are honest
+    /// again (the heal of the byzantine fault).
+    Rehabilitate {
+        /// Node index.
+        node: usize,
     },
 }
 
@@ -330,6 +399,26 @@ impl FaultPlan {
         self.push(at, FaultAction::DelaySpike { link, extra, jitter });
         self.push(at + duration, FaultAction::RestoreDelay { link });
     }
+
+    /// Compromise `node` at `at` with no scheduled rehabilitation — the
+    /// gateway lies for the rest of the run.
+    pub fn compromise(&mut self, node: usize, attack: ByzantineAttack, at: Instant) {
+        self.push(at, FaultAction::Compromise { node, attack });
+    }
+
+    /// Compromise `node` for a bounded window `[at, at + duration)`,
+    /// then rehabilitate it — the disruption-then-heal shape every
+    /// reconvergence measurement needs.
+    pub fn compromise_window(
+        &mut self,
+        node: usize,
+        attack: ByzantineAttack,
+        at: Instant,
+        duration: Duration,
+    ) {
+        self.push(at, FaultAction::Compromise { node, attack });
+        self.push(at + duration, FaultAction::Rehabilitate { node });
+    }
 }
 
 #[cfg(test)]
@@ -528,6 +617,46 @@ mod tests {
         assert!(matches!(plan.events()[0].action, FaultAction::Partition { .. }));
         assert_eq!(plan.events()[1].at, secs(12));
         assert_eq!(plan.events()[1].action, FaultAction::Heal);
+    }
+
+    #[test]
+    fn compromise_window_pairs_with_rehabilitate() {
+        let mut plan = FaultPlan::new();
+        let attack = ByzantineAttack::BlackholeVictim {
+            addr: [10, 0, 7, 0],
+            prefix_len: 24,
+        };
+        plan.compromise_window(3, attack, secs(5), Duration::from_secs(40));
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.events()[0].at, secs(5));
+        assert_eq!(plan.events()[0].action, FaultAction::Compromise { node: 3, attack });
+        assert_eq!(plan.events()[1].at, secs(45));
+        assert_eq!(plan.events()[1].action, FaultAction::Rehabilitate { node: 3 });
+    }
+
+    #[test]
+    fn open_ended_compromise_never_heals() {
+        let mut plan = FaultPlan::new();
+        plan.compromise(1, ByzantineAttack::FlapAdverts, secs(2));
+        assert_eq!(plan.len(), 1);
+        assert!(!plan
+            .events()
+            .iter()
+            .any(|e| matches!(e.action, FaultAction::Rehabilitate { .. })));
+    }
+
+    #[test]
+    fn attack_names_are_distinct() {
+        let names = [
+            ByzantineAttack::BogusOrigins { count: 4 }.name(),
+            ByzantineAttack::BlackholeVictim { addr: [0; 4], prefix_len: 0 }.name(),
+            ByzantineAttack::ReplayStale.name(),
+            ByzantineAttack::FlapAdverts.name(),
+        ];
+        let mut unique = names.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
     }
 
     #[test]

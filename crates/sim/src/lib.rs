@@ -43,7 +43,7 @@ pub mod time;
 pub mod wheel;
 
 pub use event::{SchedStats, Scheduler, SchedulerKind, TraceOp};
-pub use fault::{FaultAction, FaultEvent, FaultPlan};
+pub use fault::{ByzantineAttack, FaultAction, FaultEvent, FaultPlan};
 pub use link::{DropReason, Link, LinkClass, LinkOutcome, LinkParams};
 pub use rng::Rng;
 pub use stats::Summary;

@@ -44,6 +44,17 @@ pub enum EventKind {
         /// The violation, rendered.
         description: String,
     },
+    /// The route guard on a node acted on a neighbor's announcement
+    /// (sanitized, damped, rate-limited, quarantined, paroled). Per the
+    /// measurability principle, a rejected announcement is a
+    /// first-class event, not a silent drop.
+    GuardAction {
+        /// The node whose guard acted.
+        node: usize,
+        /// The incident, rendered by the routing layer (which knows the
+        /// addresses and prefixes involved).
+        detail: String,
+    },
     /// Free-form annotation from the harness.
     Note {
         /// The annotation.
@@ -66,6 +77,9 @@ impl core::fmt::Display for EventKind {
             }
             EventKind::InvariantTripped { description } => {
                 write!(f, "INVARIANT TRIPPED: {description}")
+            }
+            EventKind::GuardAction { node, detail } => {
+                write!(f, "guard: node{node} {detail}")
             }
             EventKind::Note { text } => write!(f, "note: {text}"),
         }
@@ -244,7 +258,15 @@ mod tests {
                 description: "stall".to_string(),
             },
         );
+        rec.record(
+            Instant::from_millis(3_500),
+            EventKind::GuardAction {
+                node: 2,
+                detail: "quarantined 10.0.0.2 until t=60.0s".to_string(),
+            },
+        );
         let dump = rec.dump();
+        assert!(dump.contains("guard: node2 quarantined 10.0.0.2 until t=60.0s"));
         assert!(dump.contains("fault: link 2 down"));
         assert!(dump.contains("route-changed: node1 table v4"));
         assert!(dump.contains("rto-fired: node0 (total 3)"));

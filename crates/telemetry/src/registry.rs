@@ -26,6 +26,16 @@ pub enum Scope {
         /// Socket handle within the node.
         handle: usize,
     },
+    /// One routing neighbor of one node: owning node id plus the
+    /// neighbor's IPv4 address in big-endian bytes (kept as raw bytes so
+    /// telemetry stays dependency-free). Used for route-guard verdict
+    /// counters.
+    Neighbor {
+        /// Owning node id.
+        node: usize,
+        /// Neighbor address, big-endian bytes.
+        addr: [u8; 4],
+    },
 }
 
 impl core::fmt::Display for Scope {
@@ -35,6 +45,11 @@ impl core::fmt::Display for Scope {
             Scope::Node(id) => write!(f, "node{id}"),
             Scope::Link(id) => write!(f, "link{id}"),
             Scope::Socket { node, handle } => write!(f, "node{node}/sock{handle}"),
+            Scope::Neighbor { node, addr } => write!(
+                f,
+                "node{node}/nbr{}.{}.{}.{}",
+                addr[0], addr[1], addr[2], addr[3]
+            ),
         }
     }
 }
@@ -223,6 +238,17 @@ mod tests {
         let mut reg = Registry::new();
         reg.counter("x", Scope::Global);
         reg.gauge("x", Scope::Global);
+    }
+
+    #[test]
+    fn neighbor_scope_renders_dotted_quad_and_sorts() {
+        let mut reg = Registry::new();
+        let a = reg.counter("guard_accepted", Scope::Neighbor { node: 3, addr: [10, 0, 0, 2] });
+        reg.add(a, 7);
+        assert_eq!(
+            reg.dump(),
+            "guard_accepted{node3/nbr10.0.0.2} 7\n"
+        );
     }
 
     #[test]

@@ -358,7 +358,9 @@ impl Repr {
 }
 
 /// An IPv4 CIDR block: an address plus prefix length.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Ordered (address, then prefix length) so CIDR-keyed maps iterate
+/// deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Cidr {
     address: Ipv4Address,
     prefix_len: u8,

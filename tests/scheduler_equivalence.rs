@@ -6,7 +6,7 @@
 //! that trust three ways:
 //!
 //! 1. **System level, chaos**: the full E11 survivability gauntlet —
-//!    all 14 scenarios across all 5 standard seeds — run once per
+//!    all 15 scenarios across all 5 standard seeds — run once per
 //!    backend, asserting the complete [`RunArtifacts`] are equal:
 //!    outcome, delivered-stream digest, metrics dump, time-series dump
 //!    and flight-recorder ring, byte for byte.
