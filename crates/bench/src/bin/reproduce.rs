@@ -107,6 +107,16 @@ fn main() {
     run("e14", "route-guard pricing", &|s| {
         e14_routeguard::default_table(s)
     });
+    if want("e15") {
+        eprintln!("running e15 (forwarding fast-path benchmark)...");
+        let start = std::time::Instant::now();
+        let results = e15_fastpath::run_battery(fast || check, SEEDS[0]);
+        eprintln!("  e15 done in {:.1}s", start.elapsed().as_secs_f64());
+        println!("{}", e15_fastpath::table(&results));
+        let json = e15_fastpath::to_json(&results, !check);
+        std::fs::write("BENCH_e15.json", &json).expect("write BENCH_e15.json");
+        eprintln!("  wrote BENCH_e15.json");
+    }
     if want("ablations") || selected.is_empty() {
         eprintln!("running ablations A1–A4...");
         println!("{}", ablations::collapse_table(&seeds));

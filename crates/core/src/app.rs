@@ -141,9 +141,14 @@ impl Application for BulkSender {
         };
         // Keep the transmit buffer fed. Bytes are a pure function of
         // stream position, so any corruption downstream is content-
-        // detectable as well as checksum-detectable.
+        // detectable as well as checksum-detectable. The chunk is sized
+        // to the buffer's actual room: a full buffer costs an empty
+        // probe (which still surfaces reset/timeout errors), not an
+        // 8 kB pattern build that `send_slice` would refuse anyway.
         while self.written < self.total {
-            let chunk = (self.total - self.written).min(8_192);
+            let chunk = (self.total - self.written)
+                .min(8_192)
+                .min(socket.send_room());
             let pattern: Vec<u8> = (self.written..self.written + chunk)
                 .map(|i| (i % 251) as u8)
                 .collect();

@@ -10,6 +10,7 @@
 //! visible in node statistics instead of vanishing (§6's argument that
 //! silent loss is the worst kind).
 
+use crate::pool::PacketBuf;
 use catenet_sim::{Duration, Instant};
 use catenet_wire::{EthernetAddress, Ipv4Address};
 use std::collections::HashMap;
@@ -62,8 +63,9 @@ pub struct ArpTick {
 #[derive(Debug, Default)]
 pub struct ArpCache {
     entries: HashMap<Ipv4Address, Entry>,
-    /// Datagrams waiting for resolution, per target.
-    pending: HashMap<Ipv4Address, Vec<Vec<u8>>>,
+    /// Datagrams waiting for resolution, per target. Held as pooled
+    /// buffers so release on `learn` re-enters the fast path copy-free.
+    pending: HashMap<Ipv4Address, Vec<PacketBuf>>,
     /// Outstanding request per target (retry/backoff state).
     requests: HashMap<Ipv4Address, RequestState>,
 }
@@ -113,7 +115,7 @@ impl ArpCache {
     pub fn resolve(
         &mut self,
         target: Ipv4Address,
-        datagram: Vec<u8>,
+        datagram: impl Into<PacketBuf>,
         now: Instant,
     ) -> Resolution {
         if let Some(hw) = self.get(target, now) {
@@ -123,7 +125,7 @@ impl ArpCache {
         if queue.len() >= PENDING_LIMIT {
             return Resolution::QueueFull;
         }
-        queue.push(datagram);
+        queue.push(datagram.into());
         match self.requests.get_mut(&target) {
             None => {
                 self.requests.insert(
@@ -187,7 +189,7 @@ impl ArpCache {
         protocol: Ipv4Address,
         hardware: EthernetAddress,
         now: Instant,
-    ) -> Vec<Vec<u8>> {
+    ) -> Vec<PacketBuf> {
         self.entries.insert(
             protocol,
             Entry {
@@ -243,7 +245,9 @@ mod tests {
         cache.resolve(IP, b"pkt1".to_vec(), Instant::ZERO);
         cache.resolve(IP, b"pkt2".to_vec(), Instant::ZERO);
         let released = cache.learn(IP, HW, Instant::from_millis(5));
-        assert_eq!(released, vec![b"pkt1".to_vec(), b"pkt2".to_vec()]);
+        assert_eq!(released.len(), 2);
+        assert_eq!(&released[0][..], b"pkt1");
+        assert_eq!(&released[1][..], b"pkt2");
         assert_eq!(cache.get(IP, Instant::from_millis(5)), Some(HW));
         // Subsequent resolution is a straight hit.
         assert_eq!(

@@ -56,6 +56,7 @@ pub mod iface;
 pub mod invariant;
 pub mod network;
 pub mod node;
+pub mod pool;
 pub mod realization;
 pub mod socket;
 
@@ -63,4 +64,5 @@ pub use catenet_tcp::{Endpoint, Socket as TcpSocket, SocketConfig as TcpConfig};
 pub use invariant::{ProgressWatchdog, ReconvergenceBound, StreamIntegrity, Violation};
 pub use network::{LinkId, Network, NodeId};
 pub use node::{Node, NodeRole, NodeStats};
+pub use pool::{PacketBuf, PacketPool, PoolStats};
 pub use socket::UdpSocket;

@@ -11,6 +11,7 @@ use crate::app::Application;
 use crate::byzantine::ByzantineState;
 use crate::iface::{Framing, Iface};
 use crate::node::{Node, NodeRole};
+use crate::pool::{PacketBuf, PacketPool, PoolStats};
 use catenet_routing::GuardPolicy;
 use catenet_sim::{
     ByzantineAttack, Duration, FaultAction, FaultPlan, Instant, Link, LinkClass, LinkOutcome,
@@ -46,7 +47,7 @@ enum Event {
     Frame {
         to: NodeId,
         iface: usize,
-        frame: Vec<u8>,
+        frame: PacketBuf,
     },
     Wake {
         node: NodeId,
@@ -105,6 +106,18 @@ pub struct Network {
     /// Scratch list of nodes touched by the current same-instant batch,
     /// kept around so steady-state batching allocates nothing.
     touched: Vec<NodeId>,
+    /// The shared packet-buffer pool every node allocates from. Frames
+    /// recycle through it instead of hitting the allocator per hop.
+    pool: PacketPool,
+    /// Scratch outbox swapped with each serviced node, so draining
+    /// produced frames allocates nothing in steady state.
+    outbox_scratch: Vec<(usize, PacketBuf)>,
+    /// Whether pool telemetry is harvested into the sampler. Off by
+    /// default so dumps stay byte-identical to pool-unaware runs
+    /// (recycling happens in *every* run, unlike guard verdicts).
+    pool_metrics: bool,
+    /// Pool counters at the previous sample, for delta rows.
+    last_pool: PoolStats,
 }
 
 impl Network {
@@ -142,6 +155,10 @@ impl Network {
             touched: Vec::new(),
             compromised: BTreeMap::new(),
             last_guard: Vec::new(),
+            pool: PacketPool::new(),
+            outbox_scratch: Vec::new(),
+            pool_metrics: false,
+            last_pool: PoolStats::default(),
         }
     }
 
@@ -193,8 +210,10 @@ impl Network {
         self.add_node(Node::new(name, NodeRole::Gateway))
     }
 
-    /// Add a pre-built node.
-    pub fn add_node(&mut self, node: Node) -> NodeId {
+    /// Add a pre-built node. The node is wired to the network's shared
+    /// packet pool so its datagrams ride recycled buffers.
+    pub fn add_node(&mut self, mut node: Node) -> NodeId {
+        node.set_pool(self.pool.clone());
         self.nodes.push(node);
         self.apps.push(Vec::new());
         self.next_wake.push(None);
@@ -217,6 +236,27 @@ impl Network {
                 dv.set_guard_policy(policy);
             }
         }
+    }
+
+    /// Borrow the shared packet pool (counters, occupancy).
+    pub fn pool(&self) -> &PacketPool {
+        &self.pool
+    }
+
+    /// Switch the whole network between the pooled zero-copy fast path
+    /// and the allocate-and-copy baseline (E15's comparison arm).
+    /// Packet *contents* are identical either way; only allocation and
+    /// copy behavior differs. Flip before traffic starts.
+    pub fn set_copy_mode(&mut self, copy: bool) {
+        self.pool.set_zero_copy(!copy);
+    }
+
+    /// Harvest pool telemetry (occupancy, recycle rate, fresh allocs,
+    /// copy volume) into the time series. Off by default: recycling
+    /// happens in every run, so the rows would perturb dumps that
+    /// predate the pool. Experiments that want the rows opt in.
+    pub fn set_pool_metrics(&mut self, on: bool) {
+        self.pool_metrics = on;
     }
 
     /// Borrow a node.
@@ -695,11 +735,16 @@ impl Network {
         // Protocol machinery: timers, routing, socket dispatch.
         self.nodes[id].service(now);
         self.harvest_node(id, now);
-        // Push produced frames onto links.
-        let outbox = self.nodes[id].take_outbox();
-        for (iface, frame) in outbox {
+        // Push produced frames onto links. The node's outbox is swapped
+        // with a network-owned scratch vector (snapshot semantics, same
+        // ordering as the old take-and-iterate) so the drain allocates
+        // nothing once both vectors have grown to working size.
+        let mut outbox = core::mem::take(&mut self.outbox_scratch);
+        self.nodes[id].swap_outbox(&mut outbox);
+        for (iface, frame) in outbox.drain(..) {
             self.transmit(id, iface, frame);
         }
+        self.outbox_scratch = outbox;
         // Timer wake scheduling.
         let mut want = self.nodes[id].poll_at(now);
         for app in &self.apps[id] {
@@ -726,7 +771,7 @@ impl Network {
         }
     }
 
-    fn transmit(&mut self, from: NodeId, iface: usize, mut frame: Vec<u8>) {
+    fn transmit(&mut self, from: NodeId, iface: usize, mut frame: PacketBuf) {
         let Some(&(link_id, is_a)) = self.endpoint_index.get(&(from, iface)) else {
             self.unconnected_drops += 1;
             return;
@@ -737,7 +782,7 @@ impl Network {
         if let Some(state) = self.compromised.get_mut(&from) {
             let framing = self.nodes[from].ifaces[iface].framing;
             if let Some(corrupted) = state.corrupt_frame(iface, framing, &frame) {
-                frame = corrupted;
+                frame = self.pool.adopt(PacketBuf::from_vec(corrupted));
             }
         }
         if let Some(tap) = &mut self.tap {
@@ -900,6 +945,33 @@ impl Network {
             Scope::Global,
             self.service_count.iter().sum(),
         );
+        // Pool telemetry, opt-in (see `set_pool_metrics`): occupancy as
+        // a sampler gauge, counter deltas into the registry, mirroring
+        // how the reassembly counters are harvested.
+        if self.pool_metrics {
+            self.telemetry.sampler.record(
+                at,
+                "pool_free_buffers",
+                Scope::Global,
+                self.pool.free_buffers() as u64,
+            );
+            let stats = self.pool.stats();
+            let last = self.last_pool;
+            self.last_pool = stats;
+            for (name, value, floor) in [
+                ("pool_fresh_allocs", stats.fresh_allocs, last.fresh_allocs),
+                ("pool_recycled", stats.recycled, last.recycled),
+                ("pool_released", stats.released, last.released),
+                ("pool_discarded", stats.discarded, last.discarded),
+                ("pool_shift_copies", stats.shift_copies, last.shift_copies),
+                ("pool_bytes_copied", stats.bytes_copied, last.bytes_copied),
+            ] {
+                if value > floor {
+                    let c = self.telemetry.registry.counter(name, Scope::Global);
+                    self.telemetry.registry.add(c, value - floor);
+                }
+            }
+        }
     }
 
     /// Post-service observation for one node: detect routing-table

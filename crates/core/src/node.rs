@@ -18,16 +18,17 @@ use crate::accounting::Ledger;
 use crate::arp::{ArpCache, Resolution};
 use crate::flow::{FlowId, FlowTable};
 use crate::iface::{Framing, Iface};
+use crate::pool::{PacketBuf, PacketPool, HEADROOM};
 use crate::socket::UdpSocket;
 use catenet_ip::{fragment, icmp, FragError, Reassembler, RoutingTable};
 use catenet_routing::{DvEngine, ExportPolicy, RipMessage, RIP_PORT};
 use catenet_sim::{Duration, Instant};
 use catenet_tcp::{Endpoint, Socket as TcpSocket, SocketConfig as TcpConfig, State as TcpState};
 use catenet_wire::{
-    ArpOperation, ArpPacket, ArpRepr, DstUnreachable, EtherType, EthernetAddress, EthernetFrame,
-    EthernetRepr, Icmpv4Message, Icmpv4Packet, Icmpv4Repr, IpProtocol, Ipv4Address, Ipv4Cidr,
-    Ipv4Packet, Ipv4Repr, TcpControl, TcpPacket, TcpRepr, TcpSeqNumber, TimeExceeded, Tos,
-    UdpPacket, UdpRepr,
+    ethernet, ipv4, ArpOperation, ArpPacket, ArpRepr, DstUnreachable, EtherType, EthernetAddress,
+    EthernetFrame, EthernetRepr, Icmpv4Message, Icmpv4Packet, Icmpv4Repr, IpProtocol, Ipv4Address,
+    Ipv4Cidr, Ipv4Packet, Ipv4Repr, TcpControl, TcpPacket, TcpRepr, TcpSeqNumber, TimeExceeded,
+    Tos, UdpPacket, UdpRepr,
 };
 use std::collections::HashMap;
 
@@ -136,7 +137,12 @@ pub struct Node {
     /// ICMP messages awaiting the application.
     icmp_inbox: Vec<IcmpEvent>,
     /// Frames ready for the network to push onto links.
-    outbox: Vec<(usize, Vec<u8>)>,
+    outbox: Vec<(usize, PacketBuf)>,
+    /// The buffer pool all tx/rx packet memory comes from. Standalone
+    /// nodes own a private pool; a [`Network`](crate::network) replaces
+    /// it with the shared one at attach time so buffers recycle across
+    /// the whole internetwork.
+    pool: PacketPool,
     ip_ident: u16,
     next_ephemeral: u16,
     isn_counter: u32,
@@ -179,6 +185,7 @@ impl Node {
             vc_table: None,
             icmp_inbox: Vec::new(),
             outbox: Vec::new(),
+            pool: PacketPool::new(),
             ip_ident: 1,
             next_ephemeral: 49_152,
             isn_counter: 0x0001_0000,
@@ -188,6 +195,12 @@ impl Node {
             last_quench: Instant::ZERO,
             blackhole_prefixes: Vec::new(),
         }
+    }
+
+    /// Replace this node's packet pool (the network shares one pool
+    /// across all its nodes so buffers recycle internetwork-wide).
+    pub fn set_pool(&mut self, pool: PacketPool) {
+        self.pool = pool;
     }
 
     /// Attach an interface; returns its index.
@@ -354,7 +367,7 @@ impl Node {
             message: Icmpv4Message::EchoRequest { ident, seq_no },
             payload_len,
         };
-        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut buf = self.payload_buf(repr.buffer_len());
         let mut packet = Icmpv4Packet::new_unchecked(&mut buf[..]);
         repr.emit(&mut packet);
         for (i, byte) in packet.payload_mut().iter_mut().enumerate() {
@@ -365,8 +378,8 @@ impl Node {
             .route(dst)
             .map(|(iface, _)| self.ifaces[iface].addr)
             .unwrap_or_else(|| self.primary_addr());
-        let datagram = self.build_ip(src, dst, IpProtocol::Icmp, Tos::default(), &buf);
-        self.route_and_send(now, datagram);
+        self.prepend_ip(&mut buf, src, dst, IpProtocol::Icmp, Tos::default());
+        self.route_and_send(now, buf);
     }
 
     /// Drain the ICMP inbox.
@@ -400,34 +413,44 @@ impl Node {
         None
     }
 
-    fn build_ip(
+    /// A pooled buffer holding `len` zeroed payload bytes, with headroom
+    /// for the IP and link headers to be prepended in front of them.
+    fn payload_buf(&mut self, len: usize) -> PacketBuf {
+        self.pool.alloc(HEADROOM, len)
+    }
+
+    /// Emit an IPv4 header *in front of* the transport payload already
+    /// sitting in `buf` — the fast path's replacement for building the
+    /// datagram into a fresh allocation and copying the payload across.
+    fn prepend_ip(
         &mut self,
+        buf: &mut PacketBuf,
         src: Ipv4Address,
         dst: Ipv4Address,
         protocol: IpProtocol,
         tos: Tos,
-        payload: &[u8],
-    ) -> Vec<u8> {
+    ) {
         let ident = self.ip_ident;
         self.ip_ident = self.ip_ident.wrapping_add(1);
         self.stats.ip_originated += 1;
-        catenet_ip::build_ipv4(
-            &Ipv4Repr {
-                src_addr: src,
-                dst_addr: dst,
-                protocol,
-                payload_len: payload.len(),
-                hop_limit: self.default_ttl,
-                tos,
-            },
-            ident,
-            false,
-            payload,
-        )
+        let repr = Ipv4Repr {
+            src_addr: src,
+            dst_addr: dst,
+            protocol,
+            payload_len: buf.len(),
+            hop_limit: self.default_ttl,
+            tos,
+        };
+        buf.prepend(ipv4::HEADER_LEN);
+        let mut packet = Ipv4Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut packet);
+        packet.set_ident(ident);
+        packet.fill_checksum();
     }
 
     /// Route a locally originated datagram and transmit it.
-    pub fn route_and_send(&mut self, now: Instant, datagram: Vec<u8>) {
+    pub fn route_and_send(&mut self, now: Instant, datagram: impl Into<PacketBuf>) {
+        let datagram = datagram.into();
         let dst = match Ipv4Packet::new_checked(&datagram[..]) {
             Ok(packet) => packet.dst_addr(),
             Err(_) => {
@@ -447,8 +470,9 @@ impl Node {
         now: Instant,
         iface: usize,
         next_hop: Ipv4Address,
-        datagram: Vec<u8>,
+        datagram: impl Into<PacketBuf>,
     ) {
+        let datagram = datagram.into();
         if !self.alive || !self.ifaces[iface].up {
             self.stats.dropped_dead += 1;
             return;
@@ -462,6 +486,10 @@ impl Node {
             Ok(pieces) => {
                 self.stats.frags_created += pieces.len() as u64;
                 for piece in pieces {
+                    // Fragment buffers are fresh exact-size allocations
+                    // (a residual copy site — see ROADMAP); adopt them so
+                    // the link-header prepend is at least counted.
+                    let piece = self.pool.adopt(PacketBuf::from_vec(piece));
                     self.frame_and_push(now, iface, next_hop, piece);
                 }
             }
@@ -482,14 +510,14 @@ impl Node {
         now: Instant,
         iface: usize,
         next_hop: Ipv4Address,
-        datagram: Vec<u8>,
+        mut datagram: PacketBuf,
     ) {
         match self.ifaces[iface].framing {
             Framing::RawIp => self.outbox.push((iface, datagram)),
             Framing::Ethernet => {
                 if let Some(hw) = self.arp[iface].get(next_hop, now) {
-                    let frame = self.build_ethernet(iface, hw, EtherType::Ipv4, &datagram);
-                    self.outbox.push((iface, frame));
+                    self.prepend_ethernet(iface, hw, EtherType::Ipv4, &mut datagram);
+                    self.outbox.push((iface, datagram));
                     return;
                 }
                 match self.arp[iface].resolve(next_hop, datagram, now) {
@@ -508,7 +536,25 @@ impl Node {
         }
     }
 
-    fn build_arp_request(&self, iface: usize, target: Ipv4Address) -> Vec<u8> {
+    /// Emit an Ethernet header into the headroom in front of `frame`'s
+    /// current contents (an IP datagram headed for the wire).
+    fn prepend_ethernet(
+        &self,
+        iface: usize,
+        dst: EthernetAddress,
+        ethertype: EtherType,
+        frame: &mut PacketBuf,
+    ) {
+        let repr = EthernetRepr {
+            src_addr: self.ifaces[iface].hardware,
+            dst_addr: dst,
+            ethertype,
+        };
+        frame.prepend(ethernet::HEADER_LEN);
+        repr.emit(&mut EthernetFrame::new_unchecked(&mut frame[..]));
+    }
+
+    fn build_arp_request(&self, iface: usize, target: Ipv4Address) -> PacketBuf {
         let arp = ArpRepr {
             operation: ArpOperation::Request,
             source_hardware_addr: self.ifaces[iface].hardware,
@@ -516,39 +562,30 @@ impl Node {
             target_hardware_addr: EthernetAddress::default(),
             target_protocol_addr: target,
         };
-        let mut arp_buf = vec![0u8; arp.buffer_len()];
-        arp.emit(&mut ArpPacket::new_unchecked(&mut arp_buf[..]));
-        self.build_ethernet(iface, EthernetAddress::BROADCAST, EtherType::Arp, &arp_buf)
-    }
-
-    fn build_ethernet(
-        &self,
-        iface: usize,
-        dst: EthernetAddress,
-        ethertype: EtherType,
-        payload: &[u8],
-    ) -> Vec<u8> {
-        let repr = EthernetRepr {
-            src_addr: self.ifaces[iface].hardware,
-            dst_addr: dst,
-            ethertype,
-        };
-        let mut buf = vec![0u8; repr.buffer_len() + payload.len()];
-        let mut frame = EthernetFrame::new_unchecked(&mut buf[..]);
-        repr.emit(&mut frame);
-        frame.payload_mut().copy_from_slice(payload);
+        let mut buf = self.pool.alloc(ethernet::HEADER_LEN, arp.buffer_len());
+        arp.emit(&mut ArpPacket::new_unchecked(&mut buf[..]));
+        self.prepend_ethernet(iface, EthernetAddress::BROADCAST, EtherType::Arp, &mut buf);
         buf
     }
 
-    /// Take the frames queued for transmission.
-    pub fn take_outbox(&mut self) -> Vec<(usize, Vec<u8>)> {
+    /// Take the frames queued for transmission. Tests use this; the
+    /// network drains via [`swap_outbox`](Node::swap_outbox), which
+    /// reuses one scratch vector instead of allocating per pass.
+    pub fn take_outbox(&mut self) -> Vec<(usize, PacketBuf)> {
         core::mem::take(&mut self.outbox)
+    }
+
+    /// Exchange the (empty) `scratch` vector for the full outbox; the
+    /// network drains `scratch` and hands it back next pass.
+    pub(crate) fn swap_outbox(&mut self, scratch: &mut Vec<(usize, PacketBuf)>) {
+        core::mem::swap(&mut self.outbox, scratch);
     }
 
     // ------------------------------------------------------- reception
 
     /// A frame arrived on `iface`.
-    pub fn handle_frame(&mut self, now: Instant, iface: usize, frame: Vec<u8>) {
+    pub fn handle_frame(&mut self, now: Instant, iface: usize, frame: impl Into<PacketBuf>) {
+        let mut frame = frame.into();
         if !self.alive {
             self.stats.dropped_dead += 1;
             return;
@@ -560,23 +597,28 @@ impl Node {
         match framing {
             Framing::RawIp => self.handle_datagram(now, frame),
             Framing::Ethernet => {
-                let Ok(parsed) = EthernetFrame::new_checked(&frame[..]) else {
-                    self.stats.dropped_malformed += 1;
-                    return;
-                };
-                // Address filter: us or broadcast/multicast.
-                let dst = parsed.dst_addr();
-                if dst != self.ifaces[iface].hardware && dst.is_unicast() {
-                    return;
-                }
-                match parsed.ethertype() {
-                    EtherType::Arp => {
-                        let payload = parsed.payload().to_vec();
-                        self.handle_arp(now, iface, &payload);
+                let ethertype = {
+                    let Ok(parsed) = EthernetFrame::new_checked(&frame[..]) else {
+                        self.stats.dropped_malformed += 1;
+                        return;
+                    };
+                    // Address filter: us or broadcast/multicast.
+                    let dst = parsed.dst_addr();
+                    if dst != self.ifaces[iface].hardware && dst.is_unicast() {
+                        return;
                     }
+                    parsed.ethertype()
+                };
+                match ethertype {
+                    EtherType::Arp => self.handle_arp(now, iface, &frame[ethernet::HEADER_LEN..]),
                     EtherType::Ipv4 => {
-                        let payload = parsed.payload().to_vec();
-                        self.handle_datagram(now, payload);
+                        // Strip the link header in place: the bytes stay
+                        // put and become headroom for the next hop's
+                        // framing. (Copy mode pays the receive copy the
+                        // old `payload().to_vec()` made here.)
+                        frame.advance(ethernet::HEADER_LEN);
+                        let datagram = self.pool.ingest(frame);
+                        self.handle_datagram(now, datagram);
                     }
                     EtherType::Unknown(_) => {}
                 }
@@ -596,14 +638,9 @@ impl Node {
         // Learn the sender either way (gratuitous or directed).
         let released =
             self.arp[iface].learn(repr.source_protocol_addr, repr.source_hardware_addr, now);
-        for datagram in released {
-            let frame = self.build_ethernet(
-                iface,
-                repr.source_hardware_addr,
-                EtherType::Ipv4,
-                &datagram,
-            );
-            self.outbox.push((iface, frame));
+        for mut datagram in released {
+            self.prepend_ethernet(iface, repr.source_hardware_addr, EtherType::Ipv4, &mut datagram);
+            self.outbox.push((iface, datagram));
         }
         if repr.operation == ArpOperation::Request
             && repr.target_protocol_addr == self.ifaces[iface].addr
@@ -615,16 +652,16 @@ impl Node {
                 target_hardware_addr: repr.source_hardware_addr,
                 target_protocol_addr: repr.source_protocol_addr,
             };
-            let mut buf = vec![0u8; reply.buffer_len()];
+            let mut buf = self.pool.alloc(ethernet::HEADER_LEN, reply.buffer_len());
             reply.emit(&mut ArpPacket::new_unchecked(&mut buf[..]));
-            let frame =
-                self.build_ethernet(iface, repr.source_hardware_addr, EtherType::Arp, &buf);
-            self.outbox.push((iface, frame));
+            self.prepend_ethernet(iface, repr.source_hardware_addr, EtherType::Arp, &mut buf);
+            self.outbox.push((iface, buf));
         }
     }
 
     /// An IP datagram arrived (already stripped of framing).
-    pub fn handle_datagram(&mut self, now: Instant, datagram: Vec<u8>) {
+    pub fn handle_datagram(&mut self, now: Instant, datagram: impl Into<PacketBuf>) {
+        let datagram = datagram.into();
         self.stats.ip_received += 1;
         let (dst, is_fragment, header_ok) = match Ipv4Packet::new_checked(&datagram[..]) {
             Ok(packet) => (packet.dst_addr(), packet.is_fragment(), packet.verify_checksum()),
@@ -674,7 +711,7 @@ impl Node {
         // Hosts silently drop strangers' datagrams.
     }
 
-    fn forward(&mut self, now: Instant, mut datagram: Vec<u8>) {
+    fn forward(&mut self, now: Instant, mut datagram: PacketBuf) {
         // Virtual-circuit baseline: no circuit, no forwarding.
         if self.vc_table.is_some() && !self.vc_admit(&datagram) {
             self.stats.dropped_no_circuit += 1;
@@ -793,8 +830,7 @@ impl Node {
         }
         self.last_quench = now;
         self.stats.quench_sent += 1;
-        let datagram = datagram.to_vec();
-        self.send_icmp_error(now, &datagram, Icmpv4Message::SourceQuench);
+        self.send_icmp_error(now, datagram, Icmpv4Message::SourceQuench);
     }
 
     /// Parse the datagram quote inside an ICMP error: returns
@@ -832,7 +868,8 @@ impl Node {
         }
     }
 
-    fn deliver_local(&mut self, now: Instant, datagram: Vec<u8>) {
+    fn deliver_local(&mut self, now: Instant, datagram: impl Into<PacketBuf>) {
+        let datagram = datagram.into();
         self.stats.ip_delivered += 1;
         let Ok(packet) = Ipv4Packet::new_checked(&datagram[..]) else {
             self.stats.dropped_malformed += 1;
@@ -841,12 +878,14 @@ impl Node {
         let src = packet.src_addr();
         let dst = packet.dst_addr();
         let protocol = packet.protocol();
-        let payload = packet.payload().to_vec();
+        // Borrow, don't copy: the transport layers read the payload in
+        // place and copy only what genuinely changes owner (socket rx).
+        let payload = packet.payload();
 
         match protocol {
-            IpProtocol::Icmp => self.deliver_icmp(now, src, dst, &datagram, &payload),
-            IpProtocol::Udp => self.deliver_udp(now, src, dst, &datagram, &payload),
-            IpProtocol::Tcp => self.deliver_tcp(now, src, dst, &payload),
+            IpProtocol::Icmp => self.deliver_icmp(now, src, dst, &datagram, payload),
+            IpProtocol::Udp => self.deliver_udp(now, src, dst, &datagram, payload),
+            IpProtocol::Tcp => self.deliver_tcp(now, src, dst, payload),
             IpProtocol::Unknown(_) => {
                 self.send_icmp_error(
                     now,
@@ -881,14 +920,14 @@ impl Node {
                     message: Icmpv4Message::EchoReply { ident, seq_no },
                     payload_len: repr.payload_len,
                 };
-                let mut buf = vec![0u8; reply.buffer_len()];
+                let mut buf = self.payload_buf(reply.buffer_len());
                 let mut out = Icmpv4Packet::new_unchecked(&mut buf[..]);
                 reply.emit(&mut out);
                 out.payload_mut().copy_from_slice(packet.payload());
                 out.fill_checksum();
                 self.stats.icmp_sent += 1;
-                let datagram = self.build_ip(dst, src, IpProtocol::Icmp, Tos::default(), &buf);
-                self.route_and_send(now, datagram);
+                self.prepend_ip(&mut buf, dst, src, IpProtocol::Icmp, Tos::default());
+                self.route_and_send(now, buf);
             }
             Icmpv4Message::SourceQuench => {
                 // Steer the quench to the TCP connection it quotes: the
@@ -995,7 +1034,7 @@ impl Node {
             self.stats.dropped_transport_checksum += 1;
             return;
         };
-        let data = packet.payload().to_vec();
+        let data = packet.payload();
         // Synchronized sockets first, then listeners.
         let target = self
             .tcp_sockets
@@ -1008,7 +1047,7 @@ impl Node {
             });
         match target {
             Some(index) => {
-                self.tcp_sockets[index].process(now, dst, src, &repr, &data);
+                self.tcp_sockets[index].process(now, dst, src, &repr, data);
             }
             None => {
                 // RFC 793: a segment to nowhere earns an RST (unless it
@@ -1053,19 +1092,23 @@ impl Node {
                 payload_len: 0,
             },
         };
-        let segment = self.build_tcp_segment(&rst, &[], dst, src);
-        let datagram = self.build_ip(dst, src, IpProtocol::Tcp, Tos::default(), &segment);
-        self.route_and_send(now, datagram);
+        let mut buf = self.build_tcp_segment(&rst, &[], dst, src);
+        self.prepend_ip(&mut buf, dst, src, IpProtocol::Tcp, Tos::default());
+        self.route_and_send(now, buf);
     }
 
+    /// A pooled buffer holding the emitted TCP segment, headroom in
+    /// front for the IP header. The one copy here — socket payload into
+    /// the wire buffer — is the transfer of ownership from socket land
+    /// to packet land; everything downstream prepends in place.
     fn build_tcp_segment(
-        &self,
+        &mut self,
         repr: &TcpRepr,
         payload: &[u8],
         src: Ipv4Address,
         dst: Ipv4Address,
-    ) -> Vec<u8> {
-        let mut buf = vec![0u8; repr.buffer_len()];
+    ) -> PacketBuf {
+        let mut buf = self.payload_buf(repr.buffer_len());
         let mut packet = TcpPacket::new_unchecked(&mut buf[..]);
         repr.emit(&mut packet);
         packet.payload_mut().copy_from_slice(payload);
@@ -1165,20 +1208,21 @@ impl Node {
         to: Endpoint,
         tos: Tos,
         payload: &[u8],
-    ) -> Vec<u8> {
+    ) -> PacketBuf {
         let udp_repr = UdpRepr {
             src_port,
             dst_port: to.port,
             payload_len: payload.len(),
         };
-        let mut udp_buf = vec![0u8; udp_repr.buffer_len()];
+        let mut buf = self.payload_buf(udp_repr.buffer_len());
         {
-            let mut udp = UdpPacket::new_unchecked(&mut udp_buf[..]);
+            let mut udp = UdpPacket::new_unchecked(&mut buf[..]);
             udp_repr.emit(&mut udp);
             udp.payload_mut().copy_from_slice(payload);
             udp.fill_checksum(src, to.addr);
         }
-        self.build_ip(src, to.addr, IpProtocol::Udp, tos, &udp_buf)
+        self.prepend_ip(&mut buf, src, to.addr, IpProtocol::Udp, tos);
+        buf
     }
 
     fn service_tcp(&mut self, now: Instant) {
@@ -1186,10 +1230,9 @@ impl Node {
             while let Some((repr, payload)) = self.tcp_sockets[index].dispatch(now) {
                 let local = self.tcp_sockets[index].local();
                 let remote = self.tcp_sockets[index].remote();
-                let segment = self.build_tcp_segment(&repr, &payload, local.addr, remote.addr);
-                let datagram =
-                    self.build_ip(local.addr, remote.addr, IpProtocol::Tcp, Tos::default(), &segment);
-                self.route_and_send(now, datagram);
+                let mut buf = self.build_tcp_segment(&repr, &payload, local.addr, remote.addr);
+                self.prepend_ip(&mut buf, local.addr, remote.addr, IpProtocol::Tcp, Tos::default());
+                self.route_and_send(now, buf);
             }
         }
     }
@@ -1574,7 +1617,7 @@ mod tests {
         node
     }
 
-    fn count_arp_requests(outbox: &[(usize, Vec<u8>)]) -> usize {
+    fn count_arp_requests(outbox: &[(usize, PacketBuf)]) -> usize {
         outbox
             .iter()
             .filter(|(_, frame)| {
@@ -1631,7 +1674,8 @@ mod tests {
         };
         let mut buf = vec![0u8; reply.buffer_len()];
         reply.emit(&mut ArpPacket::new_unchecked(&mut buf[..]));
-        let frame = node.build_ethernet(0, EthernetAddress::new(2, 0, 0, 0, 0, 1), EtherType::Arp, &buf);
+        let mut frame = PacketBuf::from_vec(buf);
+        node.prepend_ethernet(0, EthernetAddress::new(2, 0, 0, 0, 0, 1), EtherType::Arp, &mut frame);
         node.handle_frame(Instant::from_millis(2), 0, frame);
         let outbox = node.take_outbox();
         assert_eq!(outbox.len(), 1, "pending datagram released");

@@ -149,14 +149,15 @@ pub fn run_lockstep(ops: &[Op]) -> (u64, u64) {
 }
 
 /// Size in bytes of the payload [`replay_trace`] schedules. It matches
-/// `catenet-core`'s (private) event enum — a `Vec<u8>` frame plus a
-/// node id, niche-packed to 40 bytes — so replay moves the same number
-/// of bytes per queue operation as the real simulation. That matters
-/// for an honest backend comparison: the heap copies whole entries on
-/// every sift, while the wheel moves each entry O(1) times, so a
-/// too-small payload flatters the heap. A test in `catenet-core` pins
-/// the real enum to this size.
-pub const REPLAY_PAYLOAD_BYTES: usize = 40;
+/// `catenet-core`'s (private) event enum — a pooled `PacketBuf` frame
+/// (a `Vec<u8>` plus headroom offset and pool handle) and a node id,
+/// niche-packed to 56 bytes — so replay moves the same number of bytes
+/// per queue operation as the real simulation. That matters for an
+/// honest backend comparison: the heap copies whole entries on every
+/// sift, while the wheel moves each entry O(1) times, so a too-small
+/// payload flatters the heap. A test in `catenet-core` pins the real
+/// enum to this size.
+pub const REPLAY_PAYLOAD_BYTES: usize = 56;
 
 /// The replay payload: dead weight of [`REPLAY_PAYLOAD_BYTES`] bytes.
 type ReplayPayload = [u64; REPLAY_PAYLOAD_BYTES / 8];

@@ -448,6 +448,14 @@ impl Socket {
 
     // ----------------------------------------------------- application
 
+    /// Free space in the transmit buffer: the number of bytes the next
+    /// [`send_slice`](Socket::send_slice) would accept. Lets an
+    /// application size (or skip) its chunk instead of materializing
+    /// data the buffer has no room for.
+    pub fn send_room(&self) -> usize {
+        self.config.tx_capacity - self.tx_buffer.len()
+    }
+
     /// Append data to the transmit buffer; returns bytes accepted.
     pub fn send_slice(&mut self, data: &[u8]) -> Result<usize, TcpError> {
         if self.reset_by_peer {

@@ -11,7 +11,50 @@ use crate::types::{IpProtocol, Ipv4Address};
 /// Compute the one's-complement sum of `data`, without the final inversion.
 ///
 /// Odd trailing bytes are padded with zero, per RFC 1071.
+///
+/// This is the wide kernel: it consumes four 16-bit words per iteration
+/// through a `u64` accumulator with end-around carry. Because
+/// `2^64 ≡ 1 (mod 2^16 − 1)`, a u64 end-around-carry sum is congruent to
+/// the scalar word-by-word sum, so `fold(sum(d)) == fold(sum_scalar(d))`
+/// for every input — the folded value, not the raw accumulator, is the
+/// contract (see `tests/checksum_lanes.rs`). The partial fold at the end
+/// keeps the returned accumulator small enough that [`combine`] and
+/// [`pseudo_header_sum`] can add several of them without overflow.
 pub fn sum(data: &[u8]) -> u32 {
+    let mut wide: u64 = 0;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_be_bytes([
+            chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
+        ]);
+        let (added, carry) = wide.overflowing_add(word);
+        // End-around carry: 2^64 ≡ 1, so a wrapped bit re-enters at the
+        // bottom. `added` can never be u64::MAX when `carry` is set, so
+        // this addition itself cannot overflow.
+        wide = added + u64::from(carry);
+    }
+    // Partially fold the four 16-bit lanes down; both steps preserve the
+    // value mod 0xffff (2^32 ≡ 1 and 2^16 ≡ 1) and never map a nonzero
+    // accumulator to zero.
+    let halves = (wide >> 32) + (wide & 0xffff_ffff);
+    let mut accum = ((halves >> 16) + (halves & 0xffff)) as u32;
+    // Scalar tail for the 0–7 leftover bytes, odd byte zero-padded.
+    let mut tail = chunks.remainder().chunks_exact(2);
+    for chunk in &mut tail {
+        accum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = tail.remainder() {
+        accum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    accum
+}
+
+/// The scalar reference sum: one 16-bit word per iteration.
+///
+/// Kept as the executable specification for [`sum`]; the property tests
+/// assert `fold(sum(d)) == fold(sum_scalar(d))` exhaustively on short
+/// inputs and on seeded random long ones.
+pub fn sum_scalar(data: &[u8]) -> u32 {
     let mut accum: u32 = 0;
     let mut chunks = data.chunks_exact(2);
     for chunk in &mut chunks {
@@ -21,6 +64,20 @@ pub fn sum(data: &[u8]) -> u32 {
         accum += u32::from(u16::from_be_bytes([*last, 0]));
     }
     accum
+}
+
+/// RFC 1624 incremental checksum update: the checksum of a message in
+/// which the 16-bit word `old` has been replaced by `new`, given the
+/// message's previous `checksum`, without touching the other bytes.
+///
+/// `HC' = ~(~HC + ~m + m')` (RFC 1624 eq. 3, the form that avoids the
+/// minus-zero pitfall of RFC 1141). For any message whose stored
+/// checksum was itself produced by [`checksum`] — in particular every
+/// IPv4 header this stack builds or verifies before forwarding — the
+/// result is bit-identical to a full recompute, because both reductions
+/// land on the same canonical representative of the sum mod 0xffff.
+pub fn update(checksum: u16, old: u16, new: u16) -> u16 {
+    !fold(u32::from(!checksum) + u32::from(!old) + u32::from(new))
 }
 
 /// Fold a 32-bit accumulator into a 16-bit one's-complement value.
@@ -117,6 +174,33 @@ mod tests {
         );
         // 0x0a00 + 0x0001 + 0x0a00 + 0x0002 + 17 + 12
         assert_eq!(s, 0x0a00 + 0x0001 + 0x0a00 + 0x0002 + 17 + 12);
+    }
+
+    #[test]
+    fn wide_sum_matches_scalar_on_rfc_example() {
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(fold(sum(&data)), fold(sum_scalar(&data)));
+        assert_eq!(fold(sum(&data)), 0xddf2);
+    }
+
+    #[test]
+    fn incremental_update_matches_recompute() {
+        // Replace one aligned word and compare against a full re-sum.
+        let mut data = vec![0x45u8, 0x00, 0x12, 0x34, 0xab, 0xcd, 0x00, 0x00];
+        let ck = checksum(&data);
+        data[6..8].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify(&data));
+        let old = u16::from_be_bytes([data[2], data[3]]);
+        let new = 0x11u16 << 8 | 0x34;
+        let incremental = update(ck, old, new);
+        data[2..4].copy_from_slice(&new.to_be_bytes());
+        data[6..8].copy_from_slice(&[0, 0]);
+        assert_eq!(incremental, checksum(&data));
+    }
+
+    #[test]
+    fn incremental_update_noop_word_is_identity() {
+        assert_eq!(update(0x1234, 0xabcd, 0xabcd), 0x1234);
     }
 
     #[test]

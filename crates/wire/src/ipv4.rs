@@ -272,11 +272,25 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
 
     /// Decrement the TTL in place and refresh the checksum, as a gateway
     /// does when forwarding. Returns the new TTL.
+    ///
+    /// The checksum is adjusted with the RFC 1624 incremental update over
+    /// the single 16-bit word that changed (`TTL | protocol`) instead of
+    /// re-summing the whole header — O(1) per hop. For a header whose
+    /// stored checksum verifies, the result is bit-identical to
+    /// [`fill_checksum`] (`tests/ttl_incremental.rs` proves this over
+    /// random headers); an already-expired TTL is left untouched.
     pub fn decrement_hop_limit(&mut self) -> u8 {
-        let ttl = self.hop_limit().saturating_sub(1);
-        self.set_hop_limit(ttl);
-        self.fill_checksum();
-        ttl
+        let ttl = self.hop_limit();
+        if ttl == 0 {
+            return 0;
+        }
+        let data = self.buffer.as_mut();
+        let old = u16::from_be_bytes([data[fields::TTL], data[fields::PROTOCOL]]);
+        let new = old - 0x0100;
+        data[fields::TTL] = ttl - 1;
+        let refreshed = checksum::update(self.header_checksum(), old, new);
+        self.set_header_checksum(refreshed);
+        ttl - 1
     }
 
     /// Mutable access to the payload (bounded by `total_len`).

@@ -1,0 +1,107 @@
+//! The wide checksum kernel against its scalar specification.
+//!
+//! `checksum::sum` consumes four 16-bit words per load through a u64
+//! end-around-carry accumulator; `checksum::sum_scalar` is the original
+//! one-word-per-iteration loop, kept as the executable spec. The two do
+//! *not* promise the same raw accumulator — only the same value modulo
+//! `0xffff` with matching zero/nonzero-ness, which is what every consumer
+//! (fold, checksum, verify, combine) actually observes. These tests pin
+//! that contract:
+//!
+//! - exhaustively on every length 0–64 (covers all lane/tail alignments,
+//!   including odd trailing bytes);
+//! - on seeded random long inputs, at every alignment of a large buffer;
+//! - on the `0x0000`/`0xFFFF` fixpoint patterns from `checksum_escape.rs`
+//!   (one's complement has two zeros — the wide kernel must preserve the
+//!   blind spot exactly, not blur it).
+
+use catenet_sim::Rng;
+use catenet_wire::checksum;
+
+/// The equivalence every consumer relies on.
+fn assert_equivalent(data: &[u8]) {
+    let wide = checksum::sum(data);
+    let scalar = checksum::sum_scalar(data);
+    assert_eq!(
+        checksum::fold(wide),
+        checksum::fold(scalar),
+        "fold mismatch on len {}: {data:02x?}",
+        data.len()
+    );
+    assert_eq!(
+        wide == 0,
+        scalar == 0,
+        "zero-preservation mismatch on len {}",
+        data.len()
+    );
+    assert_eq!(checksum::checksum(data), !checksum::fold(scalar));
+    // Sealing with the scalar-derived checksum must verify through the
+    // wide kernel: append the inverted fold as a trailing word.
+    let mut sealed = data.to_vec();
+    if sealed.len() % 2 == 1 {
+        sealed.push(0);
+    }
+    let ck = !checksum::fold(checksum::sum_scalar(&sealed));
+    sealed.extend_from_slice(&ck.to_be_bytes());
+    assert!(checksum::verify(&sealed), "sealed buffer fails wide verify");
+}
+
+#[test]
+fn exhaustive_lengths_zero_to_sixty_four() {
+    let mut rng = Rng::from_seed(0x1071);
+    for len in 0..=64usize {
+        // Several fills per length: random, plus the patterns that stress
+        // carry behavior (all-ones saturates every lane, all-zero is the
+        // additive identity).
+        let random: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        assert_equivalent(&random);
+        assert_equivalent(&vec![0x00u8; len]);
+        assert_equivalent(&vec![0xffu8; len]);
+        assert_equivalent(&vec![0xa5u8; len]);
+    }
+}
+
+#[test]
+fn seeded_random_long_inputs_all_alignments() {
+    let mut rng = Rng::from_seed(0x1624);
+    let big: Vec<u8> = (0..9009).map(|_| rng.below(256) as u8).collect();
+    // Every start offset mod 8 × every tail length mod 8, on kilobyte-scale
+    // slices — the shapes a forwarding path actually sums.
+    for start in 0..8 {
+        for trim in 0..8 {
+            assert_equivalent(&big[start..big.len() - trim]);
+        }
+    }
+    for len in [65, 127, 128, 1000, 1460, 1500, 8192] {
+        assert_equivalent(&big[..len]);
+    }
+}
+
+#[test]
+fn zero_fixpoints_match_scalar() {
+    // One's complement has two zeros: a word of 0x0000 and a word of
+    // 0xFFFF both add nothing mod 0xffff. checksum_escape.rs proves the
+    // scalar sum cannot tell them apart; the wide kernel must agree on
+    // both representatives, wherever the word lands in a lane.
+    let mut base = vec![0x12u8, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0x13, 0x57];
+    for offset in (0..base.len()).step_by(2) {
+        let mut zeros = base.clone();
+        zeros[offset..offset + 2].copy_from_slice(&[0x00, 0x00]);
+        let mut ones = base.clone();
+        ones[offset..offset + 2].copy_from_slice(&[0xff, 0xff]);
+        assert_equivalent(&zeros);
+        assert_equivalent(&ones);
+        // The blind spot survives intact: the two variants fold equal.
+        assert_eq!(
+            checksum::fold(checksum::sum(&zeros)),
+            checksum::fold(checksum::sum(&ones)),
+            "zero flip became visible at offset {offset}"
+        );
+    }
+    // All-zero vs all-ones whole buffers: both are "zero" mod 0xffff, but
+    // only the literal all-zero input has a zero accumulator.
+    assert_eq!(checksum::sum(&[0u8; 64]), 0);
+    assert_eq!(checksum::fold(checksum::sum(&[0xffu8; 64])), 0xffff);
+    base.truncate(0);
+    assert_eq!(checksum::sum(&base), checksum::sum_scalar(&base));
+}

@@ -1,0 +1,106 @@
+//! RFC 1624 incremental TTL decrement vs. full header recompute.
+//!
+//! `Packet::decrement_hop_limit` now adjusts the header checksum from the
+//! single 16-bit word that changed (`TTL | protocol`) instead of
+//! re-summing all 20 bytes. For any header whose stored checksum is the
+//! canonical `fill_checksum` output, the incremental result must be
+//! *bit-identical* to a full recompute — not merely verify — because
+//! forwarded headers get quoted verbatim into ICMP errors and compared
+//! byte-for-byte by the determinism harness. This property holds because
+//! both reductions land on the canonical representative of the sum mod
+//! 0xffff: the version byte pins the header sum away from the ambiguous
+//! all-zero accumulator, and `~HC`, `~m`, `m'` cannot all vanish at once.
+
+use catenet_sim::Rng;
+use catenet_wire::ipv4::{self, Packet};
+use catenet_wire::types::{IpProtocol, Ipv4Address, Tos};
+
+fn random_header(rng: &mut Rng) -> Vec<u8> {
+    let repr = ipv4::Repr {
+        src_addr: Ipv4Address::new(
+            rng.below(256) as u8,
+            rng.below(256) as u8,
+            rng.below(256) as u8,
+            rng.below(256) as u8,
+        ),
+        dst_addr: Ipv4Address::new(
+            rng.below(256) as u8,
+            rng.below(256) as u8,
+            rng.below(256) as u8,
+            rng.below(256) as u8,
+        ),
+        protocol: match rng.below(4) {
+            0 => IpProtocol::Icmp,
+            1 => IpProtocol::Udp,
+            2 => IpProtocol::Tcp,
+            _ => IpProtocol::Unknown(rng.below(256) as u8),
+        },
+        payload_len: rng.below(1481) as usize,
+        hop_limit: rng.range(1, 255) as u8,
+        tos: Tos(rng.below(256) as u8),
+    };
+    let mut buf = vec![0u8; ipv4::HEADER_LEN];
+    let mut packet = Packet::new_unchecked(&mut buf[..]);
+    repr.emit(&mut packet);
+    packet.set_ident(rng.below(0x10000) as u16);
+    packet.fill_checksum();
+    buf
+}
+
+#[test]
+fn incremental_decrement_is_bit_identical_to_recompute() {
+    let mut rng = Rng::from_seed(0x1624_1071);
+    for case in 0..20_000 {
+        let header = random_header(&mut rng);
+
+        let mut incremental = header.clone();
+        let mut packet = Packet::new_unchecked(&mut incremental[..]);
+        assert!(packet.verify_checksum(), "case {case}: seal failed");
+        let ttl_inc = packet.decrement_hop_limit();
+        assert!(
+            packet.verify_checksum(),
+            "case {case}: incremental update broke the checksum invariant"
+        );
+
+        let mut recomputed = header.clone();
+        let mut packet = Packet::new_unchecked(&mut recomputed[..]);
+        let ttl = packet.hop_limit().saturating_sub(1);
+        packet.set_hop_limit(ttl);
+        packet.fill_checksum();
+
+        assert_eq!(ttl_inc, ttl, "case {case}: TTL mismatch");
+        assert_eq!(
+            incremental, recomputed,
+            "case {case}: incremental and full recompute diverge"
+        );
+    }
+}
+
+#[test]
+fn decrement_walks_a_header_all_the_way_down() {
+    // Hop the same header through 254 gateways; at every hop the checksum
+    // stays canonical, and at TTL 0 the header is left untouched.
+    let mut rng = Rng::from_seed(7);
+    let mut header = random_header(&mut rng);
+    {
+        let mut packet = Packet::new_unchecked(&mut header[..]);
+        packet.set_hop_limit(254);
+        packet.fill_checksum();
+    }
+    let mut expect = 254u8;
+    loop {
+        let mut packet = Packet::new_unchecked(&mut header[..]);
+        let ttl = packet.decrement_hop_limit();
+        if expect == 0 {
+            assert_eq!(ttl, 0);
+            break;
+        }
+        expect -= 1;
+        assert_eq!(ttl, expect);
+        assert!(packet.verify_checksum(), "invalid at ttl {ttl}");
+    }
+    let frozen = header.clone();
+    let mut packet = Packet::new_unchecked(&mut header[..]);
+    assert_eq!(packet.decrement_hop_limit(), 0);
+    assert_eq!(header, frozen, "expired header must not be rewritten");
+}
