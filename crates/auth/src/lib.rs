@@ -1,0 +1,46 @@
+//! # catenet-auth
+//!
+//! Route-origin attestation for the catenet control plane.
+//!
+//! Clark's goal ordering put survivability first and accountability last,
+//! and the 1988 routing fabric inherited that ranking: any gateway could
+//! announce any prefix and its neighbors believed it. PR 4's byzantine
+//! experiments priced that trust — a single lying gateway black-holes
+//! 9.5–16.7% of host pairs — and showed that admission heuristics alone
+//! (RouteGuard) cannot close the hole, because a liar under the rate limit
+//! announcing a plausible metric for a prefix it does not own is
+//! indistinguishable from an honest neighbor.
+//!
+//! This crate supplies the missing primitive: **verifiable origin**. It is
+//! BGPsec in miniature, adapted to a closed deterministic simulation:
+//!
+//! - [`siphash`] — a self-contained SipHash-2-4 implementation (the keyed
+//!   MAC; no external dependencies, bit-exact on any platform).
+//! - [`MacKey`] / [`Attestation`] — a per-origin key and the signed
+//!   binding `(origin, prefix, sequence) → tag` carried in RIP
+//!   announcements.
+//! - [`OriginRegistry`] — the deterministic prefix-ownership table
+//!   distributed to every gateway at topology build time (the simulation's
+//!   stand-in for an RPKI: ownership is ground truth by construction).
+//! - [`ReplayWindow`] — RFC 1982-style serial-number freshness so a
+//!   recorded-but-valid advertisement goes stale.
+//!
+//! The MAC is symmetric (every verifier holds every origin's key), which
+//! models the *semantics* of origin signatures — who may announce what,
+//! and whether the announcement is fresh — without vendoring an asymmetric
+//! signature scheme. The one attack this deliberately does not stop is an
+//! authenticated neighbor lying about its *metric* for a prefix it heard
+//! legitimately: path attestation is out of scope, exactly as it is for
+//! origin-only RPKI deployment. E14's hijack-by-authenticated-neighbor
+//! arm measures that residual.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod attest;
+pub mod registry;
+pub mod siphash;
+
+pub use attest::{Attestation, Attestor, Freshness, MacKey, OriginId, ReplayWindow};
+pub use registry::OriginRegistry;
+pub use siphash::siphash24;

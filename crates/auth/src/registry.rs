@@ -1,0 +1,136 @@
+//! The prefix-ownership registry.
+//!
+//! In the real internet, route-origin validation needs an external trust
+//! anchor (the RPKI) because nobody holds ground truth about address
+//! ownership. A simulation *builds* the ground truth: the topology
+//! constructor knows exactly which gateway owns which prefix, so the
+//! registry is assembled deterministically at build time and distributed
+//! to every gateway — the moral equivalent of a pre-populated, perfectly
+//! synchronized RPKI cache.
+//!
+//! A prefix may have several legitimate owners: both endpoints of a
+//! point-to-point /30 announce the shared link prefix at metric 1.
+
+use std::collections::BTreeMap;
+
+use catenet_wire::Ipv4Cidr;
+
+use crate::attest::{MacKey, OriginId};
+
+/// Who may originate which prefix, and the key each origin signs with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OriginRegistry {
+    master: MacKey,
+    owners: BTreeMap<Ipv4Cidr, Vec<OriginId>>,
+    keys: BTreeMap<OriginId, MacKey>,
+}
+
+impl OriginRegistry {
+    /// An empty registry deriving per-origin keys from `master`.
+    pub fn new(master: MacKey) -> OriginRegistry {
+        OriginRegistry {
+            master,
+            owners: BTreeMap::new(),
+            keys: BTreeMap::new(),
+        }
+    }
+
+    /// Record that `origin` legitimately announces `prefix` (stored in
+    /// canonical network form), deriving the origin's key on first sight.
+    pub fn register(&mut self, prefix: Ipv4Cidr, origin: OriginId) {
+        let owners = self.owners.entry(prefix.network()).or_default();
+        if !owners.contains(&origin) {
+            owners.push(origin);
+        }
+        let master = self.master;
+        self.keys
+            .entry(origin)
+            .or_insert_with(|| MacKey::derive(master, origin));
+    }
+
+    /// Whether any origin is registered for `prefix`.
+    pub fn is_registered(&self, prefix: Ipv4Cidr) -> bool {
+        self.owners.contains_key(&prefix.network())
+    }
+
+    /// Whether `origin` is a registered owner of `prefix`.
+    pub fn owns(&self, prefix: Ipv4Cidr, origin: OriginId) -> bool {
+        self.owners
+            .get(&prefix.network())
+            .is_some_and(|owners| owners.contains(&origin))
+    }
+
+    /// The signing/verification key for `origin`, if it is registered.
+    pub fn key(&self, origin: OriginId) -> Option<MacKey> {
+        self.keys.get(&origin).copied()
+    }
+
+    /// Number of registered prefixes.
+    pub fn prefix_count(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Number of registered origins.
+    pub fn origin_count(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catenet_wire::Ipv4Address;
+
+    fn cidr(a: u8, b: u8, c: u8, d: u8, len: u8) -> Ipv4Cidr {
+        Ipv4Cidr::new(Ipv4Address::new(a, b, c, d), len)
+    }
+
+    const MASTER: MacKey = MacKey([1, 2]);
+
+    #[test]
+    fn shared_link_prefix_has_two_owners() {
+        let mut reg = OriginRegistry::new(MASTER);
+        let link = cidr(10, 128, 0, 0, 30);
+        reg.register(link, OriginId(1));
+        reg.register(link, OriginId(2));
+        assert!(reg.owns(link, OriginId(1)));
+        assert!(reg.owns(link, OriginId(2)));
+        assert!(!reg.owns(link, OriginId(3)));
+        assert_eq!(reg.prefix_count(), 1);
+        assert_eq!(reg.origin_count(), 2);
+    }
+
+    #[test]
+    fn lookup_is_canonical() {
+        let mut reg = OriginRegistry::new(MASTER);
+        reg.register(cidr(10, 128, 0, 1, 30), OriginId(1));
+        // A host address inside the prefix resolves to the same network.
+        assert!(reg.is_registered(cidr(10, 128, 0, 2, 30)));
+        assert!(reg.owns(cidr(10, 128, 0, 0, 30), OriginId(1)));
+        // Same bits, different mask: a different prefix.
+        assert!(!reg.is_registered(cidr(10, 128, 0, 0, 29)));
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_keys_stable() {
+        let mut reg = OriginRegistry::new(MASTER);
+        let lan = cidr(192, 168, 1, 0, 24);
+        reg.register(lan, OriginId(5));
+        let key_before = reg.key(OriginId(5)).unwrap();
+        reg.register(lan, OriginId(5));
+        assert_eq!(reg.key(OriginId(5)).unwrap(), key_before);
+        assert_eq!(reg.prefix_count(), 1);
+        assert_eq!(
+            key_before,
+            MacKey::derive(MASTER, OriginId(5)),
+            "key derivation must be reproducible from the master"
+        );
+    }
+
+    #[test]
+    fn unknown_origin_has_no_key() {
+        let reg = OriginRegistry::new(MASTER);
+        assert_eq!(reg.key(OriginId(9)), None);
+        assert!(!reg.is_registered(cidr(203, 0, 113, 0, 24)));
+    }
+}

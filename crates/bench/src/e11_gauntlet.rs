@@ -26,6 +26,7 @@
 use crate::table::Table;
 use catenet_core::app::{BulkSender, SinkServer};
 use catenet_core::{Endpoint, Network, ProgressWatchdog, StreamIntegrity, TcpConfig};
+use catenet_routing::{DvConfig, GuardPolicy};
 use catenet_sim::{
     ByzantineAttack, Duration, FaultAction, FaultPlan, Instant, LinkClass, Rng, SchedulerKind,
 };
@@ -71,6 +72,14 @@ pub enum Chaos {
     /// from a sick link to a lying router. Rehabilitated after a
     /// window.
     ByzantineBlackhole,
+    /// A compromised gateway rewrites the receiver's LAN to metric 1
+    /// with the owner's attestation stripped — a wire-legal prefix
+    /// hijack that plain sanitization cannot object to. Run with origin
+    /// attestation armed: the proof-less claim is rejected entry by
+    /// entry and the hijacked prefix is quarantined from the liar,
+    /// while its forwarding plane still eats what transits it until
+    /// rehabilitation.
+    PrefixHijack,
     /// Flaps, crashes, loss, corruption and a partition, all at once.
     KitchenSink,
 }
@@ -89,6 +98,10 @@ pub struct Scenario {
     /// Whether the transfer is expected to complete (the permanent
     /// partition is expected to abort instead).
     pub expect_complete: bool,
+    /// Run with origin attestation enabled and attested guards armed
+    /// from cold boot. Off for the classic battery so those runs stay
+    /// byte-identical to their unattested baselines.
+    pub attested: bool,
 }
 
 /// The full scenario battery, in reporting order.
@@ -102,6 +115,7 @@ pub fn scenarios() -> Vec<Scenario> {
         transfer_bytes: 2_000_000,
         limit: Duration::from_secs(180),
         expect_complete: true,
+        attested: false,
     };
     vec![
         base("calm (control)", Chaos::Calm),
@@ -125,6 +139,10 @@ pub fn scenarios() -> Vec<Scenario> {
         base("double-fault", Chaos::DoubleFault),
         base("silent-cascade", Chaos::SilentCascade),
         base("byzantine-blackhole", Chaos::ByzantineBlackhole),
+        Scenario {
+            attested: true,
+            ..base("prefix-hijack (attested)", Chaos::PrefixHijack)
+        },
         Scenario {
             limit: Duration::from_secs(240),
             ..base("kitchen-sink", Chaos::KitchenSink)
@@ -321,6 +339,25 @@ fn build_plan(
             );
             outages.push((s(2), s(13)));
         }
+        Chaos::PrefixHijack => {
+            // gD rewrites h2's LAN to metric 1 with the attestation
+            // stripped. Attested guards at gA and gB reject the
+            // proof-less claim entry by entry — no honest route is ever
+            // displaced — but gD sits on the primary path and its
+            // compromised forwarding plane still eats the victim's
+            // transit traffic, so the window is an outage regardless.
+            // Rehabilitation clears the hole; the quarantine the liar
+            // earned suppresses its (honest) re-announcements for a
+            // while, which only costs path length, not correctness.
+            let (addr, prefix_len) = topo.victim_lan;
+            plan.compromise_window(
+                topo.gd,
+                ByzantineAttack::HijackPrefix { addr, prefix_len },
+                s(2),
+                Duration::from_secs(10),
+            );
+            outages.push((s(2), s(13)));
+        }
         Chaos::KitchenSink => {
             plan.link_flap(
                 topo.l_ad,
@@ -398,6 +435,19 @@ fn run_full(
     let gc1 = net.add_gateway("gC1");
     let gc2 = net.add_gateway("gC2");
     let h2 = net.add_host("h2");
+    if scenario.attested {
+        // Attested runs converge on the fast timer profile so the
+        // liar's periodic announcements land often enough inside the
+        // 10 s compromise window to accumulate quarantine strikes.
+        // Identity and guards are armed *before the first connect*:
+        // even the build-time triggered announcements go out signed,
+        // and the guards screen from the very first frame (cold boot).
+        for g in [ga, gd, gb, gc1, gc2] {
+            net.node_mut(g).set_dv_config(DvConfig::fast());
+        }
+        net.enable_attestation();
+        net.set_guard_policy(GuardPolicy::attested());
+    }
     net.connect(h1, ga, LinkClass::EthernetLan);
     let l_ad = net.connect(ga, gd, LinkClass::T1Terrestrial);
     let l_db = net.connect(gd, gb, LinkClass::T1Terrestrial);
@@ -655,6 +705,7 @@ pub fn quick(seed: u64) -> Outcome {
             transfer_bytes: 40_000,
             limit: Duration::from_secs(60),
             expect_complete: true,
+            attested: false,
         },
         seed,
     )
@@ -672,8 +723,8 @@ mod tests {
     }
 
     #[test]
-    fn battery_has_fifteen_scenarios() {
-        assert_eq!(scenarios().len(), 15);
+    fn battery_has_sixteen_scenarios() {
+        assert_eq!(scenarios().len(), 16);
     }
 
     #[test]
@@ -687,6 +738,44 @@ mod tests {
             "the lying gateway cost retransmissions: {outcome:?}"
         );
         assert_eq!(outcome.faults, 2, "compromise + rehabilitate");
+    }
+
+    #[test]
+    fn prefix_hijack_under_attestation_is_survived_on_every_seed() {
+        // The gauntlet's integrity bar, held across the whole seed set:
+        // the proof-less hijack is rejected (never installed), the liar
+        // earns a prefix quarantine, and the stream still completes
+        // intact — the only degradation is time.
+        for seed in crate::SEEDS {
+            let art = run_with(
+                by_name("prefix-hijack (attested)"),
+                seed,
+                SchedulerKind::default(),
+            );
+            let o = &art.outcome;
+            assert!(o.completed, "seed {seed}: {o:?}");
+            assert!(o.integrity_ok, "seed {seed}");
+            assert_eq!(o.violations, 0, "seed {seed}");
+            assert!(
+                o.retransmits > 0,
+                "seed {seed}: the eaten window cost retransmissions"
+            );
+            assert!(
+                art.metrics.contains("guard_attest_rejected"),
+                "seed {seed}: the hijacked entries were rejected by proof, \
+                 not by luck:\n{}",
+                art.metrics
+            );
+            assert!(
+                art.flight.contains("attest-rejected"),
+                "seed {seed}: rejections appear in the black box"
+            );
+            assert!(
+                art.flight.contains("prefix-quarantined"),
+                "seed {seed}: repeat offenses earn the prefix holddown:\n{}",
+                art.flight
+            );
+        }
     }
 
     #[test]

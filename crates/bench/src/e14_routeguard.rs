@@ -1,38 +1,53 @@
-//! E14 — Pricing the route guard: byzantine blast radius, guards off
-//! vs on (paper §4's "the network is assumed hostile" taken at its
-//! word for the *control* plane).
+//! E14 — Pricing the route guard and origin attestation: byzantine
+//! blast radius across three defense arms (paper §4's "the network is
+//! assumed hostile" taken at its word for the *control* plane).
 //!
 //! Clark's gateways believe whatever their neighbors advertise — the
 //! 1988 design has no admission control on routing state, and the paper
 //! itself lists "resistance to malicious attack" among the goals the
-//! architecture under-served. This experiment measures exactly what
-//! that trust costs, and what the [`catenet_routing::RouteGuard`]
-//! defense buys back.
+//! architecture under-served. This experiment measures what that trust
+//! costs and what each layer of defense buys back:
 //!
-//! One gateway is compromised ([`ByzantineAttack::BlackholeVictim`]):
-//! it advertises metric 0 — better than any honest route can be, since
-//! a connected network costs 1 — for one victim host's LAN, and
-//! silently eats every datagram that arrives for it. The **blast
-//! radius** is the fraction of ordered host pairs whose forwarding path
-//! fails while the lie is live: eaten at the liar, no route, or caught
-//! in a loop. The walk is a deterministic forwarding-table traversal,
-//! not a ping sweep, so the number is exact and byte-identical across
-//! runs. After a fixed window the node is rehabilitated and the
-//! convergence tracer times the network's recovery.
+//! - **off** — the trusting 1988 reference.
+//! - **guard** — [`GuardPolicy::boot_armed`]: per-entry sanitization,
+//!   rate limiting, flap damping, radius clamp. Armed from **t = 0**
+//!   (cold boot): a boot learning window absorbs the honest triggered-
+//!   update storm of initial convergence, closing the provisioning gap
+//!   earlier revisions of this experiment recorded as an open item.
+//! - **guard+attest** — [`GuardPolicy::attested`] plus a distributed
+//!   [`catenet_routing::OriginRegistry`]: every finite announcement for
+//!   a registered prefix must carry a valid, fresh MAC from the
+//!   prefix's owner.
+//!
+//! Three attacks price the arms:
+//!
+//! - **blackhole** ([`ByzantineAttack::BlackholeVictim`]) — metric 0
+//!   for the victim LAN; wire-illegal, so plain sanitization kills it.
+//! - **hijack** ([`ByzantineAttack::HijackPrefix`]) — metric *1* with
+//!   the owner's attestation stripped; wire-legal, walks straight past
+//!   the plain guard, dies at attestation verification.
+//! - **hijack-attested** ([`ByzantineAttack::HijackAttested`]) — metric
+//!   1 while relaying the genuine attestation the liar legitimately
+//!   holds. The MAC verifies; the lie survives even the attested arm.
+//!   This is the designed residual: origin attestation proves prefix
+//!   *ownership*, not path or metric honesty (BGPsec's open problem).
+//!
+//! The **blast radius** is the fraction of ordered host pairs whose
+//! forwarding path fails while the lie is live: eaten at the liar, no
+//! route, or caught in a loop. The walk is a deterministic
+//! forwarding-table traversal, not a ping sweep, so the number is exact
+//! and byte-identical across runs. After a fixed window the node is
+//! rehabilitated and the convergence tracer times the recovery. The
+//! cold-boot convergence time is reported per arm — the price of
+//! admission control measured where it is paid.
 //!
 //! Topologies: gateway rings (a host on every gateway, the liar
 //! diametrically opposite the victim) and a 10×10 **wrapped** mesh — a
 //! torus, because an unwrapped 10×10 grid has diameter 18 and RIP's
 //! 15-hop horizon would censor the far corners even with everyone
-//! honest. Guards-on runs use [`GuardPolicy::standard`] with the
-//! topology radius set from the real diameter.
-//!
-//! Expected shape: guards off, every source whose lie-distance to the
-//! liar is shorter than its honest distance to the victim is captured —
-//! roughly half the topology. Guards on, the metric-0 advertisement is
-//! sanitized away at the liar's direct neighbors and the blast radius
-//! collapses to the one pair the guard cannot save: the liar's own
-//! host, whose first hop *is* the compromised forwarding plane.
+//! honest. Guard policies are provisioned to the topology: radius from
+//! the real diameter, rate limit and boot window scaled up on the torus
+//! where a full table paginates into many more messages per round.
 
 use catenet_core::{Network, NodeId};
 use catenet_routing::{DvConfig, GuardPolicy};
@@ -92,6 +107,84 @@ impl Topology {
     }
 }
 
+/// The defense arm a run prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arm {
+    /// No admission control — the trusting 1988 reference.
+    Off,
+    /// Cold-boot-armed route guard, no attestation.
+    Guard,
+    /// Cold-boot-armed route guard verifying origin attestations.
+    GuardAttest,
+}
+
+impl Arm {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Arm::Off => "off",
+            Arm::Guard => "guard",
+            Arm::GuardAttest => "guard+attest",
+        }
+    }
+}
+
+/// The lie a run prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attack {
+    /// Metric 0 for the victim LAN — wire-illegal.
+    Blackhole,
+    /// Metric 1 with the owner's attestation stripped — wire-legal.
+    Hijack,
+    /// Metric 1 relaying the genuine attestation — verifies everywhere.
+    HijackAttested,
+}
+
+impl Attack {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Attack::Blackhole => "blackhole",
+            Attack::Hijack => "hijack",
+            Attack::HijackAttested => "hijack-attested",
+        }
+    }
+
+    fn byzantine(&self, lan: catenet_wire::Ipv4Cidr) -> ByzantineAttack {
+        let (addr, prefix_len) = (lan.address().0, lan.prefix_len());
+        match self {
+            Attack::Blackhole => ByzantineAttack::BlackholeVictim { addr, prefix_len },
+            Attack::Hijack => ByzantineAttack::HijackPrefix { addr, prefix_len },
+            Attack::HijackAttested => ByzantineAttack::HijackAttested { addr, prefix_len },
+        }
+    }
+}
+
+/// The guard policy for one topology × arm: the base preset with the
+/// radius, rate limit and boot window provisioned to topology scale.
+/// On the torus a full table paginates into ~9 messages per round (206
+/// prefixes, 25 attested entries per page), so the ring-sized rate
+/// limit would brand honest periodic traffic an attack; and 100
+/// gateways take longer to converge than 5, so the boot learning
+/// window is longer too.
+fn policy_for(topology: Topology, arm: Arm) -> Option<GuardPolicy> {
+    let base = match arm {
+        Arm::Off => return None,
+        Arm::Guard => GuardPolicy::boot_armed(),
+        Arm::GuardAttest => GuardPolicy::attested(),
+    };
+    let (rate_limit, boot_window) = match topology {
+        Topology::Ring(_) => (40, Duration::from_secs(30)),
+        Topology::WrappedMesh => (80, Duration::from_secs(60)),
+    };
+    Some(GuardPolicy {
+        topology_radius: Some(topology.radius()),
+        rate_limit,
+        boot_window,
+        ..base
+    })
+}
+
 /// How one ordered host pair fared in the forwarding walk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PairOutcome {
@@ -111,12 +204,18 @@ pub struct Blast {
     pub total_pairs: usize,
     /// Hosts in the topology (`total_pairs == hosts * (hosts - 1)`).
     pub hosts: usize,
+    /// How long the cold boot took to converge — guards armed from
+    /// t = 0, so this prices admission control where it is paid.
+    pub cold_boot: Duration,
     /// The convergence tracer's recovery measurements (one expected:
     /// compromise opens the window, rehabilitation heals it).
     pub reconvergences: Vec<Reconvergence>,
     /// Guard verdicts other than plain acceptance, network-wide
     /// (zero when guards are off — nothing is ever even counted).
     pub guard_interventions: u64,
+    /// Entries rejected by attestation verification, network-wide
+    /// (zero unless the arm verifies).
+    pub attest_rejections: u64,
 }
 
 impl Blast {
@@ -136,13 +235,19 @@ struct Built {
     victim_gateway_link: usize,
 }
 
-fn build(topology: Topology, seed: u64) -> Built {
+/// Build one topology. `attested` distributes the origin-attestation
+/// trust anchor **before** the first link is connected, so even the
+/// build-time triggered announcements go out signed.
+fn build(topology: Topology, seed: u64, attested: bool) -> Built {
     match topology {
         Topology::Ring(n) => {
             let mut net = Network::new(seed);
             let gs: Vec<NodeId> = (0..n).map(|i| net.add_gateway(format!("g{i}"))).collect();
             for &g in &gs {
                 net.node_mut(g).set_dv_config(DvConfig::fast());
+            }
+            if attested {
+                net.enable_attestation();
             }
             for i in 0..n {
                 net.connect(gs[i], gs[(i + 1) % n], LinkClass::T1Terrestrial);
@@ -174,6 +279,9 @@ fn build(topology: Topology, seed: u64) -> Built {
             for &g in &gs {
                 net.node_mut(g).set_dv_config(DvConfig::fast());
             }
+            if attested {
+                net.enable_attestation();
+            }
             let at = |r: usize, c: usize| gs[r * side + c];
             for r in 0..side {
                 for c in 0..side {
@@ -182,8 +290,13 @@ fn build(topology: Topology, seed: u64) -> Built {
                 }
             }
             // Victim at one corner, liar antipodal on the torus, other
-            // hosts spread so honest and lying distances differ.
-            let placements = [(0usize, 0usize), (5, 5), (2, 7), (7, 2), (0, 5), (5, 0)];
+            // hosts placed so honest and lying distances *differ* —
+            // (3,7) and (7,3) sit strictly closer to the liar, (0,5)
+            // and (5,0) strictly closer to the victim. (Equidistant
+            // placements would leave a metric-1 hijack unable to
+            // capture anyone beyond the liar's own host, and the arms
+            // would price identically by accident of geometry.)
+            let placements = [(0usize, 0usize), (5, 5), (3, 7), (7, 3), (0, 5), (5, 0)];
             let mut hosts = Vec::new();
             let mut victim_gateway_link = 0;
             for (i, &(r, c)) in placements.iter().enumerate() {
@@ -230,26 +343,22 @@ fn walk(net: &Network, src: NodeId, dst_host: NodeId) -> PairOutcome {
     PairOutcome::Loop
 }
 
-/// Run one topology × guard setting × seed; returns the measurements.
-pub fn run(topology: Topology, guard: bool, seed: u64) -> Blast {
+/// Run one topology × arm × attack × seed; returns the measurements.
+pub fn run(topology: Topology, arm: Arm, attack: Attack, seed: u64) -> Blast {
     let Built {
         mut net,
         hosts,
         liar,
         victim_gateway_link,
-    } = build(topology, seed);
-    net.converge_routing(Duration::from_secs(120));
-    if guard {
-        // Armed on the *converged* network: admission control defends a
-        // running control plane. During a cold boot every gateway floods
-        // triggered updates, and on a 100-gateway torus that honest storm
-        // exceeds any rate limit tight enough to be worth having — the
-        // provisioning gap is recorded as an open item in ROADMAP.md.
-        net.set_guard_policy(GuardPolicy {
-            topology_radius: Some(topology.radius()),
-            ..GuardPolicy::standard()
-        });
+    } = build(topology, seed, arm == Arm::GuardAttest);
+    // Defenses are configuration, so they are armed *before* the first
+    // advertisement ever flows — a cold boot, not a retrofit onto a
+    // converged network. The boot learning window inside the policy is
+    // what makes this survivable; nothing here waits for convergence.
+    if let Some(policy) = policy_for(topology, arm) {
+        net.set_guard_policy(policy);
     }
+    let cold_boot = net.converge_routing(Duration::from_secs(120));
 
     // The lie targets the victim host's LAN — the auto-assigned subnet
     // of the victim's access link.
@@ -258,10 +367,7 @@ pub fn run(topology: Topology, guard: bool, seed: u64) -> Blast {
     let mut plan = FaultPlan::new();
     plan.compromise_window(
         liar,
-        ByzantineAttack::BlackholeVictim {
-            addr: lan.address().0,
-            prefix_len: lan.prefix_len(),
-        },
+        attack.byzantine(lan),
         start + LEAD_IN,
         COMPROMISE_WINDOW,
     );
@@ -288,6 +394,7 @@ pub fn run(topology: Topology, guard: bool, seed: u64) -> Blast {
     net.run_for(COMPROMISE_WINDOW / 2 + RECOVERY_WINDOW);
     let reconvergences = net.telemetry().convergence.reconvergences(net.now());
     let registry = &net.telemetry().registry;
+    let attest_rejections = registry.total("guard_attest_rejected");
     let guard_interventions = registry.total("guard_sanitized")
         + registry.total("guard_damped")
         + registry.total("guard_quarantined");
@@ -295,46 +402,74 @@ pub fn run(topology: Topology, guard: bool, seed: u64) -> Blast {
         failed_pairs,
         total_pairs,
         hosts: hosts.len(),
+        cold_boot,
         reconvergences,
         guard_interventions,
+        attest_rejections,
     }
+}
+
+/// The combinations the table prices. Blackhole runs under every arm
+/// (the original E14 matrix, now cold-boot-armed); the wire-legal
+/// hijack is priced guard vs guard+attest — against `off` it is simply
+/// the blackhole row with a one-hop-worse lie; and the attested hijack
+/// only means anything under the arm it is designed to survive.
+pub fn combos() -> Vec<(Attack, Arm)> {
+    vec![
+        (Attack::Blackhole, Arm::Off),
+        (Attack::Blackhole, Arm::Guard),
+        (Attack::Blackhole, Arm::GuardAttest),
+        (Attack::Hijack, Arm::Guard),
+        (Attack::Hijack, Arm::GuardAttest),
+        (Attack::HijackAttested, Arm::GuardAttest),
+    ]
 }
 
 /// Run the full matrix over the seed set and render the table.
 pub fn default_table(seeds: &[u64]) -> Table {
     let mut table = Table::new(
         format!(
-            "E14 — Route-guard pricing: one compromised gateway advertises a \
-             metric-0 black hole for a victim LAN over a {COMPROMISE_WINDOW} window; \
-             blast radius = ordered host pairs whose forwarding walk fails \
-             mid-window, guards off vs on"
+            "E14 — Pricing admission control and origin attestation: one \
+             compromised gateway lies about a victim LAN over a \
+             {COMPROMISE_WINDOW} window; blast radius = ordered host pairs \
+             whose forwarding walk fails mid-window. Guards are armed from \
+             cold boot (t=0) in every defended arm"
         ),
         &[
             "topology",
             "hosts",
-            "guard",
+            "attack",
+            "arm",
             "failed pairs",
             "blast radius",
-            "guard interventions",
+            "interventions",
+            "attest rejections",
+            "cold boot (s)",
             "median recovery (s)",
             "settled",
         ],
     );
     for topology in Topology::all() {
-        for guard in [false, true] {
+        for (attack, arm) in combos() {
             let mut failed = 0;
             let mut total = 0;
             let mut interventions = 0;
+            let mut rejections = 0;
             let mut recs: Vec<Reconvergence> = Vec::new();
             let mut hosts = 0;
+            let mut boots: Vec<u64> = Vec::new();
             for &seed in seeds {
-                let blast = run(topology, guard, seed);
+                let blast = run(topology, arm, attack, seed);
                 failed += blast.failed_pairs;
                 total += blast.total_pairs;
                 interventions += blast.guard_interventions;
+                rejections += blast.attest_rejections;
                 hosts = blast.hosts;
+                boots.push(blast.cold_boot.total_micros());
                 recs.extend(blast.reconvergences);
             }
+            boots.sort_unstable();
+            let boot_median = format!("{:.1}", boots[boots.len() / 2] as f64 / 1e6);
             let mut tooks: Vec<u64> = recs.iter().map(|r| r.took.total_micros()).collect();
             tooks.sort_unstable();
             let median = tooks
@@ -345,31 +480,42 @@ pub fn default_table(seeds: &[u64]) -> Table {
             table.row(vec![
                 topology.name(),
                 format!("{hosts}"),
-                if guard { "on" } else { "off" }.into(),
+                attack.name().into(),
+                arm.name().into(),
                 format!("{failed}/{total}"),
                 format!("{:.1}%", 100.0 * failed as f64 / total.max(1) as f64),
                 format!("{interventions}"),
+                format!("{rejections}"),
+                boot_median,
                 median,
                 format!("{settled}/{}", recs.len()),
             ]);
         }
     }
     table.note(
-        "Guards off: every source whose lie-distance to the liar undercuts its \
-         honest distance to the victim is captured — the 1988 trusting control \
-         plane lets one metric-0 advertisement black-hole a large fraction of \
-         the network. Guards on (per-entry sanitization, rate limit, flap \
-         damping, radius clamp): the lie dies at the liar's direct neighbors \
-         and only the liar's own host — whose first hop is the compromised \
-         forwarding plane itself — still loses traffic. Recovery is timed from \
-         rehabilitation to table quiescence; guarded runs recover near-instantly \
-         because their tables never absorbed the lie.",
+        "Blackhole (metric 0, wire-illegal): off, every source whose \
+         lie-distance to the liar undercuts its honest distance to the victim \
+         is captured; either guard arm sanitizes the lie at the liar's direct \
+         neighbors and only the liar's own host — whose first hop is the \
+         compromised forwarding plane itself — still loses traffic. Hijack \
+         (metric 1, wire-legal, attestation stripped): the plain guard \
+         believes it — sanitization has nothing to object to — and every \
+         closer-to-the-liar source is captured; the attested arm rejects the \
+         proof-less claim and the blast radius collapses back to the liar's \
+         own host. Hijack-attested (metric 1, genuine relayed proof): the MAC \
+         verifies, the lie survives the attested arm — the designed residual. \
+         Origin attestation proves who owns a prefix, not that the advertised \
+         path is honest.",
     );
     table.note(
-        "The mesh is wrapped into a torus: an unwrapped 10×10 grid has diameter \
-         18, past RIP's 15-hop horizon, which would censor far-corner pairs even \
-         with every gateway honest. The residual guards-on blast radius is the \
-         documented limit of admission control without cryptographic attestation.",
+        "All defended arms are armed from t=0: the boot learning window \
+         (rate limiting observed but not enforced, flap damping deferred, \
+         sanitization and attestation always live) absorbs the honest \
+         triggered-update storm of a cold start, so convergence costs within \
+         a second of the unguarded runs and no honest neighbor is ever \
+         quarantined. The mesh is wrapped into a torus: an unwrapped 10×10 \
+         grid has diameter 18, past RIP's 15-hop horizon, which would censor \
+         far-corner pairs even with every gateway honest.",
     );
     table
 }
@@ -379,13 +525,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn guards_strictly_shrink_the_blast_radius_on_rings() {
+    fn guards_strictly_shrink_the_blackhole_blast_radius_on_rings() {
         for &n in &RING_SIZES {
-            let off = run(Topology::Ring(n), false, 11);
-            let on = run(Topology::Ring(n), true, 11);
+            let off = run(Topology::Ring(n), Arm::Off, Attack::Blackhole, 11);
+            let on = run(Topology::Ring(n), Arm::Guard, Attack::Blackhole, 11);
             assert!(
                 off.failed_pairs > on.failed_pairs,
-                "ring-{n}: off {}/{} must strictly exceed on {}/{}",
+                "ring-{n}: off {}/{} must strictly exceed guard {}/{}",
                 off.failed_pairs,
                 off.total_pairs,
                 on.failed_pairs,
@@ -401,19 +547,100 @@ mod tests {
     }
 
     #[test]
+    fn attestation_strictly_shrinks_the_hijack_blast_radius_on_rings() {
+        // Hand-computed captures: a metric-1 hijack captures every
+        // gateway strictly closer to the liar than to the victim.
+        // Ring-5 (liar g0, victim g2): g0's and g4's hosts → 2 pairs.
+        // Ring-7 (liar g0, victim g3): g0's, g1's and g6's hosts → 3.
+        for (&n, expect_guard) in RING_SIZES.iter().zip([2usize, 3]) {
+            let guard = run(Topology::Ring(n), Arm::Guard, Attack::Hijack, 11);
+            let attested = run(Topology::Ring(n), Arm::GuardAttest, Attack::Hijack, 11);
+            assert_eq!(
+                guard.failed_pairs, expect_guard,
+                "ring-{n}: wire-legal hijack walks past the plain guard"
+            );
+            assert_eq!(
+                attested.failed_pairs, 1,
+                "ring-{n}: attestation strands the lie at the liar's own host"
+            );
+            assert!(attested.failed_pairs < guard.failed_pairs);
+            assert_eq!(guard.attest_rejections, 0, "plain guard never verifies");
+            assert!(
+                attested.attest_rejections > 0,
+                "rejections visible in telemetry"
+            );
+        }
+    }
+
+    #[test]
+    fn attested_hijack_is_the_designed_residual() {
+        // The genuine relayed proof verifies, so the attested arm fares
+        // exactly as badly as the plain guard against the bare hijack.
+        let residual = run(
+            Topology::Ring(5),
+            Arm::GuardAttest,
+            Attack::HijackAttested,
+            11,
+        );
+        let plain = run(Topology::Ring(5), Arm::Guard, Attack::Hijack, 11);
+        assert_eq!(residual.failed_pairs, plain.failed_pairs);
+        assert_eq!(
+            residual.attest_rejections, 0,
+            "nothing to reject: every MAC in the network verifies"
+        );
+    }
+
+    #[test]
+    fn cold_boot_arming_quarantines_no_honest_neighbor() {
+        // The regression the boot window exists for: guards armed at
+        // t=0 must survive the initial DV storm without branding any
+        // honest neighbor an attacker. An honest run (no compromise
+        // planned) must deliver every pair with zero quarantines.
+        for &n in &RING_SIZES {
+            for arm in [Arm::Guard, Arm::GuardAttest] {
+                let mut built = build(Topology::Ring(n), 11, arm == Arm::GuardAttest);
+                built
+                    .net
+                    .set_guard_policy(policy_for(Topology::Ring(n), arm).unwrap());
+                built.net.converge_routing(Duration::from_secs(120));
+                built.net.run_for(Duration::from_secs(30));
+                assert_eq!(
+                    built.net.telemetry().registry.total("guard_quarantined"),
+                    0,
+                    "ring-{n} {}: honest cold boot must not quarantine",
+                    arm.name()
+                );
+                assert_eq!(
+                    built.net.telemetry().registry.total("guard_attest_rejected"),
+                    0,
+                    "ring-{n} {}: honest proofs all verify",
+                    arm.name()
+                );
+                for &src in &built.hosts {
+                    for &dst in &built.hosts {
+                        if src != dst {
+                            assert_eq!(walk(&built.net, src, dst), PairOutcome::Delivered);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn recovery_is_measured_and_settles() {
-        let off = run(Topology::Ring(5), false, 23);
+        let off = run(Topology::Ring(5), Arm::Off, Attack::Blackhole, 23);
         assert_eq!(off.reconvergences.len(), 1, "one compromise, one recovery");
         assert!(off.reconvergences[0].settled, "{:?}", off.reconvergences);
     }
 
     #[test]
     fn blast_measurements_replay_bit_for_bit() {
-        let a = run(Topology::Ring(5), false, 37);
-        let b = run(Topology::Ring(5), false, 37);
+        let a = run(Topology::Ring(5), Arm::Off, Attack::Blackhole, 37);
+        let b = run(Topology::Ring(5), Arm::Off, Attack::Blackhole, 37);
         assert_eq!(a, b);
-        let ga = run(Topology::Ring(5), true, 37);
-        let gb = run(Topology::Ring(5), true, 37);
+        let ga = run(Topology::Ring(5), Arm::GuardAttest, Attack::Hijack, 37);
+        let gb = run(Topology::Ring(5), Arm::GuardAttest, Attack::Hijack, 37);
         assert_eq!(ga, gb);
     }
 
@@ -421,7 +648,7 @@ mod tests {
     fn walk_hop_limit_brands_loops() {
         // Sanity on the walk itself: a converged honest ring delivers
         // every pair.
-        let built = build(Topology::Ring(5), 41);
+        let built = build(Topology::Ring(5), 41, false);
         let mut net = built.net;
         net.converge_routing(Duration::from_secs(120));
         for &src in &built.hosts {
@@ -431,5 +658,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The torus is the expensive topology; this is the full
+    /// strictly-lower assertion on it. ~100 gateways × three runs, so
+    /// it is ignored by default and exercised by the E14 reproduction
+    /// (and can be run explicitly with `--ignored`).
+    #[test]
+    #[ignore = "expensive: three full torus runs"]
+    fn attestation_strictly_shrinks_the_hijack_blast_radius_on_the_torus() {
+        let guard = run(Topology::WrappedMesh, Arm::Guard, Attack::Hijack, 11);
+        let attested = run(Topology::WrappedMesh, Arm::GuardAttest, Attack::Hijack, 11);
+        // Captures: the liar's own host plus (3,7) and (7,3), which sit
+        // strictly closer to the liar at (5,5) than to the victim (0,0).
+        assert_eq!(guard.failed_pairs, 3);
+        assert_eq!(attested.failed_pairs, 1);
+        let honest = run(Topology::WrappedMesh, Arm::GuardAttest, Attack::Blackhole, 11);
+        assert!(
+            honest.failed_pairs <= 1,
+            "cold-boot-armed attested torus: blackhole dies at the neighbors"
+        );
     }
 }

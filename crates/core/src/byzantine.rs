@@ -17,7 +17,7 @@
 //! route guard (or not at all, which is the point E14 prices).
 
 use catenet_routing::message::MAX_ENTRIES;
-use catenet_routing::{RipEntry, RipMessage, INFINITY_METRIC, RIP_PORT};
+use catenet_routing::{Attestation, OriginId, RipEntry, RipMessage, INFINITY_METRIC, RIP_PORT};
 use catenet_sim::ByzantineAttack;
 use catenet_wire::{
     EtherType, EthernetFrame, EthernetRepr, IpProtocol, Ipv4Address, Ipv4Cidr, Ipv4Packet,
@@ -100,10 +100,7 @@ impl ByzantineState {
                 for j in 0..count {
                     push_capped(
                         &mut message.entries,
-                        RipEntry {
-                            prefix: Ipv4Cidr::new(Ipv4Address::new(198, 18, j, 0), 24),
-                            metric: 1,
-                        },
+                        RipEntry::new(Ipv4Cidr::new(Ipv4Address::new(198, 18, j, 0), 24), 1),
                     );
                 }
             }
@@ -113,13 +110,7 @@ impl ByzantineState {
                 // liar. The liar's forwarding path then eats the traffic.
                 let victim = Ipv4Cidr::new(Ipv4Address::from_bytes(&addr), prefix_len).network();
                 message.entries.retain(|entry| entry.prefix != victim);
-                push_capped(
-                    &mut message.entries,
-                    RipEntry {
-                        prefix: victim,
-                        metric: 0,
-                    },
-                );
+                push_capped(&mut message.entries, RipEntry::new(victim, 0));
             }
             ByzantineAttack::ReplayStale => {
                 match self.snapshots.get(&iface) {
@@ -142,6 +133,60 @@ impl ByzantineState {
                 for entry in &mut message.entries {
                     entry.metric = INFINITY_METRIC;
                 }
+            }
+            ByzantineAttack::HijackPrefix { addr, prefix_len } => {
+                // Claim a one-hop path to the victim but strip the
+                // owner's proof — the liar cannot forge what it never
+                // had. Metric 1 is wire-legal, so guards without
+                // attestation believe it; attestation-armed guards see
+                // a registered prefix with no proof and drop the entry.
+                let victim = Ipv4Cidr::new(Ipv4Address::from_bytes(&addr), prefix_len).network();
+                message.entries.retain(|entry| entry.prefix != victim);
+                push_capped(&mut message.entries, RipEntry::new(victim, 1));
+            }
+            ByzantineAttack::HijackAttested { addr, prefix_len } => {
+                // The designed residual: shorten the metric while
+                // relaying the genuine attestation already in hand.
+                // Proof of origin is not proof of path — the MAC still
+                // verifies, so even attestation-armed guards believe
+                // the shortened claim. Rounds where the liar has no
+                // genuine proof to relay go out honestly.
+                let victim = Ipv4Cidr::new(Ipv4Address::from_bytes(&addr), prefix_len).network();
+                let lie = message
+                    .entries
+                    .iter_mut()
+                    .find(|entry| entry.prefix == victim && entry.attestation.is_some());
+                match lie {
+                    Some(entry) => entry.metric = 1,
+                    None => return None,
+                }
+            }
+            ByzantineAttack::SpoofOrigin { addr, prefix_len } => {
+                // Impersonate the owner outright: fabricate an
+                // attestation under the owner's identity (and a serial
+                // one ahead, to look fresh) without the owner's key.
+                // The MAC cannot verify; only guards that skip
+                // verification are fooled.
+                let victim = Ipv4Cidr::new(Ipv4Address::from_bytes(&addr), prefix_len).network();
+                let forged = match message
+                    .entries
+                    .iter()
+                    .find_map(|entry| (entry.prefix == victim).then_some(entry.attestation))
+                    .flatten()
+                {
+                    Some(real) => Attestation {
+                        origin: real.origin,
+                        seq: real.seq.wrapping_add(1),
+                        tag: real.tag ^ 0xDEAD_BEEF_DEAD_BEEF,
+                    },
+                    None => Attestation {
+                        origin: OriginId(0xFFFF),
+                        seq: send_index as u32 + 1,
+                        tag: 0xDEAD_BEEF_DEAD_BEEF,
+                    },
+                };
+                message.entries.retain(|entry| entry.prefix != victim);
+                push_capped(&mut message.entries, RipEntry::attested(victim, 1, forged));
             }
         }
         self.corrupted += 1;
@@ -245,14 +290,8 @@ mod tests {
 
     fn honest_entries() -> Vec<RipEntry> {
         vec![
-            RipEntry {
-                prefix: "10.1.0.0/16".parse().unwrap(),
-                metric: 1,
-            },
-            RipEntry {
-                prefix: "10.2.0.0/16".parse().unwrap(),
-                metric: 2,
-            },
+            RipEntry::new("10.1.0.0/16".parse().unwrap(), 1),
+            RipEntry::new("10.2.0.0/16".parse().unwrap(), 2),
         ]
     }
 
@@ -314,10 +353,7 @@ mod tests {
             "first advert passes (and is snapshotted)"
         );
         // The node's table has since changed — but the liar replays t=0.
-        let newer = rip_frame(vec![RipEntry {
-            prefix: "10.3.0.0/16".parse().unwrap(),
-            metric: 5,
-        }]);
+        let newer = rip_frame(vec![RipEntry::new("10.3.0.0/16".parse().unwrap(), 5)]);
         let out = state.corrupt_frame(0, Framing::RawIp, &newer).unwrap();
         assert_eq!(
             decode_frame(&out).entries,
@@ -335,6 +371,90 @@ mod tests {
         assert_eq!(message.entries.len(), 5);
         let bogus: Ipv4Cidr = "198.18.2.0/24".parse().unwrap();
         assert!(message.entries.iter().any(|e| e.prefix == bogus && e.metric == 1));
+    }
+
+    #[test]
+    fn hijack_strips_the_attestation_it_cannot_forge() {
+        let mut state = ByzantineState::new(ByzantineAttack::HijackPrefix {
+            addr: [10, 2, 0, 0],
+            prefix_len: 16,
+        });
+        let real = Attestation {
+            origin: OriginId(2),
+            seq: 40,
+            tag: 0x1234,
+        };
+        let frame = rip_frame(vec![
+            RipEntry::new("10.1.0.0/16".parse().unwrap(), 1),
+            RipEntry::attested("10.2.0.0/16".parse().unwrap(), 4, real),
+        ]);
+        let out = state.corrupt_frame(0, Framing::RawIp, &frame).unwrap();
+        let message = decode_frame(&out);
+        let victim: Ipv4Cidr = "10.2.0.0/16".parse().unwrap();
+        let lie = message.entries.iter().find(|e| e.prefix == victim).unwrap();
+        assert_eq!(lie.metric, 1, "liar claims a one-hop path");
+        assert!(lie.attestation.is_none(), "the owner's proof is gone");
+        // Other entries ride through untouched.
+        assert!(message
+            .entries
+            .iter()
+            .any(|e| e.prefix == "10.1.0.0/16".parse().unwrap() && e.metric == 1));
+    }
+
+    #[test]
+    fn attested_hijack_keeps_the_genuine_proof() {
+        let mut state = ByzantineState::new(ByzantineAttack::HijackAttested {
+            addr: [10, 2, 0, 0],
+            prefix_len: 16,
+        });
+        // No attestation in hand yet: the round goes out honestly.
+        let bare = rip_frame(vec![RipEntry::new("10.2.0.0/16".parse().unwrap(), 4)]);
+        assert!(state.corrupt_frame(0, Framing::RawIp, &bare).is_none());
+        // With a relayed proof, only the metric is rewritten.
+        let real = Attestation {
+            origin: OriginId(2),
+            seq: 40,
+            tag: 0x1234,
+        };
+        let frame = rip_frame(vec![RipEntry::attested(
+            "10.2.0.0/16".parse().unwrap(),
+            4,
+            real,
+        )]);
+        let out = state.corrupt_frame(0, Framing::RawIp, &frame).unwrap();
+        let lie = &decode_frame(&out).entries[0];
+        assert_eq!(lie.metric, 1);
+        assert_eq!(lie.attestation, Some(real), "proof relayed unmodified");
+    }
+
+    #[test]
+    fn spoofed_origin_fabricates_a_bad_mac() {
+        let mut state = ByzantineState::new(ByzantineAttack::SpoofOrigin {
+            addr: [10, 2, 0, 0],
+            prefix_len: 16,
+        });
+        let real = Attestation {
+            origin: OriginId(2),
+            seq: 40,
+            tag: 0x1234,
+        };
+        let frame = rip_frame(vec![RipEntry::attested(
+            "10.2.0.0/16".parse().unwrap(),
+            4,
+            real,
+        )]);
+        let out = state.corrupt_frame(0, Framing::RawIp, &frame).unwrap();
+        let lie = &decode_frame(&out).entries[0];
+        let forged = lie.attestation.expect("a forged proof is attached");
+        assert_eq!(lie.metric, 1);
+        assert_eq!(forged.origin, real.origin, "owner's identity is claimed");
+        assert_eq!(forged.seq, 41, "serial bumped to look fresh");
+        assert_ne!(forged.tag, real.tag, "but the tag cannot be right");
+        // Without a real attestation to copy, an identity is invented.
+        let bare = rip_frame(vec![RipEntry::new("10.2.0.0/16".parse().unwrap(), 4)]);
+        let out = state.corrupt_frame(0, Framing::RawIp, &bare).unwrap();
+        let forged = decode_frame(&out).entries[0].attestation.unwrap();
+        assert_eq!(forged.origin, OriginId(0xFFFF));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::byzantine::ByzantineState;
 use crate::iface::{Framing, Iface};
 use crate::node::{Node, NodeRole};
 use crate::pool::{PacketBuf, PacketPool, PoolStats};
-use catenet_routing::GuardPolicy;
+use catenet_routing::{Attestor, GuardPolicy, MacKey, OriginId, OriginRegistry};
 use catenet_sim::{
     ByzantineAttack, Duration, FaultAction, FaultPlan, Instant, Link, LinkClass, LinkOutcome,
     LinkParams, Rng, SchedStats, Scheduler, SchedulerKind, TraceOp,
@@ -20,6 +20,7 @@ use catenet_sim::{
 use catenet_telemetry::{EventKind, Scope, Telemetry};
 use catenet_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
 use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
 
 /// Index of a node within the network.
 pub type NodeId = usize;
@@ -53,6 +54,10 @@ enum Event {
         node: NodeId,
     },
 }
+
+/// Cumulative route-guard verdict counters harvested per neighbor:
+/// (accepted, sanitized, damped, quarantined, attest-rejected).
+type GuardCounters = (u64, u64, u64, u64, u64);
 
 /// The simulated internetwork.
 pub struct Network {
@@ -102,7 +107,11 @@ pub struct Network {
     compromised: BTreeMap<NodeId, ByzantineState>,
     /// Last harvested route-guard verdict totals per node and neighbor,
     /// for delta-counting into the registry.
-    last_guard: Vec<BTreeMap<Ipv4Address, (u64, u64, u64, u64)>>,
+    last_guard: Vec<BTreeMap<Ipv4Address, GuardCounters>>,
+    /// Route-origin attestation trust anchor (see
+    /// [`Network::enable_attestation`]); `None` means attestation has
+    /// never been enabled and nothing is signed or registered.
+    attest_master: Option<MacKey>,
     /// Scratch list of nodes touched by the current same-instant batch,
     /// kept around so steady-state batching allocates nothing.
     touched: Vec<NodeId>,
@@ -155,6 +164,7 @@ impl Network {
             touched: Vec::new(),
             compromised: BTreeMap::new(),
             last_guard: Vec::new(),
+            attest_master: None,
             pool: PacketPool::new(),
             outbox_scratch: Vec::new(),
             pool_metrics: false,
@@ -234,6 +244,67 @@ impl Network {
         for node in &mut self.nodes {
             if let Some(dv) = &mut node.dv {
                 dv.set_guard_policy(policy);
+            }
+        }
+    }
+
+    /// Build the route-origin attestation trust anchor and distribute
+    /// it: every routing node's connected prefixes are registered under
+    /// its node id, each engine gets a signing identity, and each guard
+    /// gets the shared owner registry. Models the out-of-band PKI/IRR
+    /// step real BGPsec assumes — ownership is established at topology
+    /// build time, not learned from the routing protocol it protects.
+    ///
+    /// Call **before connecting links**: connecting a link emits the
+    /// gateways' first triggered announcements immediately, and only an
+    /// already-installed signing identity makes those go out attested.
+    /// Links connected later re-derive and redistribute the registry,
+    /// so topology growth keeps working. (Calling this after the
+    /// topology is built also works, but the announcements already in
+    /// flight went out unsigned and attested guards will drop them —
+    /// they are re-learned, signed, at the next periodic round.)
+    ///
+    /// Guards only *verify* when their policy also sets
+    /// [`GuardPolicy::attestation`].
+    pub fn enable_attestation(&mut self) {
+        // A fixed master key: the trust anchor is deterministic and
+        // independent of the simulation's seeded randomness, so
+        // enabling attestation perturbs no other random draw.
+        self.attest_master = Some(MacKey([0x0bad_5eed_0f00_d001, 0xca7e_ae7a_77e5_7a11]));
+        self.redistribute_attestation();
+    }
+
+    /// Rebuild the ownership registry from the current interfaces and
+    /// push it (plus per-node signing identities) to every routing
+    /// node. No-op until [`Network::enable_attestation`] has installed
+    /// the trust anchor. An existing attestor keeps its serial so
+    /// growth never steps the clock backwards under a receiver's
+    /// replay window.
+    fn redistribute_attestation(&mut self) {
+        let Some(master) = self.attest_master else {
+            return;
+        };
+        let mut registry = OriginRegistry::new(master);
+        for (id, node) in self.nodes.iter().enumerate() {
+            if node.dv.is_some() {
+                for iface in &node.ifaces {
+                    registry.register(iface.cidr.network(), OriginId(id as u16));
+                }
+            }
+        }
+        let registry = Rc::new(registry);
+        for (id, node) in self.nodes.iter_mut().enumerate() {
+            if let Some(dv) = &mut node.dv {
+                // Derive directly rather than looking up in the
+                // registry: a node enabled before its first link has no
+                // registered prefix yet, but its identity is fixed.
+                let origin = OriginId(id as u16);
+                let key = MacKey::derive(master, origin);
+                let seq = dv.attestor().map(|a| a.seq()).unwrap_or(0);
+                let mut attestor = Attestor::new(origin, key);
+                attestor.advance(seq);
+                dv.set_attestor(Some(attestor));
+                dv.guard_mut().set_registry(Some(Rc::clone(&registry)));
             }
         }
     }
@@ -361,6 +432,9 @@ impl Network {
         });
         self.endpoint_index.insert((a, iface_a), (link_id, true));
         self.endpoint_index.insert((b, iface_b), (link_id, false));
+        // Register the new subnet before the kicks below make routing
+        // announce it — the triggered update must go out signed.
+        self.redistribute_attestation();
         // New topology: let routing notice immediately.
         self.kick(a);
         self.kick(b);
@@ -598,9 +672,14 @@ impl Network {
             FaultAction::Compromise { node, attack } => {
                 if *node < self.nodes.len() && !self.compromised.contains_key(node) {
                     self.compromised.insert(*node, ByzantineState::new(*attack));
-                    if let ByzantineAttack::BlackholeVictim { addr, prefix_len } = attack {
-                        // The lie needs teeth: the liar's forwarding path
-                        // silently eats traffic for the prefix it claims.
+                    // The lie needs teeth: for every traffic-attraction
+                    // attack the liar's forwarding path silently eats
+                    // what it captures.
+                    if let ByzantineAttack::BlackholeVictim { addr, prefix_len }
+                    | ByzantineAttack::HijackPrefix { addr, prefix_len }
+                    | ByzantineAttack::HijackAttested { addr, prefix_len }
+                    | ByzantineAttack::SpoofOrigin { addr, prefix_len } = attack
+                    {
                         self.nodes[*node].blackhole_prefixes.push(
                             Ipv4Cidr::new(Ipv4Address::from_bytes(addr), *prefix_len).network(),
                         );
@@ -1041,30 +1120,48 @@ impl Network {
         // Route-guard harvest: verdict deltas per neighbor into the
         // registry, incidents into the flight recorder. With the guard
         // off neither accrues, so unguarded dumps stay byte-identical.
-        let mut verdict_rows: Vec<(Ipv4Address, (u64, u64, u64, u64))> = Vec::new();
+        let mut verdict_rows: Vec<(Ipv4Address, GuardCounters)> = Vec::new();
         let mut incidents = Vec::new();
         if let Some(dv) = &mut self.nodes[id].dv {
             if dv.guard().enabled() {
                 verdict_rows = dv
                     .guard()
                     .verdicts()
-                    .map(|(addr, v)| (addr, (v.accepted, v.sanitized, v.damped, v.quarantined)))
+                    .map(|(addr, v)| {
+                        (
+                            addr,
+                            (
+                                v.accepted,
+                                v.sanitized,
+                                v.damped,
+                                v.quarantined,
+                                v.attest_rejected,
+                            ),
+                        )
+                    })
                     .collect();
             }
             incidents = dv.guard_mut().drain_incidents();
         }
         for (addr, cur) in verdict_rows {
-            let last = self.last_guard[id].get(&addr).copied().unwrap_or((0, 0, 0, 0));
+            let last = self.last_guard[id]
+                .get(&addr)
+                .copied()
+                .unwrap_or((0, 0, 0, 0, 0));
             if cur == last {
                 continue;
             }
             self.last_guard[id].insert(addr, cur);
             let scope = Scope::Neighbor { node: id, addr: addr.0 };
+            // `guard_attest_rejected` only accrues when attestation is
+            // verified, so attestation-off runs emit no new counter and
+            // their dumps stay byte-identical.
             for (name, value, floor) in [
                 ("guard_accepted", cur.0, last.0),
                 ("guard_sanitized", cur.1, last.1),
                 ("guard_damped", cur.2, last.2),
                 ("guard_quarantined", cur.3, last.3),
+                ("guard_attest_rejected", cur.4, last.4),
             ] {
                 if value > floor {
                     let c = self.telemetry.registry.counter(name, scope);
@@ -1898,5 +1995,93 @@ mod tests {
             metrics.contains("guard_sanitized"),
             "verdict counters harvested into the registry:\n{metrics}"
         );
+    }
+
+    /// Same five-gateway ring as [`blackhole_ring`], but the liar runs a
+    /// metric-1 prefix hijack — wire-legal, so sanitization alone cannot
+    /// catch it. Guards are armed *before* convergence (cold boot, with
+    /// the boot learning window absorbing the initial storm) and
+    /// `attested` additionally distributes the origin registry and
+    /// verifies proofs.
+    fn hijack_ring(attested: bool, keep_proof: bool) -> (usize, u64, String) {
+        let mut net = Network::new(42);
+        let gs: Vec<NodeId> = (0..5)
+            .map(|i| net.add_gateway(format!("g{i}")))
+            .collect();
+        for &g in &gs {
+            net.node_mut(g).set_dv_config(catenet_routing::DvConfig::fast());
+        }
+        // The trust anchor is distributed before the first link exists,
+        // so even the build-time triggered announcements go out signed.
+        if attested {
+            net.enable_attestation();
+        }
+        for i in 0..5 {
+            net.connect(gs[i], gs[(i + 1) % 5], LinkClass::T1Terrestrial);
+        }
+        let src = net.add_host("src");
+        net.connect(src, gs[4], LinkClass::EthernetLan);
+        let victim = net.add_host("victim");
+        let victim_link = net.connect(gs[2], victim, LinkClass::EthernetLan);
+        if attested {
+            net.set_guard_policy(GuardPolicy::attested());
+        } else {
+            net.set_guard_policy(GuardPolicy::boot_armed());
+        }
+        net.converge_routing(Duration::from_secs(120));
+        let lan = net.link_subnet(victim_link);
+        let attack = if keep_proof {
+            ByzantineAttack::HijackAttested {
+                addr: lan.address().0,
+                prefix_len: lan.prefix_len(),
+            }
+        } else {
+            ByzantineAttack::HijackPrefix {
+                addr: lan.address().0,
+                prefix_len: lan.prefix_len(),
+            }
+        };
+        net.apply_fault(&FaultAction::Compromise { node: gs[0], attack });
+        net.run_for(Duration::from_secs(10));
+        let dst = net.node(victim).primary_addr();
+        let now = net.now();
+        net.node_mut(src).send_ping(dst, 7, 1, 32, now);
+        net.kick(src);
+        net.run_for(Duration::from_secs(5));
+        let replies = net.node_mut(src).take_icmp_events().len();
+        (replies, net.node(gs[0]).stats.dropped_byzantine, net.metrics_dump())
+    }
+
+    #[test]
+    fn metric_one_hijack_walks_past_the_plain_guard() {
+        let (replies, eaten, metrics) = hijack_ring(false, false);
+        assert_eq!(replies, 0, "a wire-legal metric-1 lie is believed");
+        assert!(eaten > 0, "the liar ate the redirected datagram");
+        assert!(
+            !metrics.contains("guard_attest_rejected"),
+            "no attestation verdict without verification"
+        );
+    }
+
+    #[test]
+    fn origin_attestation_defeats_the_hijack() {
+        let (replies, eaten, metrics) = hijack_ring(true, false);
+        assert_eq!(replies, 1, "the unattested claim is dropped, honest route kept");
+        assert_eq!(eaten, 0, "nothing is pulled toward the liar");
+        assert!(
+            metrics.contains("guard_attest_rejected"),
+            "rejections harvested into the registry:\n{metrics}"
+        );
+    }
+
+    #[test]
+    fn attested_hijack_is_the_designed_residual() {
+        let (replies, eaten, _metrics) = hijack_ring(true, true);
+        assert_eq!(
+            replies, 0,
+            "a relayed genuine proof plus a shortened metric still wins: \
+             origin attestation proves ownership, not path honesty"
+        );
+        assert!(eaten > 0, "the residual attack still eats traffic");
     }
 }

@@ -291,11 +291,16 @@ impl Node {
         let Some(old) = &self.dv else {
             return;
         };
-        // The guard policy is configuration, like the timers: it
-        // survives an engine swap.
+        // The guard policy, the signing identity and the prefix-owner
+        // registry are configuration, like the timers: they survive an
+        // engine swap.
         let guard_policy = *old.guard().policy();
+        let registry = old.guard().registry().cloned();
+        let attestor = old.attestor().copied();
         let mut dv = DvEngine::new(config);
         dv.set_guard_policy(guard_policy);
+        dv.guard_mut().set_registry(registry);
+        dv.set_attestor(attestor);
         for (index, iface) in self.ifaces.iter().enumerate() {
             dv.add_connected(iface.cidr.network(), index);
         }

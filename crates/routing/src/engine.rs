@@ -9,6 +9,7 @@
 
 use crate::guard::{GuardPolicy, GuardVerdict, RouteGuard};
 use crate::message::{RipEntry, INFINITY_METRIC};
+use catenet_auth::{Attestation, Attestor};
 use catenet_ip::RoutingTable;
 use catenet_sim::{Duration, Instant};
 use catenet_wire::{Ipv4Address, Ipv4Cidr};
@@ -59,6 +60,11 @@ pub struct DvRoute {
     pub expires_at: Instant,
     /// Set on any change; drives triggered updates.
     pub changed: bool,
+    /// The origin attestation the route arrived with, stored so
+    /// re-advertisements propagate the origin's proof hop by hop
+    /// (refreshed on every update from the current next hop, so serials
+    /// keep advancing through the fabric).
+    pub attestation: Option<Attestation>,
 }
 
 /// Export policy toward one class of neighbor — the paper's
@@ -147,6 +153,10 @@ pub struct DvEngine {
     /// Defensive admission of announcements (off by default — the
     /// trusting 1988 behavior).
     guard: RouteGuard,
+    /// Signing identity for this gateway's connected prefixes (None —
+    /// the default — emits unattested announcements, byte-identical to
+    /// the original wire format).
+    attestor: Option<Attestor>,
 }
 
 impl DvEngine {
@@ -161,6 +171,7 @@ impl DvEngine {
             changes_applied: 0,
             version: 0,
             guard: RouteGuard::new(GuardPolicy::off()),
+            attestor: None,
         }
     }
 
@@ -186,6 +197,17 @@ impl DvEngine {
         self.guard.set_policy(policy);
     }
 
+    /// Install (or remove) the signing identity for this gateway's
+    /// connected prefixes.
+    pub fn set_attestor(&mut self, attestor: Option<Attestor>) {
+        self.attestor = attestor;
+    }
+
+    /// The signing identity, if one is installed.
+    pub fn attestor(&self) -> Option<&Attestor> {
+        self.attestor.as_ref()
+    }
+
     /// The table's monotone version counter.
     pub fn version(&self) -> u64 {
         self.version
@@ -200,6 +222,9 @@ impl DvEngine {
                 metric: 1,
                 expires_at: Instant::FAR_FUTURE,
                 changed: true,
+                // Connected routes are signed live at advertisement
+                // time (the attestor stamps the current serial).
+                attestation: None,
             },
         );
         self.trigger_pending = true;
@@ -310,6 +335,10 @@ impl DvEngine {
                     if from_same_gateway {
                         // Our current next hop speaks: always believe it.
                         route.expires_at = now + self.config.route_timeout;
+                        // Take the refreshed attestation even when the
+                        // metric is unchanged: the origin's serial keeps
+                        // advancing and downstream verifiers track it.
+                        route.attestation = entry.attestation;
                         if route.metric != advertised {
                             route.metric = advertised;
                             route.changed = true;
@@ -324,6 +353,7 @@ impl DvEngine {
                             metric: advertised,
                             expires_at: now + self.config.route_timeout,
                             changed: true,
+                            attestation: entry.attestation,
                         };
                         changed_any = true;
                     }
@@ -337,6 +367,7 @@ impl DvEngine {
                                 metric: advertised,
                                 expires_at: now + self.config.route_timeout,
                                 changed: true,
+                                attestation: entry.attestation,
                             },
                         );
                         changed_any = true;
@@ -427,9 +458,22 @@ impl DvEngine {
             } else {
                 route.metric
             };
+            // Attach provenance: connected prefixes get a fresh
+            // signature at the current serial, learned routes relay the
+            // stored attestation unchanged (a gateway can only vouch for
+            // what it owns). Unreachable entries claim nothing and
+            // carry nothing.
+            let attestation = if metric >= INFINITY_METRIC {
+                None
+            } else if matches!(route.next_hop, NextHop::Connected { .. }) {
+                self.attestor.as_ref().map(|a| a.sign(*prefix))
+            } else {
+                route.attestation
+            };
             entries.push(RipEntry {
                 prefix: *prefix,
                 metric,
+                attestation,
             });
         }
         entries
@@ -443,6 +487,12 @@ impl DvEngine {
         }
         self.trigger_pending = false;
         self.next_periodic = now + self.config.update_interval;
+        if let Some(attestor) = &mut self.attestor {
+            // Serials advance with virtual time (seconds), which makes
+            // them monotone across a crash/reboot with no stable
+            // storage: the clock is the journal.
+            attestor.advance((now.total_millis() / 1000) as u32);
+        }
     }
 
     /// Forget everything (gateway crash). Connected networks must be
@@ -493,10 +543,7 @@ mod tests {
         let changed = dv.handle_update(
             addr("10.0.0.2"),
             0,
-            &[RipEntry {
-                prefix: cidr("10.9.0.0/16"),
-                metric: 2,
-            }],
+            &[RipEntry::new(cidr("10.9.0.0/16"), 2)],
             Instant::ZERO,
         );
         assert!(changed);
@@ -512,19 +559,13 @@ mod tests {
         dv.handle_update(
             addr("10.0.0.2"),
             0,
-            &[RipEntry {
-                prefix: cidr("10.9.0.0/16"),
-                metric: 5,
-            }],
+            &[RipEntry::new(cidr("10.9.0.0/16"), 5)],
             Instant::ZERO,
         );
         dv.handle_update(
             addr("10.0.1.2"),
             1,
-            &[RipEntry {
-                prefix: cidr("10.9.0.0/16"),
-                metric: 2,
-            }],
+            &[RipEntry::new(cidr("10.9.0.0/16"), 2)],
             Instant::ZERO,
         );
         let route = dv.lookup(addr("10.9.0.1")).unwrap();
@@ -538,19 +579,13 @@ mod tests {
         dv.handle_update(
             addr("10.0.0.2"),
             0,
-            &[RipEntry {
-                prefix: cidr("10.9.0.0/16"),
-                metric: 2,
-            }],
+            &[RipEntry::new(cidr("10.9.0.0/16"), 2)],
             Instant::ZERO,
         );
         let changed = dv.handle_update(
             addr("10.0.1.2"),
             1,
-            &[RipEntry {
-                prefix: cidr("10.9.0.0/16"),
-                metric: 9,
-            }],
+            &[RipEntry::new(cidr("10.9.0.0/16"), 9)],
             Instant::ZERO,
         );
         assert!(!changed);
@@ -567,19 +602,13 @@ mod tests {
         dv.handle_update(
             addr("10.0.0.2"),
             0,
-            &[RipEntry {
-                prefix: cidr("10.9.0.0/16"),
-                metric: 2,
-            }],
+            &[RipEntry::new(cidr("10.9.0.0/16"), 2)],
             Instant::ZERO,
         );
         dv.handle_update(
             addr("10.0.0.2"),
             0,
-            &[RipEntry {
-                prefix: cidr("10.9.0.0/16"),
-                metric: 7,
-            }],
+            &[RipEntry::new(cidr("10.9.0.0/16"), 7)],
             Instant::ZERO,
         );
         assert_eq!(dv.lookup(addr("10.9.0.1")).unwrap().metric, 8);
@@ -591,19 +620,13 @@ mod tests {
         dv.handle_update(
             addr("10.0.0.2"),
             0,
-            &[RipEntry {
-                prefix: cidr("10.9.0.0/16"),
-                metric: 2,
-            }],
+            &[RipEntry::new(cidr("10.9.0.0/16"), 2)],
             Instant::ZERO,
         );
         dv.handle_update(
             addr("10.0.0.2"),
             0,
-            &[RipEntry {
-                prefix: cidr("10.9.0.0/16"),
-                metric: INFINITY_METRIC,
-            }],
+            &[RipEntry::new(cidr("10.9.0.0/16"), INFINITY_METRIC)],
             Instant::ZERO,
         );
         assert!(dv.lookup(addr("10.9.0.1")).is_none());
@@ -620,10 +643,7 @@ mod tests {
         dv.handle_update(
             addr("10.0.0.2"),
             1,
-            &[RipEntry {
-                prefix: cidr("10.1.0.0/16"),
-                metric: 0,
-            }],
+            &[RipEntry::new(cidr("10.1.0.0/16"), 0)],
             Instant::ZERO,
         );
         let route = dv.lookup(addr("10.1.0.1")).unwrap();
@@ -637,10 +657,7 @@ mod tests {
         dv.handle_update(
             addr("10.0.0.2"),
             0,
-            &[RipEntry {
-                prefix: cidr("10.9.0.0/16"),
-                metric: 1,
-            }],
+            &[RipEntry::new(cidr("10.9.0.0/16"), 1)],
             Instant::ZERO,
         );
         // Back toward iface 0: poisoned.
@@ -659,10 +676,7 @@ mod tests {
         dv.handle_update(
             addr("10.0.0.2"),
             0,
-            &[RipEntry {
-                prefix: cidr("10.9.0.0/16"),
-                metric: 1,
-            }],
+            &[RipEntry::new(cidr("10.9.0.0/16"), 1)],
             Instant::ZERO,
         );
         assert!(dv.advertisement_for(0, &ExportPolicy::All, true).is_empty());
@@ -676,10 +690,7 @@ mod tests {
         dv.handle_update(
             addr("10.0.0.2"),
             1,
-            &[RipEntry {
-                prefix: cidr("172.16.0.0/16"),
-                metric: 1,
-            }],
+            &[RipEntry::new(cidr("172.16.0.0/16"), 1)],
             Instant::ZERO,
         );
         // Exterior policy: only reveal our own 10.1/16.
@@ -695,10 +706,7 @@ mod tests {
         dv.handle_update(
             addr("10.0.0.2"),
             0,
-            &[RipEntry {
-                prefix: cidr("10.9.0.0/16"),
-                metric: 1,
-            }],
+            &[RipEntry::new(cidr("10.9.0.0/16"), 1)],
             Instant::ZERO,
         );
         dv.tick(Instant::from_secs(10));
@@ -717,10 +725,7 @@ mod tests {
     #[test]
     fn refresh_prevents_timeout() {
         let mut dv = engine();
-        let entry = [RipEntry {
-            prefix: cidr("10.9.0.0/16"),
-            metric: 1,
-        }];
+        let entry = [RipEntry::new(cidr("10.9.0.0/16"), 1)];
         dv.handle_update(addr("10.0.0.2"), 0, &entry, Instant::ZERO);
         dv.handle_update(addr("10.0.0.2"), 0, &entry, Instant::from_secs(10));
         dv.tick(Instant::from_secs(19));
@@ -736,10 +741,7 @@ mod tests {
         dv.handle_update(
             addr("10.0.0.2"),
             1,
-            &[RipEntry {
-                prefix: cidr("10.9.0.0/16"),
-                metric: 1,
-            }],
+            &[RipEntry::new(cidr("10.9.0.0/16"), 1)],
             Instant::from_secs(1),
         );
         assert!(dv.triggered_due());
@@ -776,19 +778,13 @@ mod tests {
         dv.handle_update(
             addr("10.0.0.2"),
             0,
-            &[RipEntry {
-                prefix: cidr("10.9.0.0/16"),
-                metric: 1,
-            }],
+            &[RipEntry::new(cidr("10.9.0.0/16"), 1)],
             Instant::ZERO,
         );
         dv.handle_update(
             addr("10.0.1.2"),
             1,
-            &[RipEntry {
-                prefix: cidr("10.8.0.0/16"),
-                metric: 1,
-            }],
+            &[RipEntry::new(cidr("10.8.0.0/16"), 1)],
             Instant::ZERO,
         );
         dv.fail_iface(0, Instant::from_secs(1));
@@ -799,10 +795,7 @@ mod tests {
         dv.handle_update(
             addr("10.0.1.2"),
             1,
-            &[RipEntry {
-                prefix: cidr("10.9.0.0/16"),
-                metric: 5,
-            }],
+            &[RipEntry::new(cidr("10.9.0.0/16"), 5)],
             Instant::from_secs(2),
         );
         assert_eq!(dv.lookup(addr("10.9.0.1")).unwrap().metric, 6);
@@ -823,10 +816,7 @@ mod tests {
         assert_eq!(dv.version(), 0);
         dv.add_connected(cidr("10.1.0.0/16"), 0);
         assert_eq!(dv.version(), 1);
-        let entry = [RipEntry {
-            prefix: cidr("10.9.0.0/16"),
-            metric: 1,
-        }];
+        let entry = [RipEntry::new(cidr("10.9.0.0/16"), 1)];
         dv.handle_update(addr("10.0.0.2"), 1, &entry, Instant::ZERO);
         assert_eq!(dv.version(), 2, "new route learned");
         // A pure refresh extends the deadline but says nothing new.
@@ -851,10 +841,7 @@ mod tests {
         let mut trusting = engine();
         let mut guarded = engine();
         guarded.set_guard_policy(GuardPolicy::standard());
-        let blackhole = [RipEntry {
-            prefix: cidr("10.9.0.0/16"),
-            metric: 0,
-        }];
+        let blackhole = [RipEntry::new(cidr("10.9.0.0/16"), 0)];
         // The trusting engine installs the metric-0 lie at cost 1 —
         // unbeatable by any honest path.
         assert!(trusting.handle_update(addr("10.0.0.2"), 0, &blackhole, Instant::ZERO));
@@ -875,10 +862,7 @@ mod tests {
         dv.handle_update(
             addr("10.0.0.2"),
             0,
-            &[RipEntry {
-                prefix: cidr("10.9.0.0/16"),
-                metric: 0,
-            }],
+            &[RipEntry::new(cidr("10.9.0.0/16"), 0)],
             Instant::ZERO,
         );
         assert_eq!(dv.lookup(addr("10.9.0.1")).unwrap().metric, 1);
@@ -916,5 +900,99 @@ mod tests {
         let ads = b.advertisement_for(1, &ExportPolicy::All, true);
         c.handle_update(b_addr_bc, 0, &ads, now);
         assert!(c.lookup(addr("10.1.5.5")).is_none(), "poison reached C");
+    }
+
+    use catenet_auth::{MacKey, OriginId};
+
+    fn attestor(origin: u16) -> Attestor {
+        let master = MacKey([0xAA, 0xBB]);
+        Attestor::new(OriginId(origin), MacKey::derive(master, OriginId(origin)))
+    }
+
+    #[test]
+    fn attestor_signs_connected_prefixes_only() {
+        let mut dv = engine();
+        dv.set_attestor(Some(attestor(7)));
+        dv.add_connected(cidr("10.1.0.0/16"), 0);
+        // A learned route arrives without an attestation.
+        dv.handle_update(
+            addr("10.12.0.2"),
+            0,
+            &[RipEntry::new(cidr("10.2.0.0/16"), 1)],
+            Instant::ZERO,
+        );
+        let ads = dv.advertisement_for(1, &ExportPolicy::All, true);
+        let connected = ads.iter().find(|e| e.prefix == cidr("10.1.0.0/16")).unwrap();
+        let learned = ads.iter().find(|e| e.prefix == cidr("10.2.0.0/16")).unwrap();
+        let att = connected.attestation.expect("connected prefix signed");
+        assert_eq!(att.origin, OriginId(7));
+        let key = MacKey::derive(MacKey([0xAA, 0xBB]), OriginId(7));
+        assert!(att.verify(key, cidr("10.1.0.0/16")));
+        assert!(
+            learned.attestation.is_none(),
+            "engine must not originate proofs for routes it merely relays"
+        );
+    }
+
+    #[test]
+    fn learned_attestations_are_stored_and_relayed() {
+        let origin = attestor(3);
+        let proof = {
+            let mut a = origin;
+            a.advance(42);
+            a.sign(cidr("10.3.0.0/16"))
+        };
+        let mut dv = engine();
+        dv.handle_update(
+            addr("10.12.0.2"),
+            0,
+            &[RipEntry::attested(cidr("10.3.0.0/16"), 1, proof)],
+            Instant::ZERO,
+        );
+        assert_eq!(
+            dv.lookup(addr("10.3.1.1")).unwrap().attestation,
+            Some(proof)
+        );
+        // The proof rides the re-advertisement unchanged.
+        let ads = dv.advertisement_for(1, &ExportPolicy::All, true);
+        assert_eq!(ads[0].attestation, Some(proof));
+        // A refresh with a newer serial replaces the stored proof.
+        let newer = {
+            let mut a = attestor(3);
+            a.advance(43);
+            a.sign(cidr("10.3.0.0/16"))
+        };
+        dv.handle_update(
+            addr("10.12.0.2"),
+            0,
+            &[RipEntry::attested(cidr("10.3.0.0/16"), 1, newer)],
+            Instant::ZERO,
+        );
+        assert_eq!(dv.lookup(addr("10.3.1.1")).unwrap().attestation, Some(newer));
+    }
+
+    #[test]
+    fn attestor_serial_tracks_virtual_time() {
+        let mut dv = engine();
+        dv.set_attestor(Some(attestor(5)));
+        dv.add_connected(cidr("10.5.0.0/16"), 0);
+        dv.advertisements_sent(Instant::ZERO + Duration::from_secs(9));
+        let s1 = dv.attestor().unwrap().seq();
+        dv.advertisements_sent(Instant::ZERO + Duration::from_secs(21));
+        let s2 = dv.attestor().unwrap().seq();
+        assert_eq!((s1, s2), (9, 21));
+        // Time never runs backwards, and neither does the serial.
+        dv.advertisements_sent(Instant::ZERO + Duration::from_secs(15));
+        assert_eq!(dv.attestor().unwrap().seq(), 21);
+    }
+
+    #[test]
+    fn attestor_survives_clear() {
+        let mut dv = engine();
+        dv.set_attestor(Some(attestor(9)));
+        dv.add_connected(cidr("10.9.0.0/16"), 0);
+        dv.clear();
+        assert!(dv.attestor().is_some(), "identity is config, not state");
+        assert!(dv.lookup(addr("10.9.1.1")).is_none(), "table is state");
     }
 }

@@ -21,7 +21,12 @@
 //! The [`guard`] module adds what 1988 lacked: defensive admission of
 //! announcements (sanitization, rate limiting, flap damping,
 //! quarantine) behind a [`GuardPolicy`] switch whose default — off —
-//! preserves the original trusting behavior as the reference.
+//! preserves the original trusting behavior as the reference. On top of
+//! it, `catenet-auth`'s route-origin attestation (re-exported here)
+//! binds reachability claims to verifiable prefix ownership: the
+//! [`message`] format carries signed attestations per entry, the
+//! [`engine`] signs its connected prefixes and propagates stored
+//! attestations, and the guard verifies origin, MAC, and freshness.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -30,8 +35,10 @@ pub mod engine;
 pub mod guard;
 pub mod message;
 
+pub use catenet_auth::{Attestation, Attestor, MacKey, OriginId, OriginRegistry};
 pub use engine::{DvConfig, DvEngine, DvRoute, ExportPolicy, NextHop};
 pub use guard::{
-    Admission, GuardIncident, GuardPolicy, GuardVerdict, NeighborVerdicts, RouteGuard,
+    Admission, AttestFailure, GuardIncident, GuardPolicy, GuardVerdict, NeighborVerdicts,
+    RouteGuard,
 };
 pub use message::{RipEntry, RipMessage, INFINITY_METRIC, RIP_PORT};

@@ -5,7 +5,16 @@
 //! datagrams on [`RIP_PORT`] — the routing protocol is itself just an
 //! application of the datagram service, exactly as the architecture
 //! intends (gateways need nothing from the network that hosts don't get).
+//!
+//! Entries may carry a route-origin [`Attestation`] (see `catenet-auth`).
+//! Attestations ride in a single TLV appended *after* the entry block, so
+//! a message with no attestations encodes byte-identically to the
+//! original format — the unattested wire image is the reference behavior,
+//! preserved exactly. Decoders that predate the TLV would reject it as
+//! trailing garbage, which is the correct fail-closed posture for a
+//! trust extension.
 
+use catenet_auth::{Attestation, OriginId};
 use catenet_wire::{Error, Ipv4Address, Ipv4Cidr, Result};
 
 /// The UDP port routing advertisements use (RIP's own).
@@ -19,6 +28,16 @@ const ENTRY_LEN: usize = 6;
 /// Maximum entries per message (fits any 576-byte-MTU path).
 pub const MAX_ENTRIES: usize = 64;
 
+/// TLV type octet introducing the attestation block.
+const ATTEST_TLV: u8 = 0xA1;
+/// One attestation record: entry index (1), origin (2), seq (4), tag (8).
+const ATTEST_RECORD_LEN: usize = 15;
+/// Maximum entries per message when any entry is attested. A full
+/// attested page is `2 + 25*6 + 2 + 25*15 = 529` bytes of UDP payload,
+/// which still fits the 576-byte-MTU guarantee (548 bytes of payload
+/// after IP and UDP headers).
+pub const MAX_ATTESTED_ENTRIES: usize = 25;
+
 /// One advertised route.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RipEntry {
@@ -26,6 +45,28 @@ pub struct RipEntry {
     pub prefix: Ipv4Cidr,
     /// Hop-count metric; [`INFINITY_METRIC`] means unreachable.
     pub metric: u8,
+    /// Origin attestation, when the announcement is signed.
+    pub attestation: Option<Attestation>,
+}
+
+impl RipEntry {
+    /// An unattested entry (the original wire format's entry).
+    pub fn new(prefix: Ipv4Cidr, metric: u8) -> RipEntry {
+        RipEntry {
+            prefix,
+            metric,
+            attestation: None,
+        }
+    }
+
+    /// An entry carrying a signed origin attestation.
+    pub fn attested(prefix: Ipv4Cidr, metric: u8, attestation: Attestation) -> RipEntry {
+        RipEntry {
+            prefix,
+            metric,
+            attestation: Some(attestation),
+        }
+    }
 }
 
 /// A full advertisement message.
@@ -36,21 +77,42 @@ pub struct RipMessage {
 }
 
 impl RipMessage {
-    /// Serialized length of a message with `n` entries.
+    /// Serialized length of a message with `n` unattested entries.
     pub const fn encoded_len(n: usize) -> usize {
         2 + n * ENTRY_LEN
     }
 
     /// Serialize to bytes.
+    ///
+    /// With no attestations present the output is byte-identical to the
+    /// pre-attestation format.
     pub fn encode(&self) -> Vec<u8> {
         debug_assert!(self.entries.len() <= MAX_ENTRIES);
-        let mut out = Vec::with_capacity(Self::encoded_len(self.entries.len()));
+        let attested = self.entries.iter().filter(|e| e.attestation.is_some()).count();
+        let mut out =
+            Vec::with_capacity(Self::encoded_len(self.entries.len()) + if attested > 0 {
+                2 + attested * ATTEST_RECORD_LEN
+            } else {
+                0
+            });
         out.push(VERSION);
         out.push(self.entries.len() as u8);
         for entry in &self.entries {
             out.extend_from_slice(entry.prefix.address().as_bytes());
             out.push(entry.prefix.prefix_len());
             out.push(entry.metric);
+        }
+        if attested > 0 {
+            out.push(ATTEST_TLV);
+            out.push(attested as u8);
+            for (index, entry) in self.entries.iter().enumerate() {
+                if let Some(att) = entry.attestation {
+                    out.push(index as u8);
+                    out.extend_from_slice(&att.origin.0.to_be_bytes());
+                    out.extend_from_slice(&att.seq.to_be_bytes());
+                    out.extend_from_slice(&att.tag.to_be_bytes());
+                }
+            }
         }
         out
     }
@@ -67,13 +129,9 @@ impl RipMessage {
         if count > MAX_ENTRIES {
             return Err(Error::Malformed);
         }
-        if data.len() < 2 + count * ENTRY_LEN {
+        let entries_end = 2 + count * ENTRY_LEN;
+        if data.len() < entries_end {
             return Err(Error::Truncated);
-        }
-        if data.len() > 2 + count * ENTRY_LEN {
-            // Honest encoders produce exactly-sized messages; trailing
-            // bytes mean a forged count or a smuggling attempt.
-            return Err(Error::Malformed);
         }
         let mut entries = Vec::with_capacity(count);
         for i in 0..count {
@@ -87,24 +145,82 @@ impl RipMessage {
             if metric > INFINITY_METRIC {
                 return Err(Error::Malformed);
             }
-            entries.push(RipEntry {
+            entries.push(RipEntry::new(
                 // Canonicalize here so stray host bits never reach the
                 // engine (two spellings of one prefix must not become
                 // two routes anywhere downstream).
-                prefix: Ipv4Cidr::new(addr, prefix_len).network(),
+                Ipv4Cidr::new(addr, prefix_len).network(),
                 metric,
-            });
+            ));
         }
+        if data.len() == entries_end {
+            return Ok(RipMessage { entries });
+        }
+        Self::decode_attest_tlv(&data[entries_end..], &mut entries)?;
         Ok(RipMessage { entries })
     }
 
-    /// Split a large route set into messages of at most [`MAX_ENTRIES`].
+    /// Parse the attestation TLV, attaching records to `entries`.
+    ///
+    /// Mirrors the entry-block hardening: anything other than one
+    /// exactly-sized, well-ordered TLV — trailing garbage, truncated
+    /// records, duplicate or out-of-range entry indexes, a zero record
+    /// count an honest encoder would have omitted — is rejected, never
+    /// guessed at.
+    fn decode_attest_tlv(tlv: &[u8], entries: &mut [RipEntry]) -> Result<()> {
+        if tlv.len() < 2 {
+            return Err(Error::Truncated);
+        }
+        if tlv[0] != ATTEST_TLV {
+            return Err(Error::Malformed);
+        }
+        let records = usize::from(tlv[1]);
+        if records == 0 || records > entries.len() {
+            return Err(Error::Malformed);
+        }
+        let expected = 2 + records * ATTEST_RECORD_LEN;
+        if tlv.len() < expected {
+            return Err(Error::Truncated);
+        }
+        if tlv.len() > expected {
+            return Err(Error::Malformed);
+        }
+        let mut previous: Option<usize> = None;
+        for r in 0..records {
+            let base = 2 + r * ATTEST_RECORD_LEN;
+            let index = usize::from(tlv[base]);
+            // Strictly increasing indexes: duplicates and reordering are
+            // forgeries, and the bound check rejects dangling records.
+            if index >= entries.len() || previous.is_some_and(|p| index <= p) {
+                return Err(Error::Malformed);
+            }
+            previous = Some(index);
+            let origin = u16::from_be_bytes(tlv[base + 1..base + 3].try_into().expect("2 bytes"));
+            let seq = u32::from_be_bytes(tlv[base + 3..base + 7].try_into().expect("4 bytes"));
+            let tag = u64::from_be_bytes(tlv[base + 7..base + 15].try_into().expect("8 bytes"));
+            entries[index].attestation = Some(Attestation {
+                origin: OriginId(origin),
+                seq,
+                tag,
+            });
+        }
+        Ok(())
+    }
+
+    /// Split a large route set into messages of at most [`MAX_ENTRIES`]
+    /// — or [`MAX_ATTESTED_ENTRIES`] when any entry carries an
+    /// attestation, so attested pages keep the 576-byte-MTU guarantee.
     pub fn paginate(entries: Vec<RipEntry>) -> Vec<RipMessage> {
         if entries.is_empty() {
             return vec![RipMessage::default()];
         }
+        let page = if entries.iter().any(|e| e.attestation.is_some()) {
+            MAX_ATTESTED_ENTRIES
+        } else {
+            MAX_ENTRIES
+        };
         entries
-            .chunks(MAX_ENTRIES)
+            .chunks(page)
             .map(|chunk| RipMessage {
                 entries: chunk.to_vec(),
             })
@@ -115,27 +231,24 @@ impl RipMessage {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use catenet_auth::{MacKey, OriginId};
 
     fn cidr(s: &str) -> Ipv4Cidr {
         s.parse().unwrap()
+    }
+
+    fn attestation(origin: u16, seq: u32, prefix: &str) -> Attestation {
+        let key = MacKey::derive(MacKey([7, 9]), OriginId(origin));
+        Attestation::sign(key, OriginId(origin), cidr(prefix), seq)
     }
 
     #[test]
     fn round_trip() {
         let msg = RipMessage {
             entries: vec![
-                RipEntry {
-                    prefix: cidr("10.1.0.0/16"),
-                    metric: 1,
-                },
-                RipEntry {
-                    prefix: cidr("10.2.0.0/16"),
-                    metric: INFINITY_METRIC,
-                },
-                RipEntry {
-                    prefix: cidr("0.0.0.0/0"),
-                    metric: 3,
-                },
+                RipEntry::new(cidr("10.1.0.0/16"), 1),
+                RipEntry::new(cidr("10.2.0.0/16"), INFINITY_METRIC),
+                RipEntry::new(cidr("0.0.0.0/0"), 3),
             ],
         };
         let bytes = msg.encode();
@@ -154,10 +267,7 @@ mod tests {
     #[test]
     fn truncated_rejected() {
         let msg = RipMessage {
-            entries: vec![RipEntry {
-                prefix: cidr("10.0.0.0/8"),
-                metric: 1,
-            }],
+            entries: vec![RipEntry::new(cidr("10.0.0.0/8"), 1)],
         };
         let bytes = msg.encode();
         assert_eq!(RipMessage::decode(&bytes[..1]).unwrap_err(), Error::Truncated);
@@ -177,10 +287,7 @@ mod tests {
     #[test]
     fn bad_fields_rejected() {
         let msg = RipMessage {
-            entries: vec![RipEntry {
-                prefix: cidr("10.0.0.0/8"),
-                metric: 1,
-            }],
+            entries: vec![RipEntry::new(cidr("10.0.0.0/8"), 1)],
         };
         let mut bad_prefix = msg.encode();
         bad_prefix[6] = 40; // prefix_len > 32
@@ -193,13 +300,14 @@ mod tests {
     #[test]
     fn trailing_garbage_rejected() {
         let msg = RipMessage {
-            entries: vec![RipEntry {
-                prefix: cidr("10.0.0.0/8"),
-                metric: 1,
-            }],
+            entries: vec![RipEntry::new(cidr("10.0.0.0/8"), 1)],
         };
         let mut bytes = msg.encode();
         bytes.push(0xFF);
+        // One stray byte after the entries is neither a valid message
+        // end nor a TLV header.
+        assert_eq!(RipMessage::decode(&bytes).unwrap_err(), Error::Truncated);
+        bytes.push(0x01);
         assert_eq!(RipMessage::decode(&bytes).unwrap_err(), Error::Malformed);
         // A forged count that undersells the payload is the same lie.
         let mut undersold = msg.encode();
@@ -236,9 +344,11 @@ mod tests {
     #[test]
     fn paginate_splits_large_tables() {
         let entries: Vec<RipEntry> = (0..150)
-            .map(|i| RipEntry {
-                prefix: Ipv4Cidr::new(Ipv4Address::new(10, (i / 256) as u8, (i % 256) as u8, 0), 24),
-                metric: 1,
+            .map(|i| {
+                RipEntry::new(
+                    Ipv4Cidr::new(Ipv4Address::new(10, (i / 256) as u8, (i % 256) as u8, 0), 24),
+                    1,
+                )
             })
             .collect();
         let messages = RipMessage::paginate(entries.clone());
@@ -256,5 +366,140 @@ mod tests {
         let messages = RipMessage::paginate(Vec::new());
         assert_eq!(messages.len(), 1);
         assert!(messages[0].entries.is_empty());
+    }
+
+    #[test]
+    fn attested_round_trip() {
+        let msg = RipMessage {
+            entries: vec![
+                RipEntry::attested(cidr("10.1.0.0/16"), 1, attestation(3, 41, "10.1.0.0/16")),
+                RipEntry::new(cidr("10.2.0.0/16"), INFINITY_METRIC),
+                RipEntry::attested(cidr("10.3.0.0/16"), 2, attestation(5, 42, "10.3.0.0/16")),
+            ],
+        };
+        let bytes = msg.encode();
+        assert_eq!(
+            bytes.len(),
+            RipMessage::encoded_len(3) + 2 + 2 * ATTEST_RECORD_LEN
+        );
+        assert_eq!(RipMessage::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn unattested_encoding_is_byte_identical_to_the_original_format() {
+        // The reference wire image must not change when no entry is
+        // signed: same bytes, entry block only.
+        let entries = vec![
+            RipEntry::new(cidr("10.1.0.0/16"), 1),
+            RipEntry::new(cidr("10.2.0.0/16"), 4),
+        ];
+        let bytes = RipMessage { entries }.encode();
+        let expected = vec![1, 2, 10, 1, 0, 0, 16, 1, 10, 2, 0, 0, 16, 4];
+        assert_eq!(bytes, expected);
+    }
+
+    #[test]
+    fn attest_tlv_truncation_and_garbage_rejected() {
+        let msg = RipMessage {
+            entries: vec![RipEntry::attested(
+                cidr("10.1.0.0/16"),
+                1,
+                attestation(3, 7, "10.1.0.0/16"),
+            )],
+        };
+        let bytes = msg.encode();
+        // Truncated anywhere inside the TLV (including a cut-off MAC).
+        for cut in RipMessage::encoded_len(1) + 1..bytes.len() {
+            assert_eq!(
+                RipMessage::decode(&bytes[..cut]).unwrap_err(),
+                Error::Truncated,
+                "cut at {cut}"
+            );
+        }
+        // Trailing garbage after a complete TLV.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(RipMessage::decode(&padded).unwrap_err(), Error::Malformed);
+        // Wrong TLV type octet.
+        let mut wrong_type = bytes.clone();
+        wrong_type[RipMessage::encoded_len(1)] = 0xB2;
+        assert_eq!(RipMessage::decode(&wrong_type).unwrap_err(), Error::Malformed);
+        // Zero record count: an honest encoder omits the TLV entirely.
+        let mut zero_count = bytes[..RipMessage::encoded_len(1) + 2].to_vec();
+        zero_count[RipMessage::encoded_len(1) + 1] = 0;
+        assert_eq!(RipMessage::decode(&zero_count).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn attest_tlv_index_abuse_rejected() {
+        let base = RipMessage {
+            entries: vec![
+                RipEntry::attested(cidr("10.1.0.0/16"), 1, attestation(3, 7, "10.1.0.0/16")),
+                RipEntry::attested(cidr("10.2.0.0/16"), 1, attestation(3, 7, "10.2.0.0/16")),
+            ],
+        }
+        .encode();
+        let tlv_base = RipMessage::encoded_len(2);
+        // Out-of-range entry index.
+        let mut dangling = base.clone();
+        dangling[tlv_base + 2] = 9;
+        assert_eq!(RipMessage::decode(&dangling).unwrap_err(), Error::Malformed);
+        // Duplicate index (second record repeats the first).
+        let mut duplicate = base.clone();
+        duplicate[tlv_base + 2 + ATTEST_RECORD_LEN] = duplicate[tlv_base + 2];
+        assert_eq!(RipMessage::decode(&duplicate).unwrap_err(), Error::Malformed);
+        // More records than entries.
+        let mut overcount = base.clone();
+        overcount[tlv_base + 1] = 3;
+        assert_eq!(RipMessage::decode(&overcount).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn attested_pagination_keeps_pages_small() {
+        let att = attestation(1, 1, "10.0.0.0/24");
+        let entries: Vec<RipEntry> = (0..60)
+            .map(|i| {
+                RipEntry::attested(
+                    Ipv4Cidr::new(Ipv4Address::new(10, 0, i as u8, 0), 24),
+                    1,
+                    att,
+                )
+            })
+            .collect();
+        let messages = RipMessage::paginate(entries);
+        assert_eq!(messages.len(), 3);
+        assert!(messages.iter().all(|m| m.entries.len() <= MAX_ATTESTED_ENTRIES));
+        // Every page, fully attested, still fits the 576-byte guarantee
+        // (548 bytes of UDP payload).
+        assert!(messages.iter().all(|m| m.encode().len() <= 548));
+    }
+
+    #[test]
+    fn random_wire_input_never_panics() {
+        // Fuzz-ish: feed the decoder deterministic garbage, random
+        // truncations of valid attested messages, and random single-byte
+        // mutations. Decode must return, never panic.
+        let mut rng = catenet_sim::Rng::from_seed(0x00A7_7E57);
+        let valid = RipMessage {
+            entries: vec![
+                RipEntry::attested(cidr("10.1.0.0/16"), 1, attestation(3, 7, "10.1.0.0/16")),
+                RipEntry::new(cidr("10.2.0.0/16"), 2),
+                RipEntry::attested(cidr("10.3.0.0/16"), 3, attestation(5, 9, "10.3.0.0/16")),
+            ],
+        }
+        .encode();
+        for _ in 0..2000 {
+            let len = rng.below(64) as usize;
+            let garbage: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+            let _ = RipMessage::decode(&garbage);
+
+            let mut mutated = valid.clone();
+            let at = rng.below(mutated.len() as u64) as usize;
+            mutated[at] ^= rng.below(255) as u8 + 1;
+            let _ = RipMessage::decode(&mutated);
+
+            let cut = rng.below(valid.len() as u64 + 1) as usize;
+            let _ = RipMessage::decode(&valid[..cut]);
+        }
     }
 }

@@ -55,12 +55,14 @@ fn fresh_engine(guard: bool) -> DvEngine {
 fn random_entries(rng: &mut Rng) -> Vec<RipEntry> {
     let n = rng.range(1, 6) as usize;
     (0..n)
-        .map(|_| RipEntry {
-            prefix: Ipv4Cidr::new(
-                Ipv4Address::new(10, rng.range(1, 9) as u8, rng.below(4) as u8 * 64, 0),
-                if rng.chance(0.5) { 16 } else { 24 },
-            ),
-            metric: rng.range(0, u64::from(INFINITY_METRIC) + 1) as u8,
+        .map(|_| {
+            RipEntry::new(
+                Ipv4Cidr::new(
+                    Ipv4Address::new(10, rng.range(1, 9) as u8, rng.below(4) as u8 * 64, 0),
+                    if rng.chance(0.5) { 16 } else { 24 },
+                ),
+                rng.range(0, u64::from(INFINITY_METRIC) + 1) as u8,
+            )
         })
         .collect()
 }

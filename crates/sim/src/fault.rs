@@ -60,6 +60,36 @@ pub enum ByzantineAttack {
     /// all-routes-unreachable — advertisement flapping that makes every
     /// neighbor's table churn on each routing period.
     FlapAdverts,
+    /// Rewrite the victim prefix to metric 1 and strip its origin
+    /// attestation — a prefix hijack by an authenticated neighbor that
+    /// cannot produce the owner's proof. Attestation-verifying guards
+    /// reject the unattested claim; plain guards believe it (metric 1
+    /// is perfectly legal).
+    HijackPrefix {
+        /// Victim network address, big-endian bytes.
+        addr: [u8; 4],
+        /// Victim prefix length in bits.
+        prefix_len: u8,
+    },
+    /// Rewrite the victim prefix to metric 1 while *keeping* the valid
+    /// attestation the liar legitimately relays — the designed residual:
+    /// origin attestation proves who owns the prefix, not that the
+    /// advertised path or metric is honest (BGPsec's unsolved problem).
+    HijackAttested {
+        /// Victim network address, big-endian bytes.
+        addr: [u8; 4],
+        /// Victim prefix length in bits.
+        prefix_len: u8,
+    },
+    /// Forge an attestation for the victim prefix under the true
+    /// owner's identity but without its key — origin-key spoofing. The
+    /// MAC cannot verify, so attestation-armed guards drop the entry.
+    SpoofOrigin {
+        /// Victim network address, big-endian bytes.
+        addr: [u8; 4],
+        /// Victim prefix length in bits.
+        prefix_len: u8,
+    },
 }
 
 impl ByzantineAttack {
@@ -70,6 +100,9 @@ impl ByzantineAttack {
             ByzantineAttack::BlackholeVictim { .. } => "blackhole-victim",
             ByzantineAttack::ReplayStale => "replay-stale",
             ByzantineAttack::FlapAdverts => "flap-adverts",
+            ByzantineAttack::HijackPrefix { .. } => "hijack-prefix",
+            ByzantineAttack::HijackAttested { .. } => "hijack-attested",
+            ByzantineAttack::SpoofOrigin { .. } => "spoof-origin",
         }
     }
 }
