@@ -1,0 +1,354 @@
+//! The billing ledger — the paper's *least* served goal (§9), made
+//! reconcilable.
+//!
+//! A gateway counting datagrams cannot distinguish new data from
+//! end-to-end retransmissions, so its ledger systematically *overstates*
+//! the traffic a customer usefully received (E7 quantifies that gap as a
+//! function of loss rate). Two additions over the seed ledger make the
+//! overstatement *bounded and auditable* rather than merely noted:
+//!
+//! - **Payload accounting.** Besides raw IP bytes, each account carries
+//!   the transport-payload byte count — the quantity that can actually
+//!   be reconciled against endpoint counters. For any conversation,
+//!   `goodput ≤ carried payload ≤ sender payload incl. retransmissions`
+//!   holds datagram by datagram, because every carried payload byte is
+//!   a byte some sender transmitted, and every byte the receiver acked
+//!   was carried at least once.
+//! - **Epoch stamping.** A crash wipes the ledger (fate-sharing applies
+//!   to the bill too). `clear()` opens a new epoch, and every flushed
+//!   [`GatewayReport`] is stamped `(epoch, seq)`, so records from before
+//!   and after a reboot never alias and a collector can see exactly
+//!   where the crash boundary fell.
+
+use crate::report::GatewayReport;
+use catenet_wire::{IpProtocol, Ipv4Address, Ipv4Packet, TcpPacket, UDP_HEADER_LEN};
+use std::collections::HashMap;
+
+/// The accounting key: who talked to whom with which protocol.
+/// (Coarser than a flow — this is the billing view.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AccountKey {
+    /// Source address.
+    pub src: Ipv4Address,
+    /// Destination address.
+    pub dst: Ipv4Address,
+    /// IP protocol number.
+    pub protocol: u8,
+}
+
+/// Counters for one account.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Account {
+    /// Datagrams carried.
+    pub packets: u64,
+    /// IP bytes carried (headers included — the gateway can't know
+    /// better; that is part of the accounting problem).
+    pub bytes: u64,
+    /// Transport-payload bytes carried — the reconcilable quantity.
+    /// For fragments past the first this is the whole IP payload (the
+    /// transport header went with the first fragment); for unknown
+    /// protocols it is the IP payload too. An approximation, but one
+    /// that errs the same way on every gateway, so reports still agree.
+    pub payload_bytes: u64,
+}
+
+impl Account {
+    /// Merge another account's counters into this one.
+    pub fn absorb(&mut self, other: &Account) {
+        self.packets += other.packets;
+        self.bytes += other.bytes;
+        self.payload_bytes += other.payload_bytes;
+    }
+}
+
+/// Transport-payload bytes in one IPv4 datagram, best effort.
+fn payload_bytes_of(packet: &Ipv4Packet<&[u8]>) -> u64 {
+    let ip_payload = packet.payload();
+    if packet.frag_offset() != 0 {
+        // Follow-on fragment: all payload, no transport header here.
+        return ip_payload.len() as u64;
+    }
+    let len = match packet.protocol() {
+        IpProtocol::Tcp => match TcpPacket::new_checked(ip_payload) {
+            Ok(tcp) => tcp.payload().len(),
+            Err(_) => ip_payload.len(),
+        },
+        IpProtocol::Udp => ip_payload.len().saturating_sub(UDP_HEADER_LEN),
+        _ => ip_payload.len(),
+    };
+    len as u64
+}
+
+/// A gateway's (or host's) traffic ledger.
+#[derive(Debug, Default)]
+pub struct Ledger {
+    accounts: HashMap<AccountKey, Account>,
+    /// Datagrams that could not be attributed (unparseable).
+    pub unattributed: u64,
+    /// Crash epoch: bumped by every [`Ledger::clear`]. Reports flushed
+    /// in different epochs never alias.
+    pub epoch: u64,
+    /// Sequence number of the next flushed report within this ledger's
+    /// lifetime (monotone across epochs — a reboot must not reuse one).
+    next_seq: u64,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Ledger {
+        Ledger::default()
+    }
+
+    /// Record one carried datagram.
+    pub fn record(&mut self, datagram: &[u8]) {
+        match Ipv4Packet::new_checked(datagram) {
+            Ok(packet) => {
+                let key = AccountKey {
+                    src: packet.src_addr(),
+                    dst: packet.dst_addr(),
+                    protocol: packet.protocol().into(),
+                };
+                let payload = payload_bytes_of(&packet);
+                let account = self.accounts.entry(key).or_default();
+                account.packets += 1;
+                account.bytes += datagram.len() as u64;
+                account.payload_bytes += payload;
+            }
+            Err(_) => self.unattributed += 1,
+        }
+    }
+
+    /// The account for a given key.
+    pub fn account(&self, key: &AccountKey) -> Account {
+        self.accounts.get(key).copied().unwrap_or_default()
+    }
+
+    /// Total bytes between two hosts for a protocol, both directions.
+    pub fn conversation_bytes(&self, a: Ipv4Address, b: Ipv4Address, protocol: IpProtocol) -> u64 {
+        let protocol = u8::from(protocol);
+        self.account(&AccountKey {
+            src: a,
+            dst: b,
+            protocol,
+        })
+        .bytes
+            + self
+                .account(&AccountKey {
+                    src: b,
+                    dst: a,
+                    protocol,
+                })
+                .bytes
+    }
+
+    /// Total transport-payload bytes between two hosts for a protocol,
+    /// both directions — the quantity endpoint counters can check.
+    pub fn conversation_payload_bytes(
+        &self,
+        a: Ipv4Address,
+        b: Ipv4Address,
+        protocol: IpProtocol,
+    ) -> u64 {
+        let protocol = u8::from(protocol);
+        self.account(&AccountKey {
+            src: a,
+            dst: b,
+            protocol,
+        })
+        .payload_bytes
+            + self
+                .account(&AccountKey {
+                    src: b,
+                    dst: a,
+                    protocol,
+                })
+                .payload_bytes
+    }
+
+    /// All accounts in deterministic order.
+    pub fn iter_sorted(&self) -> Vec<(AccountKey, Account)> {
+        let mut entries: Vec<_> = self.accounts.iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_by_key(|(k, _)| *k);
+        entries
+    }
+
+    /// Total packets across all accounts.
+    pub fn total_packets(&self) -> u64 {
+        self.accounts.values().map(|a| a.packets).sum()
+    }
+
+    /// Total bytes across all accounts.
+    pub fn total_bytes(&self) -> u64 {
+        self.accounts.values().map(|a| a.bytes).sum()
+    }
+
+    /// Whether there is anything to flush.
+    pub fn has_tail(&self) -> bool {
+        !self.accounts.is_empty() || self.unattributed != 0
+    }
+
+    /// Flush everything recorded since the last flush into a report for
+    /// the collector, or `None` if there is nothing to say. The ledger
+    /// empties but keeps its epoch: flushing is bookkeeping, not a crash.
+    pub fn flush(&mut self, gateway: &str) -> Option<GatewayReport> {
+        if !self.has_tail() {
+            return None;
+        }
+        let report = GatewayReport {
+            gateway: gateway.to_string(),
+            epoch: self.epoch,
+            seq: self.next_seq,
+            accounts: self.iter_sorted(),
+            unattributed: self.unattributed,
+        };
+        self.next_seq += 1;
+        self.accounts.clear();
+        self.unattributed = 0;
+        Some(report)
+    }
+
+    /// The report [`Ledger::flush`] *would* produce right now, without
+    /// draining anything — the live tail, for reconciling mid-period.
+    pub fn peek_tail(&self, gateway: &str) -> Option<GatewayReport> {
+        if !self.has_tail() {
+            return None;
+        }
+        Some(GatewayReport {
+            gateway: gateway.to_string(),
+            epoch: self.epoch,
+            seq: self.next_seq,
+            accounts: self.iter_sorted(),
+            unattributed: self.unattributed,
+        })
+    }
+
+    /// Reset (gateway reboot loses the ledger too — accounting shares
+    /// the fate-sharing weakness the paper notes). Opens a new epoch;
+    /// whatever was recorded but not flushed is gone from *this* ledger,
+    /// which is exactly why the collector tracks forfeited tails.
+    pub fn clear(&mut self) {
+        self.accounts.clear();
+        self.unattributed = 0;
+        self.epoch += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catenet_ip::build_ipv4;
+    use catenet_wire::{Ipv4Repr, Tos};
+
+    fn dgram(src: Ipv4Address, dst: Ipv4Address, len: usize) -> Vec<u8> {
+        build_ipv4(
+            &Ipv4Repr {
+                src_addr: src,
+                dst_addr: dst,
+                protocol: IpProtocol::Udp,
+                payload_len: len,
+                hop_limit: 64,
+                tos: Tos::default(),
+            },
+            0,
+            false,
+            &vec![0u8; len],
+        )
+    }
+
+    const A: Ipv4Address = Ipv4Address::new(10, 0, 0, 1);
+    const B: Ipv4Address = Ipv4Address::new(10, 9, 0, 1);
+
+    #[test]
+    fn records_per_key() {
+        let mut ledger = Ledger::new();
+        ledger.record(&dgram(A, B, 100));
+        ledger.record(&dgram(A, B, 100));
+        ledger.record(&dgram(B, A, 50));
+        let ab = ledger.account(&AccountKey {
+            src: A,
+            dst: B,
+            protocol: 17,
+        });
+        assert_eq!(ab.packets, 2);
+        assert_eq!(ab.bytes, 240); // 2 × (100 + 20-byte header)
+        assert_eq!(ledger.conversation_bytes(A, B, IpProtocol::Udp), 240 + 70);
+        assert_eq!(ledger.total_packets(), 3);
+        assert_eq!(ledger.total_bytes(), 310);
+    }
+
+    #[test]
+    fn payload_bytes_strip_headers() {
+        let mut ledger = Ledger::new();
+        // The 100-byte argument to dgram is the whole UDP segment
+        // (header + payload), so the payload is 100 − 8.
+        ledger.record(&dgram(A, B, 100));
+        ledger.record(&dgram(B, A, 50));
+        let ab = ledger.account(&AccountKey {
+            src: A,
+            dst: B,
+            protocol: 17,
+        });
+        assert_eq!(ab.payload_bytes, 92);
+        assert_eq!(
+            ledger.conversation_payload_bytes(A, B, IpProtocol::Udp),
+            92 + 42
+        );
+    }
+
+    #[test]
+    fn unattributed_counted() {
+        let mut ledger = Ledger::new();
+        ledger.record(&[0xFF; 8]);
+        assert_eq!(ledger.unattributed, 1);
+        assert_eq!(ledger.total_packets(), 0);
+    }
+
+    #[test]
+    fn sorted_iteration_deterministic() {
+        let mut ledger = Ledger::new();
+        ledger.record(&dgram(B, A, 10));
+        ledger.record(&dgram(A, B, 10));
+        let keys: Vec<_> = ledger.iter_sorted().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys[0].src, A);
+        assert_eq!(keys[1].src, B);
+    }
+
+    #[test]
+    fn clear_resets_and_opens_new_epoch() {
+        let mut ledger = Ledger::new();
+        ledger.record(&dgram(A, B, 10));
+        assert_eq!(ledger.epoch, 0);
+        ledger.clear();
+        assert_eq!(ledger.total_packets(), 0);
+        assert_eq!(ledger.iter_sorted().len(), 0);
+        assert_eq!(ledger.epoch, 1);
+    }
+
+    #[test]
+    fn flush_drains_and_stamps() {
+        let mut ledger = Ledger::new();
+        ledger.record(&dgram(A, B, 10));
+        let first = ledger.flush("g1").expect("tail to flush");
+        assert_eq!(first.gateway, "g1");
+        assert_eq!((first.epoch, first.seq), (0, 0));
+        assert_eq!(first.accounts.len(), 1);
+        assert!(!ledger.has_tail());
+        assert!(ledger.flush("g1").is_none(), "nothing left");
+        // Next period, after a crash: new epoch, seq keeps climbing.
+        ledger.record(&dgram(A, B, 10));
+        ledger.clear();
+        ledger.record(&dgram(B, A, 10));
+        let second = ledger.flush("g1").expect("post-crash tail");
+        assert_eq!((second.epoch, second.seq), (1, 1));
+    }
+
+    #[test]
+    fn peek_matches_flush_without_draining() {
+        let mut ledger = Ledger::new();
+        ledger.record(&dgram(A, B, 10));
+        let peeked = ledger.peek_tail("g1").unwrap();
+        let flushed = ledger.flush("g1").unwrap();
+        assert_eq!(peeked, flushed);
+        assert!(ledger.peek_tail("g1").is_none());
+    }
+}

@@ -117,6 +117,16 @@ fn main() {
         std::fs::write("BENCH_e15.json", &json).expect("write BENCH_e15.json");
         eprintln!("  wrote BENCH_e15.json");
     }
+    if want("e16") {
+        eprintln!("running e16 (accountability: reconciliation, churn, integrity)...");
+        let start = std::time::Instant::now();
+        let results = e16_accountability::run_battery(fast || check, &seeds);
+        eprintln!("  e16 done in {:.1}s", start.elapsed().as_secs_f64());
+        println!("{}", e16_accountability::table(&results));
+        let json = e16_accountability::to_json(&results, !check);
+        std::fs::write("BENCH_e16.json", &json).expect("write BENCH_e16.json");
+        eprintln!("  wrote BENCH_e16.json");
+    }
     if want("ablations") || selected.is_empty() {
         eprintln!("running ablations A1–A4...");
         println!("{}", ablations::collapse_table(&seeds));

@@ -22,6 +22,7 @@
 //! | [`e13_scale`] | event-loop scale: heap vs timer-wheel scheduler at 50–400 gateways |
 //! | [`e14_routeguard`] | byzantine blast radius with and without the route-guard defense |
 //! | [`e15_fastpath`] | per-packet buffer cost: pooled zero-copy path vs allocate-and-copy |
+//! | [`e16_accountability`] | crash-reconcilable usage reports, 10⁵-flow churn, CRC32C vs checksum escapes |
 //!
 //! [`ablations`] additionally turns individual design choices *off* —
 //! congestion control, split horizon, Nagle, source quench — and
@@ -43,6 +44,7 @@ pub mod e12_reconvergence;
 pub mod e13_scale;
 pub mod e14_routeguard;
 pub mod e15_fastpath;
+pub mod e16_accountability;
 pub mod e2_type_of_service;
 pub mod e3_variety;
 pub mod e4_distributed_mgmt;

@@ -1,182 +1,13 @@
-//! Accounting — the paper's *least* important goal (§9), and the one it
-//! admits the architecture serves worst: "the Internet architecture
-//! contains few tools for accounting for packet flows ... research is
-//! needed." A gateway counting datagrams cannot distinguish new data from
-//! end-to-end retransmissions, so its ledger systematically *overstates*
-//! the traffic a customer usefully received. Experiment E7 quantifies
-//! that gap as a function of loss rate.
+//! Traffic accounting — re-exported from [`catenet_accounting`].
+//!
+//! The ledger grew out of this module into the dedicated accountability
+//! crate (epoch-stamped, flushable into cross-boundary usage reports);
+//! the types live in [`catenet_accounting::ledger`] and
+//! [`catenet_accounting::report`] now. This shim keeps the original
+//! `catenet_core::accounting::{Ledger, Account, AccountKey}` paths
+//! working.
 
-use catenet_wire::{IpProtocol, Ipv4Address, Ipv4Packet};
-use std::collections::HashMap;
-
-/// The accounting key: who talked to whom with which protocol.
-/// (Coarser than a flow — this is the billing view.)
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct AccountKey {
-    /// Source address.
-    pub src: Ipv4Address,
-    /// Destination address.
-    pub dst: Ipv4Address,
-    /// IP protocol number.
-    pub protocol: u8,
-}
-
-/// Counters for one account.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Account {
-    /// Datagrams carried.
-    pub packets: u64,
-    /// IP bytes carried (headers included — the gateway can't know
-    /// better; that is part of the accounting problem).
-    pub bytes: u64,
-}
-
-/// A gateway's (or host's) traffic ledger.
-#[derive(Debug, Default)]
-pub struct Ledger {
-    accounts: HashMap<AccountKey, Account>,
-    /// Datagrams that could not be attributed (unparseable).
-    pub unattributed: u64,
-}
-
-impl Ledger {
-    /// An empty ledger.
-    pub fn new() -> Ledger {
-        Ledger::default()
-    }
-
-    /// Record one carried datagram.
-    pub fn record(&mut self, datagram: &[u8]) {
-        match Ipv4Packet::new_checked(datagram) {
-            Ok(packet) => {
-                let key = AccountKey {
-                    src: packet.src_addr(),
-                    dst: packet.dst_addr(),
-                    protocol: packet.protocol().into(),
-                };
-                let account = self.accounts.entry(key).or_default();
-                account.packets += 1;
-                account.bytes += datagram.len() as u64;
-            }
-            Err(_) => self.unattributed += 1,
-        }
-    }
-
-    /// The account for a given key.
-    pub fn account(&self, key: &AccountKey) -> Account {
-        self.accounts.get(key).copied().unwrap_or_default()
-    }
-
-    /// Total bytes between two hosts for a protocol, both directions.
-    pub fn conversation_bytes(&self, a: Ipv4Address, b: Ipv4Address, protocol: IpProtocol) -> u64 {
-        let protocol = u8::from(protocol);
-        self.account(&AccountKey {
-            src: a,
-            dst: b,
-            protocol,
-        })
-        .bytes
-            + self
-                .account(&AccountKey {
-                    src: b,
-                    dst: a,
-                    protocol,
-                })
-                .bytes
-    }
-
-    /// All accounts in deterministic order.
-    pub fn iter_sorted(&self) -> Vec<(AccountKey, Account)> {
-        let mut entries: Vec<_> = self.accounts.iter().map(|(k, v)| (*k, *v)).collect();
-        entries.sort_by_key(|(k, _)| *k);
-        entries
-    }
-
-    /// Total packets across all accounts.
-    pub fn total_packets(&self) -> u64 {
-        self.accounts.values().map(|a| a.packets).sum()
-    }
-
-    /// Total bytes across all accounts.
-    pub fn total_bytes(&self) -> u64 {
-        self.accounts.values().map(|a| a.bytes).sum()
-    }
-
-    /// Reset (gateway reboot loses the ledger too — accounting shares
-    /// the fate-sharing weakness the paper notes).
-    pub fn clear(&mut self) {
-        self.accounts.clear();
-        self.unattributed = 0;
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use catenet_ip::build_ipv4;
-    use catenet_wire::{Ipv4Repr, Tos};
-
-    fn dgram(src: Ipv4Address, dst: Ipv4Address, len: usize) -> Vec<u8> {
-        build_ipv4(
-            &Ipv4Repr {
-                src_addr: src,
-                dst_addr: dst,
-                protocol: IpProtocol::Udp,
-                payload_len: len,
-                hop_limit: 64,
-                tos: Tos::default(),
-            },
-            0,
-            false,
-            &vec![0u8; len],
-        )
-    }
-
-    const A: Ipv4Address = Ipv4Address::new(10, 0, 0, 1);
-    const B: Ipv4Address = Ipv4Address::new(10, 9, 0, 1);
-
-    #[test]
-    fn records_per_key() {
-        let mut ledger = Ledger::new();
-        ledger.record(&dgram(A, B, 100));
-        ledger.record(&dgram(A, B, 100));
-        ledger.record(&dgram(B, A, 50));
-        let ab = ledger.account(&AccountKey {
-            src: A,
-            dst: B,
-            protocol: 17,
-        });
-        assert_eq!(ab.packets, 2);
-        assert_eq!(ab.bytes, 240); // 2 × (100 + 20-byte header)
-        assert_eq!(ledger.conversation_bytes(A, B, IpProtocol::Udp), 240 + 70);
-        assert_eq!(ledger.total_packets(), 3);
-        assert_eq!(ledger.total_bytes(), 310);
-    }
-
-    #[test]
-    fn unattributed_counted() {
-        let mut ledger = Ledger::new();
-        ledger.record(&[0xFF; 8]);
-        assert_eq!(ledger.unattributed, 1);
-        assert_eq!(ledger.total_packets(), 0);
-    }
-
-    #[test]
-    fn sorted_iteration_deterministic() {
-        let mut ledger = Ledger::new();
-        ledger.record(&dgram(B, A, 10));
-        ledger.record(&dgram(A, B, 10));
-        let keys: Vec<_> = ledger.iter_sorted().into_iter().map(|(k, _)| k).collect();
-        assert_eq!(keys[0].src, A);
-        assert_eq!(keys[1].src, B);
-    }
-
-    #[test]
-    fn clear_resets() {
-        let mut ledger = Ledger::new();
-        ledger.record(&dgram(A, B, 10));
-        ledger.clear();
-        assert_eq!(ledger.total_packets(), 0);
-        assert_eq!(ledger.iter_sorted().len(), 0);
-    }
-}
+pub use catenet_accounting::ledger::{Account, AccountKey, Ledger};
+pub use catenet_accounting::report::{
+    GatewayReport, GatewayTotals, Reconciliation, ReportCollector,
+};

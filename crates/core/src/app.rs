@@ -42,6 +42,9 @@ pub struct BulkResult {
     pub completed_at: Option<Instant>,
     /// Payload bytes acknowledged end to end.
     pub bytes_acked: u64,
+    /// Payload bytes transmitted, retransmissions included — the upper
+    /// bound any honest gateway ledger must stay under (E16).
+    pub bytes_sent: u64,
     /// Segments retransmitted.
     pub retransmits: u64,
     /// RTO expirations.
@@ -181,6 +184,7 @@ impl Application for BulkSender {
         // data acknowledged.
         let mut result = self.result.borrow_mut();
         result.bytes_acked = socket.stats.bytes_acked;
+        result.bytes_sent = socket.stats.bytes_sent;
         result.retransmits = socket.stats.retransmits;
         result.timeouts = socket.stats.timeouts;
         result.segs_sent = socket.stats.segs_sent;

@@ -1,337 +1,10 @@
-//! Soft-state flow tracking in gateways — the paper's closing proposal.
+//! Per-flow soft state — re-exported from [`catenet_accounting`].
 //!
-//! Clark §10: "a new building block ... the flow ... it would be
-//! necessary for the gateways to have flow state ... but the state
-//! information would not be critical ... 'soft state' ... could be lost
-//! in a crash and reconstructed from the datagrams themselves." This
-//! module is that proposal made concrete: a gateway observes the
-//! datagrams it forwards, keys them by the 5-tuple, and maintains a rate
-//! estimate and counters per flow. Nothing *depends* on the table — it
-//! serves resource management and accounting — so losing it costs
-//! nothing but a short re-learning transient, which experiment E8
-//! measures.
+//! The flow table grew out of this module into the dedicated
+//! accountability crate (sharded, bounded, fragment-aware); the types
+//! live in [`catenet_accounting::flow`] and
+//! [`catenet_accounting::table`] now. This shim keeps the original
+//! `catenet_core::flow::{FlowTable, FlowId, FlowState}` paths working.
 
-use catenet_sim::{Duration, Instant};
-use catenet_wire::{IpProtocol, Ipv4Address, Ipv4Packet, TcpPacket, UdpPacket};
-use std::collections::HashMap;
-
-/// The flow key: the classic 5-tuple.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct FlowId {
-    /// Source address.
-    pub src_addr: Ipv4Address,
-    /// Destination address.
-    pub dst_addr: Ipv4Address,
-    /// Transport protocol.
-    pub protocol: u8,
-    /// Source port (0 for portless protocols).
-    pub src_port: u16,
-    /// Destination port (0 for portless protocols).
-    pub dst_port: u16,
-}
-
-impl FlowId {
-    /// Extract the flow key from an IPv4 datagram, if parseable.
-    /// Fragments with nonzero offset have no transport header; they are
-    /// attributed to the portless flow of their protocol (the honest
-    /// 1988 answer — datagram accounting is approximate, see E7).
-    pub fn of_datagram(datagram: &[u8]) -> Option<FlowId> {
-        let packet = Ipv4Packet::new_checked(datagram).ok()?;
-        let (src_port, dst_port) = if packet.frag_offset() != 0 {
-            (0, 0)
-        } else {
-            match packet.protocol() {
-                IpProtocol::Tcp => match TcpPacket::new_checked(packet.payload()) {
-                    Ok(tcp) => (tcp.src_port(), tcp.dst_port()),
-                    Err(_) => (0, 0),
-                },
-                IpProtocol::Udp => match UdpPacket::new_checked(packet.payload()) {
-                    Ok(udp) => (udp.src_port(), udp.dst_port()),
-                    Err(_) => (0, 0),
-                },
-                _ => (0, 0),
-            }
-        };
-        Some(FlowId {
-            src_addr: packet.src_addr(),
-            dst_addr: packet.dst_addr(),
-            protocol: packet.protocol().into(),
-            src_port,
-            dst_port,
-        })
-    }
-}
-
-impl core::fmt::Display for FlowId {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(
-            f,
-            "{}:{} -> {}:{} proto {}",
-            self.src_addr, self.src_port, self.dst_addr, self.dst_port, self.protocol
-        )
-    }
-}
-
-/// Per-flow soft state.
-#[derive(Debug, Clone)]
-pub struct FlowState {
-    /// Packets observed.
-    pub packets: u64,
-    /// Bytes observed (IP datagram bytes).
-    pub bytes: u64,
-    /// When the flow was first seen (since the last table loss).
-    pub first_seen: Instant,
-    /// When the flow was last seen.
-    pub last_seen: Instant,
-    /// EWMA rate estimate in bytes/second.
-    pub rate_bps: f64,
-}
-
-impl FlowState {
-    /// Whether the rate estimate has converged to within `tolerance`
-    /// (fractional) of `true_rate`.
-    pub fn rate_within(&self, true_rate: f64, tolerance: f64) -> bool {
-        if true_rate == 0.0 {
-            return self.rate_bps.abs() < 1.0;
-        }
-        ((self.rate_bps - true_rate) / true_rate).abs() <= tolerance
-    }
-}
-
-/// The gateway's soft-state flow table.
-#[derive(Debug)]
-pub struct FlowTable {
-    flows: HashMap<FlowId, FlowState>,
-    /// Idle time after which an entry evaporates (soft state!).
-    idle_timeout: Duration,
-    /// EWMA time constant for the rate estimate.
-    rate_tau: Duration,
-    /// Total entries expired so far.
-    pub expired: u64,
-    /// Total table losses (crashes).
-    pub losses: u64,
-}
-
-impl FlowTable {
-    /// Default idle timeout.
-    pub const DEFAULT_IDLE: Duration = Duration::from_secs(30);
-
-    /// A table with default parameters.
-    pub fn new() -> FlowTable {
-        FlowTable::with_params(Self::DEFAULT_IDLE, Duration::from_secs(1))
-    }
-
-    /// A table with explicit idle timeout and rate time-constant.
-    pub fn with_params(idle_timeout: Duration, rate_tau: Duration) -> FlowTable {
-        FlowTable {
-            flows: HashMap::new(),
-            idle_timeout,
-            rate_tau,
-            expired: 0,
-            losses: 0,
-        }
-    }
-
-    /// Number of live flows.
-    pub fn len(&self) -> usize {
-        self.flows.len()
-    }
-
-    /// Whether the table is empty.
-    pub fn is_empty(&self) -> bool {
-        self.flows.is_empty()
-    }
-
-    /// Observe one forwarded datagram.
-    pub fn observe(&mut self, datagram: &[u8], now: Instant) {
-        let Some(id) = FlowId::of_datagram(datagram) else {
-            return;
-        };
-        let bytes = datagram.len() as u64;
-        match self.flows.get_mut(&id) {
-            Some(state) => {
-                let dt = now.duration_since(state.last_seen).secs_f64();
-                let tau = self.rate_tau.secs_f64();
-                let inst_rate = if dt > 0.0 { bytes as f64 / dt } else { 0.0 };
-                // Exponentially weighted moving average with gap decay.
-                let alpha = if dt > 0.0 {
-                    1.0 - (-dt / tau).exp()
-                } else {
-                    0.0
-                };
-                state.rate_bps += alpha * (inst_rate - state.rate_bps);
-                state.packets += 1;
-                state.bytes += bytes;
-                state.last_seen = now;
-            }
-            None => {
-                self.flows.insert(
-                    id,
-                    FlowState {
-                        packets: 1,
-                        bytes,
-                        first_seen: now,
-                        last_seen: now,
-                        rate_bps: 0.0,
-                    },
-                );
-            }
-        }
-    }
-
-    /// Look up a flow.
-    pub fn get(&self, id: &FlowId) -> Option<&FlowState> {
-        self.flows.get(id)
-    }
-
-    /// Iterate flows in deterministic (sorted) order.
-    pub fn iter_sorted(&self) -> Vec<(&FlowId, &FlowState)> {
-        let mut entries: Vec<_> = self.flows.iter().collect();
-        entries.sort_by_key(|(id, _)| **id);
-        entries
-    }
-
-    /// Evaporate idle entries. The essence of soft state: nothing
-    /// refreshes, nothing stays.
-    pub fn expire_idle(&mut self, now: Instant) {
-        let timeout = self.idle_timeout;
-        let before = self.flows.len();
-        self.flows
-            .retain(|_, state| now.duration_since(state.last_seen) < timeout);
-        self.expired += (before - self.flows.len()) as u64;
-    }
-
-    /// Lose everything (gateway crash). The paper's point: this is
-    /// *survivable* — the table rebuilds from the traffic itself.
-    pub fn lose(&mut self) {
-        self.flows.clear();
-        self.losses += 1;
-    }
-}
-
-impl Default for FlowTable {
-    fn default() -> Self {
-        FlowTable::new()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use catenet_ip::build_ipv4;
-    use catenet_wire::{Ipv4Repr, Tos, UdpRepr};
-
-    fn udp_datagram(src_port: u16, dst_port: u16, len: usize) -> Vec<u8> {
-        let udp_repr = UdpRepr {
-            src_port,
-            dst_port,
-            payload_len: len,
-        };
-        let mut udp_buf = vec![0u8; udp_repr.buffer_len()];
-        let src = Ipv4Address::new(10, 0, 0, 1);
-        let dst = Ipv4Address::new(10, 9, 0, 1);
-        {
-            let mut udp = UdpPacket::new_unchecked(&mut udp_buf[..]);
-            udp_repr.emit(&mut udp);
-            udp.fill_checksum(src, dst);
-        }
-        build_ipv4(
-            &Ipv4Repr {
-                src_addr: src,
-                dst_addr: dst,
-                protocol: IpProtocol::Udp,
-                payload_len: udp_buf.len(),
-                hop_limit: 64,
-                tos: Tos::default(),
-            },
-            1,
-            false,
-            &udp_buf,
-        )
-    }
-
-    #[test]
-    fn flow_id_extraction() {
-        let dgram = udp_datagram(5000, 6000, 100);
-        let id = FlowId::of_datagram(&dgram).unwrap();
-        assert_eq!(id.src_port, 5000);
-        assert_eq!(id.dst_port, 6000);
-        assert_eq!(id.protocol, 17);
-        assert_eq!(id.src_addr, Ipv4Address::new(10, 0, 0, 1));
-    }
-
-    #[test]
-    fn observe_accumulates() {
-        let mut table = FlowTable::new();
-        let dgram = udp_datagram(5000, 6000, 100);
-        for i in 0..10 {
-            table.observe(&dgram, Instant::from_millis(i * 10));
-        }
-        assert_eq!(table.len(), 1);
-        let id = FlowId::of_datagram(&dgram).unwrap();
-        let state = table.get(&id).unwrap();
-        assert_eq!(state.packets, 10);
-        assert_eq!(state.bytes, 10 * dgram.len() as u64);
-        assert_eq!(state.first_seen, Instant::ZERO);
-        assert_eq!(state.last_seen, Instant::from_millis(90));
-    }
-
-    #[test]
-    fn rate_estimate_converges() {
-        let mut table = FlowTable::with_params(Duration::from_secs(30), Duration::from_secs(1));
-        let dgram = udp_datagram(5000, 6000, 972); // 1000-byte datagram
-        // 1000 bytes every 10 ms = 100 kB/s.
-        for i in 0..500 {
-            table.observe(&dgram, Instant::from_millis(i * 10));
-        }
-        let id = FlowId::of_datagram(&dgram).unwrap();
-        let state = table.get(&id).unwrap();
-        assert!(
-            state.rate_within(100_000.0, 0.1),
-            "rate estimate {} not within 10% of 100 kB/s",
-            state.rate_bps
-        );
-    }
-
-    #[test]
-    fn distinct_flows_tracked_separately() {
-        let mut table = FlowTable::new();
-        table.observe(&udp_datagram(1, 2, 10), Instant::ZERO);
-        table.observe(&udp_datagram(3, 4, 10), Instant::ZERO);
-        assert_eq!(table.len(), 2);
-        let sorted = table.iter_sorted();
-        assert!(sorted[0].0 < sorted[1].0);
-    }
-
-    #[test]
-    fn idle_entries_evaporate() {
-        let mut table = FlowTable::with_params(Duration::from_secs(5), Duration::from_secs(1));
-        table.observe(&udp_datagram(1, 2, 10), Instant::ZERO);
-        table.observe(&udp_datagram(3, 4, 10), Instant::from_secs(4));
-        table.expire_idle(Instant::from_secs(6));
-        assert_eq!(table.len(), 1, "only the idle flow evaporated");
-        assert_eq!(table.expired, 1);
-    }
-
-    #[test]
-    fn lose_clears_but_rebuilds() {
-        let mut table = FlowTable::new();
-        let dgram = udp_datagram(5000, 6000, 100);
-        table.observe(&dgram, Instant::ZERO);
-        table.lose();
-        assert!(table.is_empty());
-        assert_eq!(table.losses, 1);
-        // Traffic keeps flowing: the table rebuilds without help.
-        table.observe(&dgram, Instant::from_millis(10));
-        assert_eq!(table.len(), 1);
-        let id = FlowId::of_datagram(&dgram).unwrap();
-        assert_eq!(table.get(&id).unwrap().packets, 1);
-    }
-
-    #[test]
-    fn garbage_input_ignored() {
-        let mut table = FlowTable::new();
-        table.observe(&[0u8; 10], Instant::ZERO);
-        assert!(table.is_empty());
-    }
-}
+pub use catenet_accounting::flow::{Classified, FlowId, FlowState, FragKey};
+pub use catenet_accounting::table::{FlowTable, ShardStats};

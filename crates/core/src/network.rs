@@ -7,8 +7,10 @@
 //! is the nodes' business — the same layering discipline the
 //! architecture itself prescribes.
 
+use crate::accounting::{Ledger, Reconciliation, ReportCollector};
 use crate::app::Application;
 use crate::byzantine::ByzantineState;
+use crate::flow::FlowTable;
 use crate::iface::{Framing, Iface};
 use crate::node::{Node, NodeRole};
 use crate::pool::{PacketBuf, PacketPool, PoolStats};
@@ -58,6 +60,20 @@ enum Event {
 /// Cumulative route-guard verdict counters harvested per neighbor:
 /// (accepted, sanitized, damped, quarantined, attest-rejected).
 type GuardCounters = (u64, u64, u64, u64, u64);
+
+/// Cumulative accounting counters harvested per node: (flow evictions,
+/// idle expiries, fragments attributed via port cache, fragments left
+/// unattributed).
+type AcctCounters = (u64, u64, u64, u64);
+
+/// The goal-7 usage-report pipeline (see [`Network::enable_accounting`]):
+/// flush cadence plus the administration's collector, which outlives any
+/// gateway crash because it belongs to the network, not a node.
+struct AccountingCtl {
+    period: Duration,
+    next_flush: Instant,
+    collector: ReportCollector,
+}
 
 /// The simulated internetwork.
 pub struct Network {
@@ -127,6 +143,13 @@ pub struct Network {
     pool_metrics: bool,
     /// Pool counters at the previous sample, for delta rows.
     last_pool: PoolStats,
+    /// The usage-report pipeline, when [`Network::enable_accounting`]
+    /// armed it. `None` means no ledgers flush and no accounting
+    /// telemetry interns, so unenabled dumps stay byte-identical.
+    accounting: Option<AccountingCtl>,
+    /// Last harvested accounting counters per node, for delta-counting
+    /// into the registry.
+    last_acct: Vec<AcctCounters>,
 }
 
 impl Network {
@@ -169,6 +192,8 @@ impl Network {
             outbox_scratch: Vec::new(),
             pool_metrics: false,
             last_pool: PoolStats::default(),
+            accounting: None,
+            last_acct: Vec::new(),
         }
     }
 
@@ -233,6 +258,7 @@ impl Network {
         self.last_harvest.push((0, 0, 0, 0));
         self.service_count.push(0);
         self.last_guard.push(BTreeMap::new());
+        self.last_acct.push((0, 0, 0, 0));
         self.nodes.len() - 1
     }
 
@@ -488,9 +514,120 @@ impl Network {
         }
     }
 
+    /// Switch on the goal-7 accounting pipeline: every gateway gets a
+    /// soft-state [`FlowTable`] and an epoch-stamped [`Ledger`] (keeping
+    /// any it already carries), and every `period` the network flushes
+    /// each live ledger into the administration's report collector. The
+    /// collector belongs to the network, not a node, so a gateway crash
+    /// loses at most one unflushed period — and even that tail is
+    /// captured into the forfeited bucket at the crash instant (an
+    /// omniscient-oracle convenience a real network would buy with
+    /// battery-backed counters). Off by default: unenabled runs intern
+    /// no accounting telemetry and their dumps stay byte-identical.
+    pub fn enable_accounting(&mut self, period: Duration) {
+        for node in &mut self.nodes {
+            if node.role == NodeRole::Gateway {
+                if node.flows.is_none() {
+                    node.flows = Some(FlowTable::new());
+                }
+                if node.ledger.is_none() {
+                    node.ledger = Some(Ledger::new());
+                }
+            }
+        }
+        self.accounting = Some(AccountingCtl {
+            period,
+            next_flush: self.now + period,
+            collector: ReportCollector::new(),
+        });
+    }
+
+    /// The administration's report collector, if accounting is enabled.
+    pub fn report_collector(&self) -> Option<&ReportCollector> {
+        self.accounting.as_ref().map(|ctl| &ctl.collector)
+    }
+
+    /// Network-wide reconciliation: every flushed report, every
+    /// crash-forfeited tail, and every live ledger's unflushed tail,
+    /// merged into one view. `None` until [`Network::enable_accounting`].
+    pub fn reconcile(&self) -> Option<Reconciliation> {
+        let ctl = self.accounting.as_ref()?;
+        let tails = self.nodes.iter().filter_map(|node| {
+            node.ledger
+                .as_ref()
+                .and_then(|ledger| ledger.peek_tail(&node.name))
+        });
+        Some(ctl.collector.reconcile(tails))
+    }
+
+    /// Flush every live gateway's ledger into the collector and arm the
+    /// next flush instant.
+    fn flush_ledgers(&mut self) {
+        let Some(mut ctl) = self.accounting.take() else {
+            return;
+        };
+        ctl.next_flush += ctl.period;
+        for id in 0..self.nodes.len() {
+            let node = &mut self.nodes[id];
+            if !node.alive {
+                continue;
+            }
+            let Some(ledger) = &mut node.ledger else {
+                continue;
+            };
+            let name = node.name.clone();
+            if let Some(report) = ledger.flush(&name) {
+                let unattributed = report.unattributed;
+                ctl.collector.absorb(report);
+                let c = self
+                    .telemetry
+                    .registry
+                    .counter("acct_reports_flushed", Scope::Node(id));
+                self.telemetry.registry.add(c, 1);
+                if unattributed > 0 {
+                    let c = self
+                        .telemetry
+                        .registry
+                        .counter("acct_unattributed", Scope::Node(id));
+                    self.telemetry.registry.add(c, unattributed);
+                }
+            }
+        }
+        self.accounting = Some(ctl);
+    }
+
     /// Crash a node: all volatile state is lost, frames in its queues
     /// vanish, and attached links stop accepting traffic toward it.
     pub fn crash_node(&mut self, id: NodeId) {
+        // Oracle step: capture the dying ledger's unflushed tail into
+        // the forfeited bucket before the crash wipes it, so the
+        // conservation identity (flushed + forfeited + live tails =
+        // everything recorded) survives arbitrary crash storms.
+        if let Some(ctl) = &mut self.accounting {
+            let node = &self.nodes[id];
+            if node.alive {
+                if let Some(tail) = node
+                    .ledger
+                    .as_ref()
+                    .and_then(|ledger| ledger.peek_tail(&node.name))
+                {
+                    let unattributed = tail.unattributed;
+                    ctl.collector.forfeit(tail);
+                    let c = self
+                        .telemetry
+                        .registry
+                        .counter("acct_tails_forfeited", Scope::Node(id));
+                    self.telemetry.registry.add(c, 1);
+                    if unattributed > 0 {
+                        let c = self
+                            .telemetry
+                            .registry
+                            .counter("acct_unattributed", Scope::Node(id));
+                        self.telemetry.registry.add(c, unattributed);
+                    }
+                }
+            }
+        }
         self.nodes[id].crash();
     }
 
@@ -719,7 +856,12 @@ impl Network {
             let sched_at = self.sched.peek_time();
             let fault_at = self.fault_plan.as_ref().and_then(|p| p.next_at());
             let sample_at = self.telemetry.sampler.next_sample_at().filter(|&s| s <= t);
-            let at = match [sched_at, fault_at, sample_at]
+            let flush_at = self
+                .accounting
+                .as_ref()
+                .map(|ctl| ctl.next_flush)
+                .filter(|&f| f <= t);
+            let at = match [sched_at, fault_at, sample_at, flush_at]
                 .into_iter()
                 .flatten()
                 .min()
@@ -742,6 +884,14 @@ impl Network {
             }
             if sample_at == Some(at) {
                 self.take_sample(at);
+                continue;
+            }
+            // Ledger flushes ride the same timeline, after faults (a
+            // crash at T forfeits the tail a flush at T would have
+            // reported — power cuts don't wait for bookkeeping) and
+            // after samples.
+            if flush_at == Some(at) {
+                self.flush_ledgers();
                 continue;
             }
             // Batched delivery: drain *every* scheduler event due at
@@ -1111,6 +1261,35 @@ impl Network {
             ] {
                 // `value < floor` only after a crash reset the source;
                 // nothing new happened, the baseline just moved.
+                if value > floor {
+                    let c = self.telemetry.registry.counter(name, Scope::Node(id));
+                    self.telemetry.registry.add(c, value - floor);
+                }
+            }
+        }
+        // Accounting harvest: flow-table eviction/expiry/fragment
+        // counters, delta-counted and interned only when they move, so
+        // accounting-off runs keep byte-identical dumps. The counters
+        // are monotone on the table (they survive `lose()`), so the
+        // crash-reset guard below never actually skips anything here.
+        let cur = match &self.nodes[id].flows {
+            Some(flows) => (
+                flows.evicted,
+                flows.expired,
+                flows.frag_attributed,
+                flows.frag_unattributed,
+            ),
+            None => (0, 0, 0, 0),
+        };
+        let last = self.last_acct[id];
+        if cur != last {
+            self.last_acct[id] = cur;
+            for (name, value, floor) in [
+                ("flow_evictions", cur.0, last.0),
+                ("flow_idle_expired", cur.1, last.1),
+                ("frag_attributed", cur.2, last.2),
+                ("frag_unattributed", cur.3, last.3),
+            ] {
                 if value > floor {
                     let c = self.telemetry.registry.counter(name, Scope::Node(id));
                     self.telemetry.registry.add(c, value - floor);

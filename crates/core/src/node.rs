@@ -66,6 +66,9 @@ pub struct NodeStats {
     pub dropped_no_circuit: u64,
     /// Drops: transport checksum failures.
     pub dropped_transport_checksum: u64,
+    /// Drops: payload CRC32C option present but mismatched — corruption
+    /// the 16-bit Internet checksum failed to catch.
+    pub dropped_payload_crc: u64,
     /// Fragments created while forwarding or originating.
     pub frags_created: u64,
     /// ICMP messages generated.
@@ -1040,6 +1043,16 @@ impl Node {
             return;
         };
         let data = packet.payload();
+        // Opt-in strong integrity: verify the payload CRC32C whenever
+        // the sender carried one. This catches exactly the corruption
+        // classes the one's-complement checksum is blind to; the drop
+        // leaves recovery to TCP retransmission, like any other loss.
+        if let Some(crc) = repr.payload_crc {
+            if crc != catenet_wire::crc32c(data) {
+                self.stats.dropped_payload_crc += 1;
+                return;
+            }
+        }
         // Synchronized sockets first, then listeners.
         let target = self
             .tcp_sockets
@@ -1082,6 +1095,7 @@ impl Node {
                 ack_number: None,
                 window_len: 0,
                 max_seg_size: None,
+                payload_crc: None,
                 payload_len: 0,
             },
             None => TcpRepr {
@@ -1094,6 +1108,7 @@ impl Node {
                 ),
                 window_len: 0,
                 max_seg_size: None,
+                payload_crc: None,
                 payload_len: 0,
             },
         };
@@ -1439,6 +1454,7 @@ mod tests {
             ack_number: None,
             window_len: 100,
             max_seg_size: None,
+            payload_crc: None,
             payload_len: 0,
         };
         let segment = node.build_tcp_segment(

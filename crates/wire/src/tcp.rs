@@ -42,6 +42,16 @@ const FLG_URG: u16 = 0x020;
 const OPT_END: u8 = 0;
 const OPT_NOP: u8 = 1;
 const OPT_MSS: u8 = 2;
+/// Experimental option kind (RFC 4727 reserves 253 for experiments)
+/// carrying a CRC32C over the segment payload: kind, length = 6, then
+/// four CRC bytes, padded to eight bytes with two leading NOPs when
+/// emitted. The Internet checksum's blind spots (cancelling word pairs,
+/// transpositions, the 0x0000/0xFFFF flip — see
+/// `tests/checksum_escape.rs`) motivated it; it is strictly opt-in and
+/// a segment without the option encodes byte-identically to a stack
+/// that has never heard of it.
+pub const OPT_PAYLOAD_CRC: u8 = 253;
+const OPT_PAYLOAD_CRC_LEN: u8 = 6;
 
 /// A TCP sequence number: a 32-bit value compared in modulo arithmetic.
 ///
@@ -337,6 +347,37 @@ impl<T: AsRef<[u8]>> Packet<T> {
         }
         Ok(None)
     }
+
+    /// Scan options for a payload-CRC option (kind
+    /// [`OPT_PAYLOAD_CRC`]).
+    pub fn payload_crc_option(&self) -> Result<Option<u32>> {
+        let mut options = self.options();
+        while let Some(&kind) = options.first() {
+            match kind {
+                OPT_END => break,
+                OPT_NOP => options = &options[1..],
+                _ => {
+                    if options.len() < 2 {
+                        return Err(Error::Malformed);
+                    }
+                    let len = usize::from(options[1]);
+                    if len < 2 || len > options.len() {
+                        return Err(Error::Malformed);
+                    }
+                    if kind == OPT_PAYLOAD_CRC {
+                        if len != usize::from(OPT_PAYLOAD_CRC_LEN) {
+                            return Err(Error::Malformed);
+                        }
+                        return Ok(Some(u32::from_be_bytes([
+                            options[2], options[3], options[4], options[5],
+                        ])));
+                    }
+                    options = &options[len..];
+                }
+            }
+        }
+        Ok(None)
+    }
 }
 
 impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
@@ -461,6 +502,10 @@ pub struct Repr {
     pub window_len: u16,
     /// Maximum segment size option, if present (SYN segments only).
     pub max_seg_size: Option<u16>,
+    /// Opt-in CRC32C over the payload, carried as option kind
+    /// [`OPT_PAYLOAD_CRC`]. `None` emits byte-identically to a stack
+    /// without the feature.
+    pub payload_crc: Option<u32>,
     /// Payload length in bytes.
     pub payload_len: usize,
 }
@@ -503,17 +548,23 @@ impl Repr {
             ack_number,
             window_len: packet.window_len(),
             max_seg_size,
+            payload_crc: packet.payload_crc_option()?,
             payload_len: packet.payload().len(),
         })
     }
 
     /// Length of the header this representation emits (with options).
     pub fn header_len(&self) -> usize {
+        let mut len = HEADER_LEN;
         if self.max_seg_size.is_some() {
-            HEADER_LEN + 4
-        } else {
-            HEADER_LEN
+            len += 4;
         }
+        if self.payload_crc.is_some() {
+            // Two leading NOPs pad the 6-byte option to a 4-byte
+            // multiple, keeping the data offset valid.
+            len += 8;
+        }
+        len
     }
 
     /// Length of the emitted segment including payload space.
@@ -544,11 +595,21 @@ impl Repr {
         packet.set_window_len(self.window_len);
         packet.set_urgent_at(0);
         packet.set_checksum_field(0);
+        let mut cursor = 0;
         if let Some(mss) = self.max_seg_size {
             let options = packet.options_mut();
             options[0] = OPT_MSS;
             options[1] = 4;
             options[2..4].copy_from_slice(&mss.to_be_bytes());
+            cursor = 4;
+        }
+        if let Some(crc) = self.payload_crc {
+            let options = packet.options_mut();
+            options[cursor] = OPT_NOP;
+            options[cursor + 1] = OPT_NOP;
+            options[cursor + 2] = OPT_PAYLOAD_CRC;
+            options[cursor + 3] = OPT_PAYLOAD_CRC_LEN;
+            options[cursor + 4..cursor + 8].copy_from_slice(&crc.to_be_bytes());
         }
     }
 }
@@ -593,6 +654,7 @@ mod tests {
             ack_number: Some(SeqNumber(0x89ab_cdef)),
             window_len: 4096,
             max_seg_size: None,
+            payload_crc: None,
             payload_len: 4,
         }
     }
@@ -622,6 +684,68 @@ mod tests {
         assert_eq!(packet.mss_option().unwrap(), Some(1460));
         assert_eq!(packet.segment_len(), 1); // SYN occupies sequence space
         assert_eq!(Repr::parse(&packet, SRC, DST).unwrap(), repr);
+    }
+
+    #[test]
+    fn round_trip_payload_crc_option() {
+        let repr = Repr {
+            payload_crc: Some(crate::crc32c::crc32c(b"data")),
+            ..sample_repr()
+        };
+        let buf = build(&repr, b"data");
+        let packet = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(packet.header_len(), 28);
+        assert_eq!(
+            packet.payload_crc_option().unwrap(),
+            Some(crate::crc32c::crc32c(b"data"))
+        );
+        assert_eq!(packet.payload(), b"data");
+        assert_eq!(Repr::parse(&packet, SRC, DST).unwrap(), repr);
+    }
+
+    #[test]
+    fn crc_off_arm_is_byte_identical() {
+        // A repr with payload_crc = None must emit exactly the bytes the
+        // pre-option stack emitted: no length change, no reserved bits.
+        let repr = sample_repr();
+        let buf = build(&repr, b"data");
+        assert_eq!(buf.len(), HEADER_LEN + 4);
+        let packet = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(packet.header_len() as usize, HEADER_LEN);
+        assert!(packet.options().is_empty());
+        assert_eq!(packet.payload_crc_option().unwrap(), None);
+    }
+
+    #[test]
+    fn mss_and_payload_crc_coexist() {
+        let repr = Repr {
+            control: Control::Syn,
+            ack_number: None,
+            max_seg_size: Some(536),
+            payload_crc: Some(0xDEAD_BEEF),
+            payload_len: 0,
+            ..sample_repr()
+        };
+        let buf = build(&repr, b"");
+        let packet = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(packet.header_len(), 32);
+        assert_eq!(packet.mss_option().unwrap(), Some(536));
+        assert_eq!(packet.payload_crc_option().unwrap(), Some(0xDEAD_BEEF));
+        assert_eq!(Repr::parse(&packet, SRC, DST).unwrap(), repr);
+    }
+
+    #[test]
+    fn truncated_payload_crc_option_rejected() {
+        let repr = Repr {
+            payload_crc: Some(1),
+            ..sample_repr()
+        };
+        let mut buf = build(&repr, b"data");
+        buf[23] = 3; // option length too short for a 4-byte CRC
+        let mut packet = Packet::new_unchecked(&mut buf[..]);
+        packet.fill_checksum(SRC, DST);
+        let packet = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(packet.payload_crc_option().unwrap_err(), Error::Malformed);
     }
 
     #[test]

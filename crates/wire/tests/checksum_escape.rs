@@ -197,6 +197,70 @@ fn sampled_double_corruption_matches_the_predicted_rate() {
     );
 }
 
+/// The opt-in strong-integrity layer closes every blind spot above:
+/// CRC32C over the payload detects the zero flip, every cancelling
+/// word pair, and every transposition that the Internet checksum
+/// provably accepts. This is the wire-level fact E16's corruption
+/// sweep prices end to end (the option costs 8 header bytes per
+/// segment).
+#[test]
+fn crc32c_catches_every_pinned_escape_class() {
+    use catenet_wire::crc32c;
+    let msg = sealed_message();
+    let reference = crc32c(&msg);
+
+    // Class 1: the zero flip at the planted 0x0000 word. The Internet
+    // checksum accepts it; the CRC does not.
+    let flipped = with_word(&msg, 20, 0xffff);
+    assert!(checksum::verify(&flipped), "precondition: zero flip escapes");
+    assert_ne!(crc32c(&flipped), reference, "CRC32C must catch the zero flip");
+
+    // Class 2: cancelling word pairs. Enumerate the same escape set the
+    // exhaustive test counts (one cancelling partner per first-word
+    // value, two at residue zero) and require the CRC to catch all.
+    let (off_a, off_b) = (2usize, 10);
+    let (a, b) = (word_at(&msg, off_a), word_at(&msg, off_b));
+    let mut pairs_checked = 0u64;
+    for new_a in 0..=u16::MAX {
+        let need = (u32::from(b) % 0xffff + 0xffff + u32::from(a) % 0xffff
+            - u32::from(new_a) % 0xffff)
+            % 0xffff;
+        let candidates: &[u16] = if need == 0 { &[0x0000, 0xffff] } else { &[need as u16] };
+        for &new_b in candidates {
+            if new_a == a && new_b == b {
+                continue;
+            }
+            let corrupt = with_word(&with_word(&msg, off_a, new_a), off_b, new_b);
+            debug_assert!(checksum::verify(&corrupt));
+            assert_ne!(
+                crc32c(&corrupt),
+                reference,
+                "cancelling pair ({new_a:#06x}, {new_b:#06x}) fooled the CRC too"
+            );
+            pairs_checked += 1;
+        }
+    }
+    assert!(pairs_checked >= 65_535, "swept the whole cancelling set");
+
+    // Class 3: word transpositions. Addition commutes; polynomial
+    // division does not.
+    for i in 0..16usize {
+        for j in (i + 1)..16 {
+            let (wa, wb) = (word_at(&msg, i * 2), word_at(&msg, j * 2));
+            if wa == wb {
+                continue;
+            }
+            let swapped = with_word(&with_word(&msg, i * 2, wb), j * 2, wa);
+            debug_assert!(checksum::verify(&swapped));
+            assert_ne!(
+                crc32c(&swapped),
+                reference,
+                "transposing words {i} and {j} fooled the CRC too"
+            );
+        }
+    }
+}
+
 /// Reordering blindness: swapping any two 16-bit-aligned words leaves
 /// the sum unchanged, so `verify` accepts every transposition. This is
 /// why the checksum guards payload *values* but not payload *layout* —

@@ -120,6 +120,7 @@ fn tcp_round_trip() {
             ack_number: ack,
             window_len: rng.below(65536) as u16,
             max_seg_size: mss,
+            payload_crc: None,
             payload_len: payload.len(),
         };
         let mut buf = vec![0u8; repr.buffer_len()];
@@ -153,6 +154,7 @@ fn tcp_single_bit_header_corruption_detected() {
             ack_number: Some(TcpSeqNumber(7)),
             window_len: 512,
             max_seg_size: None,
+            payload_crc: None,
             payload_len: payload.len(),
         };
         let mut clean = vec![0u8; repr.buffer_len()];

@@ -6,6 +6,7 @@
 //!
 //! This root crate re-exports the workspace members under stable names:
 //!
+//! - [`accounting`] — per-flow soft state, gateway ledgers, usage reconciliation
 //! - [`sim`] — discrete-event simulator substrate (virtual time, links, faults)
 //! - [`wire`] — zero-copy wire formats (Ethernet, ARP, IPv4, ICMPv4, UDP, TCP)
 //! - [`ip`] — IP forwarding, fragmentation/reassembly, routing tables
@@ -17,6 +18,7 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! per-claim experiment index.
 
+pub use catenet_accounting as accounting;
 pub use catenet_core as stack;
 pub use catenet_ip as ip;
 pub use catenet_routing as routing;
