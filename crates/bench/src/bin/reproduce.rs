@@ -6,6 +6,7 @@
 //! cargo run --release --bin reproduce -- --fast     # fewer seeds
 //! cargo run --release --bin reproduce -- e11 --soak 20   # randomized soak
 //! cargo run --release --bin reproduce -- e13 --check     # timing-free JSON
+//! cargo run --release --bin reproduce -- e17 --check --shards 4   # one K
 //! ```
 
 use catenet_bench::*;
@@ -25,6 +26,12 @@ fn main() {
     let soak: Option<usize> = args
         .windows(2)
         .find(|w| w[0] == "--soak")
+        .and_then(|w| w[1].parse().ok());
+    // `--shards N` pins e17 to a single shard count (CI runs K=1 and
+    // K=4 separately and diffs the check-mode JSON across them).
+    let shards: Option<usize> = args
+        .windows(2)
+        .find(|w| w[0] == "--shards")
         .and_then(|w| w[1].parse().ok());
     let selected: Vec<String> = args
         .iter()
@@ -126,6 +133,24 @@ fn main() {
         let json = e16_accountability::to_json(&results, !check);
         std::fs::write("BENCH_e16.json", &json).expect("write BENCH_e16.json");
         eprintln!("  wrote BENCH_e16.json");
+    }
+    if want("e17") {
+        let counts: Vec<usize> = match shards {
+            Some(k) => vec![k],
+            None => e17_parallel::SHARD_COUNTS.to_vec(),
+        };
+        eprintln!("running e17 (sharded parallel execution) at K={counts:?}...");
+        let start = std::time::Instant::now();
+        let results = e17_parallel::run_battery(fast || check, SEEDS[0], &counts);
+        eprintln!("  e17 done in {:.1}s", start.elapsed().as_secs_f64());
+        println!("{}", e17_parallel::table(&results));
+        assert!(
+            results.all_equal,
+            "e17: dumps diverged across shard counts — a real ordering bug"
+        );
+        let json = e17_parallel::to_json(&results, !check);
+        std::fs::write("BENCH_e17.json", &json).expect("write BENCH_e17.json");
+        eprintln!("  wrote BENCH_e17.json");
     }
     if want("ablations") || selected.is_empty() {
         eprintln!("running ablations A1–A4...");

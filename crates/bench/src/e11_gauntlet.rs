@@ -29,6 +29,7 @@ use catenet_core::{Endpoint, Network, ProgressWatchdog, StreamIntegrity, TcpConf
 use catenet_routing::{DvConfig, GuardPolicy};
 use catenet_sim::{
     ByzantineAttack, Duration, FaultAction, FaultPlan, Instant, LinkClass, Rng, SchedulerKind,
+    ShardKind,
 };
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -412,13 +413,37 @@ pub fn run(scenario: Scenario, seed: u64) -> Outcome {
 /// stall violation on demand — which is how the flight-recorder capture
 /// path is exercised deterministically.
 pub fn run_inner(scenario: Scenario, seed: u64, stall_limit: Duration) -> Outcome {
-    run_full(scenario, seed, stall_limit, SchedulerKind::default()).outcome
+    run_full(
+        scenario,
+        seed,
+        stall_limit,
+        SchedulerKind::default(),
+        ShardKind::Single,
+    )
+    .outcome
 }
 
 /// Run one scenario on an explicit scheduler backend and keep every
 /// observable artifact.
 pub fn run_with(scenario: Scenario, seed: u64, kind: SchedulerKind) -> RunArtifacts {
-    run_full(scenario, seed, Duration::from_secs(60), kind)
+    run_full(scenario, seed, Duration::from_secs(60), kind, ShardKind::Single)
+}
+
+/// Run one scenario on an explicit shard mode and keep every observable
+/// artifact. The shard-equivalence harness runs the battery at K ∈
+/// {1, 2, 4, 8} and asserts the artifacts are byte-identical — the
+/// gauntlet's invariant apps share state across nodes (the sender and
+/// sink both hold the `StreamIntegrity` checker), so the serial
+/// `Sharded` arm is the right mode here, exercising the full barrier
+/// protocol without requiring `Send` apps.
+pub fn run_with_shards(scenario: Scenario, seed: u64, shard: ShardKind) -> RunArtifacts {
+    run_full(
+        scenario,
+        seed,
+        Duration::from_secs(60),
+        SchedulerKind::default(),
+        shard,
+    )
 }
 
 fn run_full(
@@ -426,8 +451,9 @@ fn run_full(
     seed: u64,
     stall_limit: Duration,
     kind: SchedulerKind,
+    shard: ShardKind,
 ) -> RunArtifacts {
-    let mut net = Network::with_scheduler(seed, kind);
+    let mut net = Network::with_config(seed, kind, shard);
     let h1 = net.add_host("h1");
     let ga = net.add_gateway("gA");
     let gd = net.add_gateway("gD");

@@ -26,7 +26,7 @@
 
 use crate::table::Table;
 use catenet_core::{Network, ReconvergenceBound};
-use catenet_sim::{Duration, FaultAction, FaultPlan, LinkClass, SchedulerKind};
+use catenet_sim::{Duration, FaultAction, FaultPlan, LinkClass, SchedulerKind, ShardKind};
 use catenet_telemetry::Reconvergence;
 
 /// The reconvergence bound every heal is checked against.
@@ -78,8 +78,29 @@ pub fn run_with(
     seed: u64,
     kind: SchedulerKind,
 ) -> (Vec<Reconvergence>, [String; 3]) {
+    run_config(gateways, fault, seed, kind, ShardKind::Single)
+}
+
+/// [`run`] on an explicit shard mode — the shard-equivalence harness
+/// compares the measurements and dumps across K ∈ {1, 2, 4, 8}.
+pub fn run_with_shards(
+    gateways: usize,
+    fault: FaultKind,
+    seed: u64,
+    shard: ShardKind,
+) -> (Vec<Reconvergence>, [String; 3]) {
+    run_config(gateways, fault, seed, SchedulerKind::default(), shard)
+}
+
+fn run_config(
+    gateways: usize,
+    fault: FaultKind,
+    seed: u64,
+    kind: SchedulerKind,
+    shard: ShardKind,
+) -> (Vec<Reconvergence>, [String; 3]) {
     assert!(gateways >= 3, "a ring needs a backup path");
-    let mut net = Network::with_scheduler(seed, kind);
+    let mut net = Network::with_config(seed, kind, shard);
     let h1 = net.add_host("h1");
     let gs: Vec<usize> = (0..gateways)
         .map(|i| net.add_gateway(format!("g{i}")))

@@ -34,8 +34,11 @@ use catenet_sim::{diffsched, Duration, LinkClass, SchedulerKind, TraceOp};
 
 /// Ring sizes (gateway counts) in the full battery.
 pub const RING_SIZES: [usize; 4] = [50, 100, 200, 400];
-/// Ring sizes in the fast/CI battery.
-pub const RING_SIZES_FAST: [usize; 2] = [50, 100];
+/// Ring sizes in the fast/CI battery. Ring-400 is included so the CI
+/// determinism diff exercises the overflow-heavy scheduler path (far
+/// timers paging through the wheel's overflow map), not just the
+/// in-window fast path the small rings stay inside.
+pub const RING_SIZES_FAST: [usize; 3] = [50, 100, 400];
 /// Virtual time each topology runs: long enough for the cold-start
 /// storm, several periodic update rounds, and the bulk transfers.
 pub const VIRTUAL: Duration = Duration::from_secs(30);

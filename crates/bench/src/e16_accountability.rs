@@ -38,7 +38,7 @@ use catenet_core::app::{BulkSender, SinkServer};
 use catenet_core::flow::{FlowId, FlowTable};
 use catenet_core::iface::Framing;
 use catenet_core::{Endpoint, Network, NodeId, TcpConfig};
-use catenet_sim::{Duration, FaultPlan, Instant, LinkClass, LinkParams, Rng};
+use catenet_sim::{Duration, FaultAction, FaultPlan, Instant, LinkClass, LinkParams, Rng, ShardKind};
 use catenet_wire::{checksum, crc32c, IpProtocol, Ipv4Address};
 use std::rc::Rc;
 
@@ -53,8 +53,11 @@ pub const CHURN_FLOWS: usize = 100_000;
 
 // ---------------------------------------------------------- part 1
 
-/// One seed's crash-storm reconciliation outcome.
-#[derive(Debug, Clone)]
+/// One seed's crash-storm reconciliation outcome. Every field is
+/// integral or boolean, so two runs compare with `==` — the
+/// shard-equivalence harness asserts a K-lane run reconciles to the
+/// byte-identical books the single-lane reference produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReconcileRun {
     /// Seed.
     pub seed: u64,
@@ -83,7 +86,34 @@ pub struct ReconcileRun {
 /// Run one reconciliation arm: h1—g1—g2—g3—h2 chain, bulk transfer,
 /// optional crash storm on g2, ledgers flushing every [`FLUSH_PERIOD`].
 pub fn run_reconcile(seed: u64, storm: bool) -> ReconcileRun {
-    let mut net = Network::new(seed);
+    run_reconcile_config(seed, storm, ShardKind::Single, false).0
+}
+
+/// [`run_reconcile`] on an explicit shard mode, additionally returning
+/// the telemetry dumps (metrics, series, flight) so the
+/// shard-equivalence harness can compare K-lane books byte for byte.
+pub fn run_reconcile_shards(seed: u64, storm: bool, shard: ShardKind) -> (ReconcileRun, [String; 3]) {
+    run_reconcile_config(seed, storm, shard, false)
+}
+
+/// The barrier-instant regression arm: instead of the seeded storm, a
+/// single crash of the middle gateway is scheduled to land *exactly* on
+/// a ledger-flush instant (a multiple of [`FLUSH_PERIOD`], which is
+/// also a coordinator barrier in sharded execution). Faults must apply
+/// before flushes at the same instant — a crash at T forfeits the tail
+/// the flush at T would have reported — and that ordering is exactly
+/// what sharded windows are most likely to break.
+pub fn run_reconcile_barrier_crash(seed: u64, shard: ShardKind) -> (ReconcileRun, [String; 3]) {
+    run_reconcile_config(seed, true, shard, true)
+}
+
+fn run_reconcile_config(
+    seed: u64,
+    storm: bool,
+    shard: ShardKind,
+    crash_on_flush: bool,
+) -> (ReconcileRun, [String; 3]) {
+    let mut net = Network::with_shards(seed, shard);
     let h1 = net.add_host("h1");
     let g1 = net.add_gateway("g1");
     let g2 = net.add_gateway("g2");
@@ -127,7 +157,19 @@ pub fn run_reconcile(seed: u64, storm: bool) -> ReconcileRun {
     let result = sender.result_handle();
     net.attach_app(h1, Box::new(sender));
 
-    if storm {
+    if crash_on_flush {
+        // Accounting was enabled at t=0, so flushes land at exact
+        // multiples of the period. Pick the first multiple at least 2 s
+        // into the transfer: the mid-gateway ledger is guaranteed
+        // non-empty when the crash and the flush collide.
+        let period = FLUSH_PERIOD.total_micros();
+        let earliest = (start + Duration::from_secs(2)).total_micros();
+        let crash_at = Instant::from_micros(earliest.div_ceil(period) * period);
+        let mut plan = FaultPlan::new();
+        plan.push(crash_at, FaultAction::NodeCrash { node: g2 });
+        plan.push(crash_at + Duration::from_secs(3), FaultAction::NodeRestart { node: g2 });
+        net.attach_fault_plan(plan);
+    } else if storm {
         let mut plan = FaultPlan::new();
         let mut storm_rng = Rng::from_seed(seed ^ 0xE16);
         plan.crash_storm(
@@ -157,7 +199,7 @@ pub fn run_reconcile(seed: u64, storm: bool) -> ReconcileRun {
         .iter()
         .all(|&carried| goodput <= carried && carried <= sent);
     let collector = net.report_collector().expect("accounting enabled");
-    ReconcileRun {
+    let run = ReconcileRun {
         seed,
         storm,
         completed,
@@ -172,7 +214,9 @@ pub fn run_reconcile(seed: u64, storm: bool) -> ReconcileRun {
         reports: collector.flushed_count() as u64,
         forfeited: collector.forfeited_count() as u64,
         faults: net.faults_applied,
-    }
+    };
+    let dumps = [net.metrics_dump(), net.series_dump(), net.flight_dump()];
+    (run, dumps)
 }
 
 // ---------------------------------------------------------- part 2

@@ -23,6 +23,7 @@
 //! | [`e14_routeguard`] | byzantine blast radius with and without the route-guard defense |
 //! | [`e15_fastpath`] | per-packet buffer cost: pooled zero-copy path vs allocate-and-copy |
 //! | [`e16_accountability`] | crash-reconcilable usage reports, 10⁵-flow churn, CRC32C vs checksum escapes |
+//! | [`e17_parallel`] | sharded parallel execution: speedup vs shard count, dumps byte-identical at every K |
 //!
 //! [`ablations`] additionally turns individual design choices *off* —
 //! congestion control, split horizon, Nagle, source quench — and
@@ -45,6 +46,7 @@ pub mod e13_scale;
 pub mod e14_routeguard;
 pub mod e15_fastpath;
 pub mod e16_accountability;
+pub mod e17_parallel;
 pub mod e2_type_of_service;
 pub mod e3_variety;
 pub mod e4_distributed_mgmt;

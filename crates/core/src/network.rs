@@ -1,23 +1,37 @@
 //! The internetwork: nodes wired together over simulated links, driven
 //! by one deterministic event loop.
 //!
-//! The network owns the scheduler, the links, and the failure switches
-//! (node crash/reboot, link up/down) that the survivability experiments
-//! script. It never looks inside a datagram: everything above the link
-//! is the nodes' business — the same layering discipline the
-//! architecture itself prescribes.
+//! The network owns the lanes (shard partitions, each with its own
+//! scheduler and link directions — see [`crate::lane`]), and the failure
+//! switches (node crash/reboot, link up/down) that the survivability
+//! experiments script. It never looks inside a datagram: everything
+//! above the link is the nodes' business — the same layering discipline
+//! the architecture itself prescribes.
+//!
+//! Under [`ShardKind::Single`] (the default) one lane covers every node
+//! and execution is the classic serial event loop. Under
+//! `Sharded`/`Parallel` the node set splits into K contiguous lanes at
+//! the first `run_until`, and the loop becomes a barrier protocol:
+//! conservative-lookahead windows per lane, cross-lane frames and
+//! telemetry harvests exchanged at barrier instants. Every dump is
+//! byte-identical across K — `tests/shard_equivalence.rs` is the proof.
 
 use crate::accounting::{Ledger, Reconciliation, ReportCollector};
 use crate::app::Application;
 use crate::byzantine::ByzantineState;
 use crate::flow::FlowTable;
 use crate::iface::{Framing, Iface};
+use crate::lane::{
+    AcctCounters, CrossFrame, Event, GuardCounters, HarvestEntry, HarvestOp, Keyed, Lane, LaneLink,
+    LaneView, LinkEnd, LinkMeta,
+};
 use crate::node::{Node, NodeRole};
-use crate::pool::{PacketBuf, PacketPool, PoolStats};
+use crate::par::{self, SendView};
+use crate::pool::{PacketPool, PoolStats};
 use catenet_routing::{Attestor, GuardPolicy, MacKey, OriginId, OriginRegistry};
 use catenet_sim::{
-    ByzantineAttack, Duration, FaultAction, FaultPlan, Instant, Link, LinkClass, LinkOutcome,
-    LinkParams, Rng, SchedStats, Scheduler, SchedulerKind, TraceOp,
+    ByzantineAttack, Duration, FaultAction, FaultPlan, Instant, Link, LinkClass, LinkParams,
+    SchedStats, Scheduler, SchedulerKind, ShardKind, TraceOp,
 };
 use catenet_telemetry::{EventKind, Scope, Telemetry};
 use catenet_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
@@ -30,41 +44,6 @@ pub type NodeId = usize;
 pub type FrameTap = Box<dyn FnMut(Instant, &[u8])>;
 /// Index of a (duplex) link within the network.
 pub type LinkId = usize;
-
-#[derive(Debug, Clone, Copy)]
-struct LinkEnd {
-    node: NodeId,
-    iface: usize,
-}
-
-struct DuplexLink {
-    a: LinkEnd,
-    b: LinkEnd,
-    /// a → b direction.
-    ab: Link,
-    /// b → a direction.
-    ba: Link,
-}
-
-enum Event {
-    Frame {
-        to: NodeId,
-        iface: usize,
-        frame: PacketBuf,
-    },
-    Wake {
-        node: NodeId,
-    },
-}
-
-/// Cumulative route-guard verdict counters harvested per neighbor:
-/// (accepted, sanitized, damped, quarantined, attest-rejected).
-type GuardCounters = (u64, u64, u64, u64, u64);
-
-/// Cumulative accounting counters harvested per node: (flow evictions,
-/// idle expiries, fragments attributed via port cache, fragments left
-/// unattributed).
-type AcctCounters = (u64, u64, u64, u64);
 
 /// The goal-7 usage-report pipeline (see [`Network::enable_accounting`]):
 /// flush cadence plus the administration's collector, which outlives any
@@ -79,12 +58,30 @@ struct AccountingCtl {
 pub struct Network {
     nodes: Vec<Node>,
     apps: Vec<Vec<Box<dyn Application>>>,
-    links: Vec<DuplexLink>,
+    /// Who is on each end of each duplex link. The directed `Link`s
+    /// themselves live in the lanes that own their senders.
+    links_meta: Vec<LinkMeta>,
+    /// Where each directed link lives: `link_home[id][0]` is the
+    /// `(lane, index)` of the a→b direction, `[1]` of b→a.
+    link_home: Vec<[(u32, u32); 2]>,
     endpoint_index: HashMap<(NodeId, usize), (LinkId, bool)>,
-    sched: Scheduler<Event>,
-    rng: Rng,
+    /// The execution lanes. Exactly one (covering every node) until a
+    /// `Sharded`/`Parallel` network splits at its first `run_until`.
+    lanes: Vec<Lane>,
+    /// Which lane each node lives in (all zeros before the split).
+    lane_of: Vec<u32>,
+    /// The seed every per-link RNG stream derives from.
+    seed: u64,
+    /// How the event loop partitions and executes the node set.
+    shard: ShardKind,
+    /// Set when a K>1 network has split into lanes; the topology is
+    /// immutable from then on (contiguous partition and link homes
+    /// would both be invalidated by growth).
+    frozen: bool,
     now: Instant,
     next_wake: Vec<Option<Instant>>,
+    /// Per-node origin sequence for delivery keys (see [`Keyed`]).
+    event_seq: Vec<u64>,
     subnet_counter: u16,
     /// Optional frame tap (e.g. a pcap writer) observing every frame
     /// offered to any link.
@@ -117,10 +114,11 @@ pub struct Network {
     /// Service passes executed per node (each pass may handle a whole
     /// batch of same-instant events; see [`Network::run_until`]).
     service_count: Vec<u64>,
-    /// Byzantine corruption state per compromised node (see
+    /// Byzantine corruption state per node (see
     /// [`FaultAction::Compromise`]): the liar's outgoing RIP frames are
-    /// rewritten in `transmit`, after the node honestly computed them.
-    compromised: BTreeMap<NodeId, ByzantineState>,
+    /// rewritten in the lane's `transmit`, after the node honestly
+    /// computed them. Dense so the per-node slice splits across lanes.
+    byz: Vec<Option<ByzantineState>>,
     /// Last harvested route-guard verdict totals per node and neighbor,
     /// for delta-counting into the registry.
     last_guard: Vec<BTreeMap<Ipv4Address, GuardCounters>>,
@@ -128,15 +126,13 @@ pub struct Network {
     /// [`Network::enable_attestation`]); `None` means attestation has
     /// never been enabled and nothing is signed or registered.
     attest_master: Option<MacKey>,
-    /// Scratch list of nodes touched by the current same-instant batch,
-    /// kept around so steady-state batching allocates nothing.
-    touched: Vec<NodeId>,
     /// The shared packet-buffer pool every node allocates from. Frames
     /// recycle through it instead of hitting the allocator per hop.
+    /// Under `ShardKind::Parallel` the split re-homes every node onto a
+    /// lane-private pool and this one only serves coordinator-side
+    /// allocation (fault-time frame corruption never needs it: lanes
+    /// corrupt with their own pools).
     pool: PacketPool,
-    /// Scratch outbox swapped with each serviced node, so draining
-    /// produced frames allocates nothing in steady state.
-    outbox_scratch: Vec<(usize, PacketBuf)>,
     /// Whether pool telemetry is harvested into the sampler. Off by
     /// default so dumps stay byte-identical to pool-unaware runs
     /// (recycling happens in *every* run, unlike guard verdicts).
@@ -162,15 +158,33 @@ impl Network {
     /// A fresh network on an explicit scheduler backend (the
     /// differential harness and E13 run both and compare).
     pub fn with_scheduler(seed: u64, kind: SchedulerKind) -> Network {
+        Network::with_config(seed, kind, ShardKind::Single)
+    }
+
+    /// A fresh network on an explicit shard mode (the shard-equivalence
+    /// harness and E17 run several and compare dumps byte-for-byte).
+    pub fn with_shards(seed: u64, shard: ShardKind) -> Network {
+        Network::with_config(seed, SchedulerKind::default(), shard)
+    }
+
+    /// A fresh network with both the scheduler backend and the shard
+    /// mode chosen explicitly.
+    pub fn with_config(seed: u64, kind: SchedulerKind, shard: ShardKind) -> Network {
+        let pool = PacketPool::new();
         Network {
             nodes: Vec::new(),
             apps: Vec::new(),
-            links: Vec::new(),
+            links_meta: Vec::new(),
+            link_home: Vec::new(),
             endpoint_index: HashMap::new(),
-            sched: Scheduler::with_kind(kind),
-            rng: Rng::from_seed(seed),
+            lanes: vec![Lane::new(0, 0, Scheduler::with_kind(kind), pool.clone())],
+            lane_of: Vec::new(),
+            seed,
+            shard,
+            frozen: false,
             now: Instant::ZERO,
             next_wake: Vec::new(),
+            event_seq: Vec::new(),
             subnet_counter: 0,
             tap: None,
             frames_offered: 0,
@@ -184,17 +198,27 @@ impl Network {
             last_sampled_acked: Vec::new(),
             last_harvest: Vec::new(),
             service_count: Vec::new(),
-            touched: Vec::new(),
-            compromised: BTreeMap::new(),
+            byz: Vec::new(),
             last_guard: Vec::new(),
             attest_master: None,
-            pool: PacketPool::new(),
-            outbox_scratch: Vec::new(),
+            pool,
             pool_metrics: false,
             last_pool: PoolStats::default(),
             accounting: None,
             last_acct: Vec::new(),
         }
+    }
+
+    /// The shard mode this network executes under.
+    pub fn shard_kind(&self) -> ShardKind {
+        self.shard
+    }
+
+    /// How many lanes the node set is actually partitioned into. `1`
+    /// until the first `run_until` splits a multi-shard network (the
+    /// requested count is clamped to the node count).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
     }
 
     /// Current virtual time.
@@ -204,29 +228,39 @@ impl Network {
 
     /// Which scheduler backend this network runs on.
     pub fn scheduler_kind(&self) -> SchedulerKind {
-        self.sched.kind()
+        self.lanes[0].sched.kind()
     }
 
-    /// Scheduler counters (events scheduled/processed, backend stats).
+    /// Scheduler counters (events scheduled/processed, backend stats),
+    /// summed over lanes. Note `scheduled` counts a boot event twice if
+    /// a K>1 split redistributed it; `processed` never double-counts.
     pub fn sched_stats(&self) -> SchedStats {
-        self.sched.stats()
+        let mut total = self.lanes[0].sched.stats();
+        for lane in &self.lanes[1..] {
+            let stats = lane.sched.stats();
+            total.scheduled += stats.scheduled;
+            total.processed += stats.processed;
+            total.pending += stats.pending;
+        }
+        total
     }
 
-    /// Arm or disarm scheduler op tracing (see [`catenet_sim::TraceOp`]).
-    /// Arm it before the first topology call: a replayable trace has to
-    /// start at event zero.
+    /// Arm or disarm scheduler op tracing (see [`catenet_sim::TraceOp`])
+    /// on the boot scheduler. Arm it before the first topology call: a
+    /// replayable trace has to start at event zero. (Single-lane only —
+    /// a split network's per-lane traces are not one replayable stream.)
     pub fn set_sched_trace(&mut self, on: bool) {
-        self.sched.set_trace(on);
+        self.lanes[0].sched.set_trace(on);
     }
 
     /// Take the recorded scheduler op trace, leaving tracing disarmed.
     pub fn take_sched_trace(&mut self) -> Vec<TraceOp> {
-        self.sched.take_trace()
+        self.lanes[0].sched.take_trace()
     }
 
-    /// When the next scheduled event is due, if any.
+    /// When the next scheduled event is due, if any (over all lanes).
     pub fn next_event_at(&self) -> Option<Instant> {
-        self.sched.peek_time()
+        self.lanes.iter().filter_map(|l| l.sched.peek_time()).min()
     }
 
     /// How many service passes a node has executed (a same-instant
@@ -248,17 +282,25 @@ impl Network {
     /// Add a pre-built node. The node is wired to the network's shared
     /// packet pool so its datagrams ride recycled buffers.
     pub fn add_node(&mut self, mut node: Node) -> NodeId {
+        assert!(
+            !self.frozen,
+            "topology is frozen once a sharded network has run"
+        );
         node.set_pool(self.pool.clone());
         self.nodes.push(node);
         self.apps.push(Vec::new());
         self.next_wake.push(None);
+        self.event_seq.push(0);
         self.last_dv_version.push(0);
         self.last_rto_total.push(0);
         self.last_sampled_acked.push(0);
         self.last_harvest.push((0, 0, 0, 0));
         self.service_count.push(0);
+        self.byz.push(None);
         self.last_guard.push(BTreeMap::new());
         self.last_acct.push((0, 0, 0, 0));
+        self.lane_of.push(0);
+        self.lanes[0].hi = self.nodes.len();
         self.nodes.len() - 1
     }
 
@@ -449,13 +491,30 @@ impl Network {
             }
         }
 
-        let link_id = self.links.len();
-        self.links.push(DuplexLink {
+        assert!(
+            !self.frozen,
+            "topology is frozen once a sharded network has run"
+        );
+        let link_id = self.links_meta.len();
+        self.links_meta.push(LinkMeta {
             a: LinkEnd { node: a, iface: iface_a },
             b: LinkEnd { node: b, iface: iface_b },
-            ab: Link::new(params.clone()),
-            ba: Link::new(params),
         });
+        // Both directions boot in lane 0; the split moves each to the
+        // lane owning its sender. Each direction rolls its own RNG
+        // stream keyed to (seed, link, direction), so frame fates are
+        // independent of shard count by construction.
+        let boot = &mut self.lanes[0];
+        let idx = boot.links.len() as u32;
+        boot.links.push(LaneLink {
+            link: Link::new(params.clone()),
+            rng: LaneLink::seeded(self.seed, link_id, true),
+        });
+        boot.links.push(LaneLink {
+            link: Link::new(params),
+            rng: LaneLink::seeded(self.seed, link_id, false),
+        });
+        self.link_home.push([(0, idx), (0, idx + 1)]);
         self.endpoint_index.insert((a, iface_a), (link_id, true));
         self.endpoint_index.insert((b, iface_b), (link_id, false));
         // Register the new subnet before the kicks below make routing
@@ -469,31 +528,44 @@ impl Network {
 
     /// The subnet of a link.
     pub fn link_subnet(&self, link: LinkId) -> Ipv4Cidr {
-        let end = self.links[link].a;
+        let end = self.links_meta[link].a;
         self.nodes[end.node].ifaces[end.iface].cidr
     }
 
     /// Address of `node` on `link`.
     pub fn addr_on_link(&self, node: NodeId, link: LinkId) -> Ipv4Address {
-        let duplex = &self.links[link];
-        let end = if duplex.a.node == node {
-            duplex.a
+        let meta = &self.links_meta[link];
+        let end = if meta.a.node == node {
+            meta.a
         } else {
-            assert_eq!(duplex.b.node, node, "node not on link");
-            duplex.b
+            assert_eq!(meta.b.node, node, "node not on link");
+            meta.b
         };
         self.nodes[end.node].ifaces[end.iface].addr
+    }
+
+    /// Borrow one direction of a link (`ab` selects a→b) wherever its
+    /// owning lane keeps it.
+    fn link_dir(&self, link: LinkId, ab: bool) -> &Link {
+        let (lane, idx) = self.link_home[link][usize::from(!ab)];
+        &self.lanes[lane as usize].links[idx as usize].link
+    }
+
+    /// Mutably borrow one direction of a link.
+    fn link_dir_mut(&mut self, link: LinkId, ab: bool) -> &mut Link {
+        let (lane, idx) = self.link_home[link][usize::from(!ab)];
+        &mut self.lanes[lane as usize].links[idx as usize].link
     }
 
     // -------------------------------------------------------- failures
 
     /// Take a link down (both directions) or bring it back up.
     pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        self.link_dir_mut(link, true).set_up(up);
+        self.link_dir_mut(link, false).set_up(up);
         let (a, b) = {
-            let duplex = &mut self.links[link];
-            duplex.ab.set_up(up);
-            duplex.ba.set_up(up);
-            (duplex.a, duplex.b)
+            let meta = &self.links_meta[link];
+            (meta.a, meta.b)
         };
         self.nodes[a.node].ifaces[a.iface].up = up;
         self.nodes[b.node].ifaces[b.iface].up = up;
@@ -641,9 +713,8 @@ impl Network {
     /// stay up and routing notices nothing. `None` leaves a field at its
     /// current value.
     pub fn degrade_link(&mut self, link: LinkId, loss: Option<f64>, corruption: Option<f64>) {
-        let duplex = &mut self.links[link];
-        duplex.ab.degrade(loss, corruption);
-        duplex.ba.degrade(loss, corruption);
+        self.link_dir_mut(link, true).degrade(loss, corruption);
+        self.link_dir_mut(link, false).degrade(loss, corruption);
     }
 
     /// Silently degrade *one direction* of a link (`a_to_b` selects
@@ -656,33 +727,30 @@ impl Network {
         loss: Option<f64>,
         corruption: Option<f64>,
     ) {
-        let duplex = &mut self.links[link];
-        let dir = if a_to_b { &mut duplex.ab } else { &mut duplex.ba };
-        dir.degrade(loss, corruption);
+        self.link_dir_mut(link, a_to_b).degrade(loss, corruption);
     }
 
     /// Inflate a link's latency (both directions): propagation grows by
     /// `extra` and jitter becomes `jitter`. Nothing is dropped; large
     /// jitter reorders back-to-back frames.
     pub fn delay_spike_link(&mut self, link: LinkId, extra: Duration, jitter: Duration) {
-        let duplex = &mut self.links[link];
-        duplex.ab.delay_spike(extra, jitter);
-        duplex.ba.delay_spike(extra, jitter);
+        self.link_dir_mut(link, true).delay_spike(extra, jitter);
+        self.link_dir_mut(link, false).delay_spike(extra, jitter);
     }
 
     /// Restore a degraded or delay-spiked link to its configured quality
     /// and timing (both directions, both kinds of damage).
     pub fn restore_link(&mut self, link: LinkId) {
-        let duplex = &mut self.links[link];
-        duplex.ab.restore();
-        duplex.ba.restore();
-        duplex.ab.restore_delay();
-        duplex.ba.restore_delay();
+        for ab in [true, false] {
+            let dir = self.link_dir_mut(link, ab);
+            dir.restore();
+            dir.restore_delay();
+        }
     }
 
     /// Whether a link is up (both directions share fate).
     pub fn link_is_up(&self, link: LinkId) -> bool {
-        self.links[link].ab.is_up()
+        self.link_dir(link, true).is_up()
     }
 
     // ------------------------------------------------------------ chaos
@@ -725,7 +793,7 @@ impl Network {
         self.telemetry.registry.add(id, 1);
         match action {
             FaultAction::LinkSet { link, up } => {
-                if *link < self.links.len() && self.links[*link].ab.is_up() != *up {
+                if *link < self.links_meta.len() && self.link_is_up(*link) != *up {
                     // A partitioned-off link stays down until Heal.
                     if !self.partition_cut.contains(link) {
                         self.set_link_up(*link, *up);
@@ -752,14 +820,12 @@ impl Network {
             FaultAction::Partition { side_a } => {
                 // One partition at a time: a new cut heals the old first.
                 self.heal_partition();
-                let crossing: Vec<LinkId> = self
-                    .links
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, d)| {
-                        side_a.contains(&d.a.node) != side_a.contains(&d.b.node) && d.ab.is_up()
+                let crossing: Vec<LinkId> = (0..self.links_meta.len())
+                    .filter(|&id| {
+                        let meta = &self.links_meta[id];
+                        side_a.contains(&meta.a.node) != side_a.contains(&meta.b.node)
+                            && self.link_is_up(id)
                     })
-                    .map(|(id, _)| id)
                     .collect();
                 for &id in &crossing {
                     self.set_link_up(id, false);
@@ -775,12 +841,12 @@ impl Network {
                 loss,
                 corruption,
             } => {
-                if *link < self.links.len() {
+                if *link < self.links_meta.len() {
                     self.degrade_link(*link, *loss, *corruption);
                 }
             }
             FaultAction::Restore { link } => {
-                if *link < self.links.len() {
+                if *link < self.links_meta.len() {
                     self.restore_link(*link);
                 }
             }
@@ -790,25 +856,24 @@ impl Network {
                 loss,
                 corruption,
             } => {
-                if *link < self.links.len() {
+                if *link < self.links_meta.len() {
                     self.degrade_link_dir(*link, *a_to_b, *loss, *corruption);
                 }
             }
             FaultAction::DelaySpike { link, extra, jitter } => {
-                if *link < self.links.len() {
+                if *link < self.links_meta.len() {
                     self.delay_spike_link(*link, *extra, *jitter);
                 }
             }
             FaultAction::RestoreDelay { link } => {
-                if *link < self.links.len() {
-                    let duplex = &mut self.links[*link];
-                    duplex.ab.restore_delay();
-                    duplex.ba.restore_delay();
+                if *link < self.links_meta.len() {
+                    self.link_dir_mut(*link, true).restore_delay();
+                    self.link_dir_mut(*link, false).restore_delay();
                 }
             }
             FaultAction::Compromise { node, attack } => {
-                if *node < self.nodes.len() && !self.compromised.contains_key(node) {
-                    self.compromised.insert(*node, ByzantineState::new(*attack));
+                if *node < self.nodes.len() && self.byz[*node].is_none() {
+                    self.byz[*node] = Some(ByzantineState::new(*attack));
                     // The lie needs teeth: for every traffic-attraction
                     // attack the liar's forwarding path silently eats
                     // what it captures.
@@ -825,7 +890,7 @@ impl Network {
                 }
             }
             FaultAction::Rehabilitate { node } => {
-                if self.compromised.remove(node).is_some() {
+                if *node < self.byz.len() && self.byz[*node].take().is_some() {
                     self.nodes[*node].blackhole_prefixes.clear();
                     self.telemetry.convergence.heal(now);
                 }
@@ -845,15 +910,313 @@ impl Network {
 
     // ------------------------------------------------------------- run
 
+    /// Split a `Sharded`/`Parallel` network into its K lanes. Runs once,
+    /// at the first `run_until`; the topology is frozen from then on.
+    /// Nothing has been *processed* yet at that point (kicks service
+    /// nodes directly; they only schedule), so redistributing the boot
+    /// scheduler's pending events into per-lane schedulers loses no
+    /// ordering or counter state.
+    fn ensure_split(&mut self) {
+        if self.frozen {
+            return;
+        }
+        let n = self.nodes.len();
+        let k = self.shard.shards().min(n.max(1));
+        if k <= 1 {
+            return;
+        }
+        self.frozen = true;
+        let parallel = matches!(self.shard, ShardKind::Parallel { .. });
+        let kind = self.lanes[0].sched.kind();
+        let boot = self.lanes.pop().expect("boot lane");
+        debug_assert_eq!(
+            boot.sched.stats().processed,
+            0,
+            "split must happen before the first event pops"
+        );
+        for i in 0..k {
+            let lo = i * n / k;
+            let hi = (i + 1) * n / k;
+            let pool = if parallel {
+                // Lane-private pool: `Rc`-based recycling cannot cross
+                // threads. Carries the zero-copy mode of the shared one.
+                let pool = PacketPool::new();
+                pool.set_zero_copy(self.pool.zero_copy());
+                pool
+            } else {
+                self.pool.clone()
+            };
+            let mut lane = Lane::new(lo, hi, Scheduler::with_kind(kind), pool);
+            lane.detach_cross = parallel;
+            self.lanes.push(lane);
+            for id in lo..hi {
+                self.lane_of[id] = i as u32;
+            }
+        }
+        // Each directed link moves to the lane owning its sender, RNG
+        // state intact (connect-time kicks already drew from it).
+        let mut boot_links = boot.links;
+        for (slot, lane_link) in boot_links.drain(..).enumerate() {
+            let link_id = slot / 2;
+            let ab = slot % 2 == 0;
+            let meta = &self.links_meta[link_id];
+            let sender = if ab { meta.a.node } else { meta.b.node };
+            let home = self.lane_of[sender] as usize;
+            let idx = self.lanes[home].links.len() as u32;
+            self.lanes[home].links.push(lane_link);
+            self.link_home[link_id][usize::from(!ab)] = (home as u32, idx);
+        }
+        // Pending boot events follow their destination node.
+        for (at, mut keyed) in boot.sched.into_drain() {
+            let dest = match &mut keyed.event {
+                Event::Frame { to, frame, .. } => {
+                    if parallel {
+                        // Sever from the pre-split shared pool; see
+                        // `rehome_pool` for the same step on node state.
+                        frame.detach();
+                    }
+                    *to
+                }
+                Event::Wake { node } => *node,
+            };
+            self.lanes[self.lane_of[dest] as usize]
+                .sched
+                .schedule_at(at, keyed);
+        }
+        if parallel {
+            for id in 0..n {
+                let pool = self.lanes[self.lane_of[id] as usize].pool.clone();
+                self.nodes[id].rehome_pool(pool);
+            }
+        }
+    }
+
+    /// The conservative lookahead: the minimum base propagation delay of
+    /// any cross-lane link, in microseconds. `None` means no cross-lane
+    /// link exists (single lane) and windows are unbounded. Delay spikes
+    /// only *add* delay on top of the base, so the bound stays sound
+    /// under every fault the plan can inject.
+    fn cross_lookahead(&self) -> Option<u64> {
+        let mut lookahead: Option<u64> = None;
+        for (id, meta) in self.links_meta.iter().enumerate() {
+            if self.lane_of[meta.a.node] != self.lane_of[meta.b.node] {
+                let micros = self.link_dir(id, true).base_propagation().total_micros();
+                lookahead = Some(lookahead.map_or(micros, |cur| cur.min(micros)));
+            }
+        }
+        lookahead
+    }
+
+    /// Run one lane's window serially (tap included, if installed).
+    fn run_lane_window(&mut self, lane_index: usize, limit: Instant) {
+        let lane = &mut self.lanes[lane_index];
+        let (lo, hi) = (lane.lo, lane.hi);
+        let mut view = LaneView {
+            lane,
+            lane_index,
+            lo,
+            nodes: &mut self.nodes[lo..hi],
+            apps: &mut self.apps[lo..hi],
+            next_wake: &mut self.next_wake[lo..hi],
+            event_seq: &mut self.event_seq[lo..hi],
+            service_count: &mut self.service_count[lo..hi],
+            byz: &mut self.byz[lo..hi],
+            last_dv_version: &mut self.last_dv_version[lo..hi],
+            last_rto_total: &mut self.last_rto_total[lo..hi],
+            last_harvest: &mut self.last_harvest[lo..hi],
+            last_acct: &mut self.last_acct[lo..hi],
+            last_guard: &mut self.last_guard[lo..hi],
+            endpoint_index: &self.endpoint_index,
+            links_meta: &self.links_meta,
+            link_home: &self.link_home,
+            lane_of: &self.lane_of,
+            tap: self.tap.as_mut(),
+        };
+        view.run_window(limit);
+    }
+
+    /// Run every lane's window on its own scoped thread. Only called
+    /// when no coordinator-shared state (tap, attestation registry) can
+    /// leak into a lane.
+    fn run_windows_threaded(&mut self, limit: Instant) {
+        fn chunks<'a, T>(
+            mut slice: &'a mut [T],
+            bounds: &[(usize, usize)],
+        ) -> std::vec::IntoIter<&'a mut [T]> {
+            let mut out = Vec::with_capacity(bounds.len());
+            let mut offset = 0;
+            for &(lo, hi) in bounds {
+                debug_assert_eq!(lo, offset, "lanes tile the node range");
+                let (chunk, rest) = slice.split_at_mut(hi - offset);
+                out.push(chunk);
+                slice = rest;
+                offset = hi;
+            }
+            out.into_iter()
+        }
+        let bounds: Vec<(usize, usize)> = self.lanes.iter().map(|l| (l.lo, l.hi)).collect();
+        let mut nodes = chunks(&mut self.nodes, &bounds);
+        let mut apps = chunks(&mut self.apps, &bounds);
+        let mut next_wake = chunks(&mut self.next_wake, &bounds);
+        let mut event_seq = chunks(&mut self.event_seq, &bounds);
+        let mut service_count = chunks(&mut self.service_count, &bounds);
+        let mut byz = chunks(&mut self.byz, &bounds);
+        let mut last_dv_version = chunks(&mut self.last_dv_version, &bounds);
+        let mut last_rto_total = chunks(&mut self.last_rto_total, &bounds);
+        let mut last_harvest = chunks(&mut self.last_harvest, &bounds);
+        let mut last_acct = chunks(&mut self.last_acct, &bounds);
+        let mut last_guard = chunks(&mut self.last_guard, &bounds);
+        let views: Vec<SendView<'_>> = self
+            .lanes
+            .iter_mut()
+            .enumerate()
+            .map(|(lane_index, lane)| {
+                SendView(LaneView {
+                    lo: lane.lo,
+                    lane,
+                    lane_index,
+                    nodes: nodes.next().expect("one chunk per lane"),
+                    apps: apps.next().expect("one chunk per lane"),
+                    next_wake: next_wake.next().expect("one chunk per lane"),
+                    event_seq: event_seq.next().expect("one chunk per lane"),
+                    service_count: service_count.next().expect("one chunk per lane"),
+                    byz: byz.next().expect("one chunk per lane"),
+                    last_dv_version: last_dv_version.next().expect("one chunk per lane"),
+                    last_rto_total: last_rto_total.next().expect("one chunk per lane"),
+                    last_harvest: last_harvest.next().expect("one chunk per lane"),
+                    last_acct: last_acct.next().expect("one chunk per lane"),
+                    last_guard: last_guard.next().expect("one chunk per lane"),
+                    endpoint_index: &self.endpoint_index,
+                    links_meta: &self.links_meta,
+                    link_home: &self.link_home,
+                    lane_of: &self.lane_of,
+                    tap: None,
+                })
+            })
+            .collect();
+        par::run_each_threaded(views, limit);
+    }
+
+    /// Barrier absorb: fold lane counters into the network totals,
+    /// schedule buffered cross-lane frames into their destination lanes
+    /// (the lookahead guarantees every one lands strictly after the
+    /// window that produced it), and apply harvested telemetry in
+    /// `(instant, token)` order — exactly the order the single-lane arm
+    /// would have written it inline.
+    fn absorb(&mut self) {
+        let mut offered = 0;
+        let mut unconnected = 0;
+        let mut crosses: Vec<CrossFrame> = Vec::new();
+        let mut harvests: Vec<HarvestEntry> = Vec::new();
+        for lane in &mut self.lanes {
+            offered += core::mem::take(&mut lane.frames_offered);
+            unconnected += core::mem::take(&mut lane.unconnected_drops);
+            crosses.append(&mut lane.cross);
+            harvests.append(&mut lane.harvests);
+        }
+        self.frames_offered += offered;
+        self.unconnected_drops += unconnected;
+        // Canonical insertion order, so per-lane scheduler state is a
+        // pure function of the event multiset, not of lane iteration.
+        crosses.sort_unstable_by_key(|c| (c.at, c.key));
+        for cross in crosses {
+            self.lanes[self.lane_of[cross.to] as usize].sched.schedule_at(
+                cross.at,
+                Keyed {
+                    key: cross.key,
+                    event: Event::Frame {
+                        to: cross.to,
+                        iface: cross.iface,
+                        frame: cross.frame,
+                    },
+                },
+            );
+        }
+        if self.lanes.len() > 1 {
+            // Each lane's list is already (at, token)-sorted; the merge
+            // recovers the global service order. Tokens are delivery
+            // keys, unique across lanes, so the order is total.
+            harvests.sort_unstable_by_key(|h| (h.at, h.token));
+        }
+        for entry in harvests {
+            self.apply_harvest(entry);
+        }
+    }
+
+    /// Replay one lane-harvested telemetry entry into the recorder,
+    /// registry and convergence tracer. Op order within an entry (and
+    /// entry order at the caller) mirrors the inline writes the
+    /// pre-shard loop performed, keeping dumps byte-identical.
+    fn apply_harvest(&mut self, entry: HarvestEntry) {
+        let HarvestEntry { at, node: id, ops, .. } = entry;
+        for op in ops {
+            match op {
+                HarvestOp::RouteChanged { version } => {
+                    self.telemetry
+                        .recorder
+                        .record(at, EventKind::RouteChanged { node: id, version });
+                    self.telemetry.convergence.route_changed(at);
+                    let c = self
+                        .telemetry
+                        .registry
+                        .counter("route_changes", Scope::Node(id));
+                    self.telemetry.registry.add(c, 1);
+                }
+                HarvestOp::RtoFired { total, delta } => {
+                    self.telemetry.recorder.record(
+                        at,
+                        EventKind::RtoFired {
+                            node: id,
+                            total_timeouts: total,
+                        },
+                    );
+                    let c = self
+                        .telemetry
+                        .registry
+                        .counter("tcp_rto_fired", Scope::Node(id));
+                    self.telemetry.registry.add(c, delta);
+                }
+                HarvestOp::Count { name, delta } => {
+                    let c = self.telemetry.registry.counter(name, Scope::Node(id));
+                    self.telemetry.registry.add(c, delta);
+                }
+                HarvestOp::NeighborCount { name, addr, delta } => {
+                    let scope = Scope::Neighbor { node: id, addr: addr.0 };
+                    let c = self.telemetry.registry.counter(name, scope);
+                    self.telemetry.registry.add(c, delta);
+                }
+                HarvestOp::Incident { detail } => {
+                    self.telemetry
+                        .recorder
+                        .record(at, EventKind::GuardAction { node: id, detail });
+                }
+            }
+        }
+    }
+
     /// Run the event loop until virtual time `t`, executing attached
-    /// fault-plan events and telemetry samples interleaved with traffic
-    /// in time order. At equal times faults fire first (a crash at T
-    /// kills frames arriving at T, exactly as a real power cut would),
-    /// then the sampler (so a sample scheduled at a fault instant sees
-    /// the post-fault world), then ordinary events.
+    /// fault-plan events, telemetry samples and ledger flushes
+    /// interleaved with traffic in time order. At equal times faults
+    /// fire first (a crash at T kills frames arriving at T, exactly as
+    /// a real power cut would), then the sampler (so a sample scheduled
+    /// at a fault instant sees the post-fault world), then ledger
+    /// flushes, then ordinary events.
+    ///
+    /// Execution proceeds in windows: from the earliest pending instant
+    /// `at`, every lane runs independently up to
+    /// `min(t, next-op-instant − 1 µs, at + lookahead)`, then the
+    /// barrier absorbs cross-lane frames and harvested telemetry. With
+    /// one lane the lookahead is infinite and this collapses to the
+    /// classic serial loop (one window per op-free span).
     pub fn run_until(&mut self, t: Instant) {
+        self.ensure_split();
+        let lookahead = self.cross_lookahead();
+        let threaded = matches!(self.shard, ShardKind::Parallel { .. })
+            && self.lanes.len() > 1
+            && self.tap.is_none()
+            && self.attest_master.is_none();
         loop {
-            let sched_at = self.sched.peek_time();
+            let lane_at = self.next_event_at();
             let fault_at = self.fault_plan.as_ref().and_then(|p| p.next_at());
             let sample_at = self.telemetry.sampler.next_sample_at().filter(|&s| s <= t);
             let flush_at = self
@@ -861,7 +1224,7 @@ impl Network {
                 .as_ref()
                 .map(|ctl| ctl.next_flush)
                 .filter(|&f| f <= t);
-            let at = match [sched_at, fault_at, sample_at, flush_at]
+            let at = match [lane_at, fault_at, sample_at, flush_at]
                 .into_iter()
                 .flatten()
                 .min()
@@ -894,40 +1257,27 @@ impl Network {
                 self.flush_ledgers();
                 continue;
             }
-            // Batched delivery: drain *every* scheduler event due at
-            // this instant (frames are handed to their nodes in FIFO
-            // pop order), then service each touched node exactly once,
-            // in first-touch order. Same-instant events scheduled by
-            // those services form a fresh batch on the next outer
-            // iteration, so nothing is ever starved or reordered — but
-            // a node hit by k same-instant frames pays one service
-            // pass, not k.
-            let mut event = Some(self.sched.pop().expect("peeked").1);
-            let mut touched = core::mem::take(&mut self.touched);
-            touched.clear();
-            while let Some(ev) = event {
-                match ev {
-                    Event::Frame { to, iface, frame } => {
-                        self.nodes[to].handle_frame(at, iface, frame);
-                        if !touched.contains(&to) {
-                            touched.push(to);
-                        }
-                    }
-                    Event::Wake { node } => {
-                        if self.next_wake[node] == Some(at) {
-                            self.next_wake[node] = None;
-                        }
-                        if !touched.contains(&node) {
-                            touched.push(node);
-                        }
-                    }
+            // A window of pure traffic: no op is due at `at` (the
+            // continues above dispatched any), so the window may run up
+            // to just before the next op instant, capped by the
+            // conservative lookahead and by `t` itself.
+            let mut end = t;
+            if let Some(op) = [fault_at, sample_at, flush_at].into_iter().flatten().min() {
+                end = end.min(Instant::from_micros(op.total_micros() - 1));
+            }
+            if let Some(w) = lookahead {
+                end = end.min(Instant::from_micros(at.total_micros().saturating_add(w)));
+            }
+            debug_assert!(end >= at);
+            if threaded {
+                self.run_windows_threaded(end);
+            } else {
+                for lane_index in 0..self.lanes.len() {
+                    self.run_lane_window(lane_index, end);
                 }
-                event = self.sched.pop_due(at);
             }
-            for &node in &touched {
-                self.service_node(node);
-            }
-            self.touched = touched;
+            self.absorb();
+            self.now = end;
         }
         self.now = t;
     }
@@ -939,119 +1289,48 @@ impl Network {
 
     /// Run until no events remain or `limit` is reached.
     pub fn run_to_quiescence(&mut self, limit: Instant) {
-        while self.sched.peek_time().is_some_and(|at| at <= limit) {
-            let next = self.sched.peek_time().expect("checked");
+        while self.next_event_at().is_some_and(|at| at <= limit) {
+            let next = self.next_event_at().expect("checked");
             self.run_until(next);
         }
     }
 
     /// Force a service pass on a node right now (used after the caller
-    /// mutated its sockets or apps from outside the loop).
+    /// mutated its sockets or apps from outside the loop). The pass runs
+    /// through the node's lane view and the barrier absorbs immediately,
+    /// so frames it emits toward other lanes are scheduled before the
+    /// caller regains control.
     pub fn kick(&mut self, id: NodeId) {
         // Don't advance time: just service at the current instant.
-        self.service_node(id);
-    }
-
-    fn service_node(&mut self, id: NodeId) {
-        self.service_count[id] += 1;
         let now = self.now;
-        // Applications first: they may write into sockets.
-        let mut apps = core::mem::take(&mut self.apps[id]);
-        for app in &mut apps {
-            app.poll(&mut self.nodes[id], now);
-        }
-        self.apps[id] = apps;
-        // Protocol machinery: timers, routing, socket dispatch.
-        self.nodes[id].service(now);
-        self.harvest_node(id, now);
-        // Push produced frames onto links. The node's outbox is swapped
-        // with a network-owned scratch vector (snapshot semantics, same
-        // ordering as the old take-and-iterate) so the drain allocates
-        // nothing once both vectors have grown to working size.
-        let mut outbox = core::mem::take(&mut self.outbox_scratch);
-        self.nodes[id].swap_outbox(&mut outbox);
-        for (iface, frame) in outbox.drain(..) {
-            self.transmit(id, iface, frame);
-        }
-        self.outbox_scratch = outbox;
-        // Timer wake scheduling.
-        let mut want = self.nodes[id].poll_at(now);
-        for app in &self.apps[id] {
-            if let Some(at) = app.next_wake() {
-                let at = at.max(now);
-                want = Some(match want {
-                    Some(current) => current.min(at),
-                    None => at,
-                });
-            }
-        }
-        if let Some(at) = want {
-            let at = if at <= now {
-                // "Immediately": schedule a hair later to let the event
-                // loop breathe (prevents zero-delay spin).
-                now + Duration::from_micros(1)
-            } else {
-                at
-            };
-            if self.next_wake[id].is_none_or(|pending| at < pending) {
-                self.next_wake[id] = Some(at);
-                self.sched.schedule_at(at, Event::Wake { node: id });
-            }
-        }
-    }
-
-    fn transmit(&mut self, from: NodeId, iface: usize, mut frame: PacketBuf) {
-        let Some(&(link_id, is_a)) = self.endpoint_index.get(&(from, iface)) else {
-            self.unconnected_drops += 1;
-            return;
+        let lane_index = self.lane_of[id] as usize;
+        let lane = &mut self.lanes[lane_index];
+        let (lo, hi) = (lane.lo, lane.hi);
+        let mut view = LaneView {
+            lane,
+            lane_index,
+            lo,
+            nodes: &mut self.nodes[lo..hi],
+            apps: &mut self.apps[lo..hi],
+            next_wake: &mut self.next_wake[lo..hi],
+            event_seq: &mut self.event_seq[lo..hi],
+            service_count: &mut self.service_count[lo..hi],
+            byz: &mut self.byz[lo..hi],
+            last_dv_version: &mut self.last_dv_version[lo..hi],
+            last_rto_total: &mut self.last_rto_total[lo..hi],
+            last_harvest: &mut self.last_harvest[lo..hi],
+            last_acct: &mut self.last_acct[lo..hi],
+            last_guard: &mut self.last_guard[lo..hi],
+            endpoint_index: &self.endpoint_index,
+            links_meta: &self.links_meta,
+            link_home: &self.link_home,
+            lane_of: &self.lane_of,
+            tap: self.tap.as_mut(),
         };
-        // A compromised node lies on the wire, not in its own state: the
-        // rewrite happens here so the tap (and the receiver) see exactly
-        // what a byzantine gateway would have emitted.
-        if let Some(state) = self.compromised.get_mut(&from) {
-            let framing = self.nodes[from].ifaces[iface].framing;
-            if let Some(corrupted) = state.corrupt_frame(iface, framing, &frame) {
-                frame = self.pool.adopt(PacketBuf::from_vec(corrupted));
-            }
-        }
-        if let Some(tap) = &mut self.tap {
-            tap(self.now, &frame);
-        }
-        self.frames_offered += 1;
-        let duplex = &mut self.links[link_id];
-        let (link, dest) = if is_a {
-            (&mut duplex.ab, duplex.b)
-        } else {
-            (&mut duplex.ba, duplex.a)
-        };
-        match link.transmit(self.now, &mut frame, &mut self.rng) {
-            LinkOutcome::Delivered { at, .. } => {
-                self.sched.schedule_at(
-                    at,
-                    Event::Frame {
-                        to: dest.node,
-                        iface: dest.iface,
-                        frame,
-                    },
-                );
-            }
-            LinkOutcome::Dropped(reason) => {
-                // Datagram service: the DESTINATION is never told. But
-                // the offering node knows its own queue overflowed —
-                // 1988 gateways answered that with ICMP source quench.
-                if reason == catenet_sim::DropReason::QueueFull {
-                    let now = self.now;
-                    self.nodes[from].on_queue_drop(now, iface, &frame);
-                    let outbox = self.nodes[from].take_outbox();
-                    for (out_iface, out_frame) in outbox {
-                        // One level of recursion at most: quenches are
-                        // ICMP errors, and errors about errors are
-                        // suppressed by `icmp_error_for`.
-                        self.transmit(from, out_iface, out_frame);
-                    }
-                }
-            }
-        }
+        // Token 0: a kick is absorbed by itself, never merge-sorted
+        // against window entries.
+        view.service_node(id, now, 0);
+        self.absorb();
     }
 
     // -------------------------------------------------- observability
@@ -1144,8 +1423,9 @@ impl Network {
                 }
             }
         }
-        for (lid, duplex) in self.links.iter().enumerate() {
-            let depth = (duplex.ab.queue_depth(at) + duplex.ba.queue_depth(at)) as u64;
+        for lid in 0..self.links_meta.len() {
+            let depth = (self.link_dir(lid, true).queue_depth(at)
+                + self.link_dir(lid, false).queue_depth(at)) as u64;
             if depth > 0 {
                 self.telemetry
                     .sampler
@@ -1162,11 +1442,14 @@ impl Network {
         // which the differential harness relies on: they make the dumps
         // sensitive to scheduling or batching divergence without making
         // them sensitive to which backend ran.
+        // Summed over lanes; every event is processed in exactly one
+        // lane (the split redistributes before anything pops), so the
+        // row is identical for every shard count.
         self.telemetry.sampler.record(
             at,
             "sched_events",
             Scope::Global,
-            self.sched.processed(),
+            self.lanes.iter().map(|l| l.sched.processed()).sum(),
         );
         self.telemetry.sampler.record(
             at,
@@ -1203,162 +1486,6 @@ impl Network {
         }
     }
 
-    /// Post-service observation for one node: detect routing-table
-    /// changes and RTO firings (flight recorder + convergence tracer),
-    /// and migrate the node's drop counters into the registry.
-    fn harvest_node(&mut self, id: NodeId, now: Instant) {
-        let node = &self.nodes[id];
-        if let Some(dv) = &node.dv {
-            let version = dv.version();
-            if version != self.last_dv_version[id] {
-                self.last_dv_version[id] = version;
-                self.telemetry
-                    .recorder
-                    .record(now, EventKind::RouteChanged { node: id, version });
-                self.telemetry.convergence.route_changed(now);
-                let c = self
-                    .telemetry
-                    .registry
-                    .counter("route_changes", Scope::Node(id));
-                self.telemetry.registry.add(c, 1);
-            }
-        }
-        let rto: u64 = node.tcp_sockets.iter().map(|s| s.stats.timeouts).sum();
-        let last_rto = self.last_rto_total[id];
-        if rto != last_rto {
-            self.last_rto_total[id] = rto;
-            // A drop means the sockets died with the node (fate-sharing);
-            // only a rise is a firing.
-            if rto > last_rto {
-                self.telemetry.recorder.record(
-                    now,
-                    EventKind::RtoFired {
-                        node: id,
-                        total_timeouts: rto,
-                    },
-                );
-                let c = self
-                    .telemetry
-                    .registry
-                    .counter("tcp_rto_fired", Scope::Node(id));
-                self.telemetry.registry.add(c, rto - last_rto);
-            }
-        }
-        let cur = (
-            node.stats.dropped_arp_gave_up,
-            node.reassembler().completed,
-            node.reassembler().timed_out,
-            node.reassembler().evicted,
-        );
-        let last = self.last_harvest[id];
-        if cur != last {
-            self.last_harvest[id] = cur;
-            for (name, value, floor) in [
-                ("arp_gave_up_drops", cur.0, last.0),
-                ("reassembled_datagrams", cur.1, last.1),
-                ("reassembly_timeouts", cur.2, last.2),
-                ("reassembly_evictions", cur.3, last.3),
-            ] {
-                // `value < floor` only after a crash reset the source;
-                // nothing new happened, the baseline just moved.
-                if value > floor {
-                    let c = self.telemetry.registry.counter(name, Scope::Node(id));
-                    self.telemetry.registry.add(c, value - floor);
-                }
-            }
-        }
-        // Accounting harvest: flow-table eviction/expiry/fragment
-        // counters, delta-counted and interned only when they move, so
-        // accounting-off runs keep byte-identical dumps. The counters
-        // are monotone on the table (they survive `lose()`), so the
-        // crash-reset guard below never actually skips anything here.
-        let cur = match &self.nodes[id].flows {
-            Some(flows) => (
-                flows.evicted,
-                flows.expired,
-                flows.frag_attributed,
-                flows.frag_unattributed,
-            ),
-            None => (0, 0, 0, 0),
-        };
-        let last = self.last_acct[id];
-        if cur != last {
-            self.last_acct[id] = cur;
-            for (name, value, floor) in [
-                ("flow_evictions", cur.0, last.0),
-                ("flow_idle_expired", cur.1, last.1),
-                ("frag_attributed", cur.2, last.2),
-                ("frag_unattributed", cur.3, last.3),
-            ] {
-                if value > floor {
-                    let c = self.telemetry.registry.counter(name, Scope::Node(id));
-                    self.telemetry.registry.add(c, value - floor);
-                }
-            }
-        }
-        // Route-guard harvest: verdict deltas per neighbor into the
-        // registry, incidents into the flight recorder. With the guard
-        // off neither accrues, so unguarded dumps stay byte-identical.
-        let mut verdict_rows: Vec<(Ipv4Address, GuardCounters)> = Vec::new();
-        let mut incidents = Vec::new();
-        if let Some(dv) = &mut self.nodes[id].dv {
-            if dv.guard().enabled() {
-                verdict_rows = dv
-                    .guard()
-                    .verdicts()
-                    .map(|(addr, v)| {
-                        (
-                            addr,
-                            (
-                                v.accepted,
-                                v.sanitized,
-                                v.damped,
-                                v.quarantined,
-                                v.attest_rejected,
-                            ),
-                        )
-                    })
-                    .collect();
-            }
-            incidents = dv.guard_mut().drain_incidents();
-        }
-        for (addr, cur) in verdict_rows {
-            let last = self.last_guard[id]
-                .get(&addr)
-                .copied()
-                .unwrap_or((0, 0, 0, 0, 0));
-            if cur == last {
-                continue;
-            }
-            self.last_guard[id].insert(addr, cur);
-            let scope = Scope::Neighbor { node: id, addr: addr.0 };
-            // `guard_attest_rejected` only accrues when attestation is
-            // verified, so attestation-off runs emit no new counter and
-            // their dumps stay byte-identical.
-            for (name, value, floor) in [
-                ("guard_accepted", cur.0, last.0),
-                ("guard_sanitized", cur.1, last.1),
-                ("guard_damped", cur.2, last.2),
-                ("guard_quarantined", cur.3, last.3),
-                ("guard_attest_rejected", cur.4, last.4),
-            ] {
-                if value > floor {
-                    let c = self.telemetry.registry.counter(name, scope);
-                    self.telemetry.registry.add(c, value - floor);
-                }
-            }
-        }
-        for incident in incidents {
-            self.telemetry.recorder.record(
-                now,
-                EventKind::GuardAction {
-                    node: id,
-                    detail: incident.to_string(),
-                },
-            );
-        }
-    }
-
     /// Aggregate link statistics: (frames offered, frames delivered,
     /// frames lost to loss/corruption-drop, frames overflowed).
     pub fn link_totals(&self) -> (u64, u64, u64, u64) {
@@ -1366,9 +1493,9 @@ impl Network {
         let mut delivered = 0;
         let mut lost = 0;
         let mut overflowed = 0;
-        for duplex in &self.links {
-            for link in [&duplex.ab, &duplex.ba] {
-                let stats = link.stats();
+        for lane in &self.lanes {
+            for lane_link in &lane.links {
+                let stats = lane_link.link.stats();
                 offered += stats.tx_frames;
                 delivered += stats.delivered;
                 lost += stats.lost;
@@ -1467,8 +1594,12 @@ impl core::fmt::Debug for Network {
         f.debug_struct("Network")
             .field("now", &self.now)
             .field("nodes", &self.nodes.len())
-            .field("links", &self.links.len())
-            .field("pending_events", &self.sched.len())
+            .field("links", &self.links_meta.len())
+            .field("lanes", &self.lanes.len())
+            .field(
+                "pending_events",
+                &self.lanes.iter().map(|l| l.sched.len()).sum::<usize>(),
+            )
             .finish()
     }
 }
@@ -1539,10 +1670,11 @@ mod tests {
     #[test]
     fn replay_payload_matches_the_real_event_size() {
         // E13's trace replay measures the scheduler backends with a
-        // dummy payload sized like the real event enum; if Event grows
-        // or shrinks, the replay constant must follow.
+        // dummy payload sized like the real scheduler entry — the event
+        // enum plus its 8-byte delivery key; if Keyed grows or shrinks,
+        // the replay constant must follow.
         assert_eq!(
-            std::mem::size_of::<Event>(),
+            std::mem::size_of::<Keyed>(),
             catenet_sim::diffsched::REPLAY_PAYLOAD_BYTES,
         );
     }
@@ -2074,7 +2206,7 @@ mod tests {
             let h2 = net.add_host("h2");
             net.connect(h1, g, LinkClass::ArpanetTrunk);
             net.connect(g, h2, LinkClass::PacketRadio);
-            let mut rng = Rng::from_seed(seed ^ 0xc0ffee);
+            let mut rng = catenet_sim::Rng::from_seed(seed ^ 0xc0ffee);
             let mut plan = catenet_sim::FaultPlan::new();
             plan.link_flap(
                 1,

@@ -206,6 +206,21 @@ impl Node {
         self.pool = pool;
     }
 
+    /// Move the node onto `pool` and sever every buffer it currently
+    /// holds (outbox, ARP pending queues) from whichever pool allocated
+    /// it. Used when the network splits into parallel shard lanes: each
+    /// lane gets a private pool, and no retained buffer may keep a
+    /// handle into another lane's freelist.
+    pub(crate) fn rehome_pool(&mut self, pool: PacketPool) {
+        self.pool = pool;
+        for (_, frame) in self.outbox.iter_mut() {
+            frame.detach();
+        }
+        for arp in self.arp.iter_mut() {
+            arp.detach_pending();
+        }
+    }
+
     /// Attach an interface; returns its index.
     pub fn attach_iface(&mut self, iface: Iface) -> usize {
         let index = self.ifaces.len();

@@ -308,6 +308,15 @@ impl PacketBuf {
         assert!(len <= self.len(), "truncate beyond end of packet");
         self.data.truncate(self.start + len);
     }
+
+    /// Sever the buffer from its pool: on drop it goes back to the
+    /// allocator instead of a freelist. Parallel shard lanes call this
+    /// on frames crossing a lane boundary — a buffer must never hold a
+    /// handle to a pool owned by another lane's thread. Contents and
+    /// headroom are untouched, so dumps cannot tell.
+    pub fn detach(&mut self) {
+        self.pool = None;
+    }
 }
 
 impl From<Vec<u8>> for PacketBuf {

@@ -281,6 +281,20 @@ impl<E> Scheduler<E> {
             Backend::Wheel(wheel) => wheel.clear(),
         }
     }
+
+    /// Consume the scheduler and return every pending event in pop
+    /// order. Used when a network splits into shard lanes: the boot
+    /// scheduler's pending kicks are redistributed to per-lane
+    /// schedulers without counting as processed work (the drain
+    /// bypasses the `processed` counter and the trace log).
+    pub fn into_drain(mut self) -> Vec<(Instant, E)> {
+        self.trace = None;
+        let mut drained = Vec::with_capacity(self.len());
+        while let Some(entry) = self.pop() {
+            drained.push(entry);
+        }
+        drained
+    }
 }
 
 impl<E> core::fmt::Debug for Scheduler<E> {

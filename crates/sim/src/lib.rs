@@ -26,6 +26,9 @@
 //! - [`fault::FaultPlan`] — a deterministic, seed-driven schedule of
 //!   fault events (flaps, crashes, partitions, bursts) for the
 //!   survivability gauntlet.
+//! - [`shard::ShardKind`] — execution modes for the event loop: the
+//!   single-lane reference, and K-lane conservative-lookahead sharding
+//!   (serial or threaded) proven byte-identical to it.
 //! - [`pcap::PcapWriter`] — packet capture for offline inspection.
 //! - [`stats`] — summary statistics used by the experiment harness.
 
@@ -38,6 +41,7 @@ pub mod fault;
 pub mod link;
 pub mod pcap;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod wheel;
@@ -46,5 +50,6 @@ pub use event::{SchedStats, Scheduler, SchedulerKind, TraceOp};
 pub use fault::{ByzantineAttack, FaultAction, FaultEvent, FaultPlan};
 pub use link::{DropReason, Link, LinkClass, LinkOutcome, LinkParams};
 pub use rng::Rng;
+pub use shard::ShardKind;
 pub use stats::Summary;
 pub use time::{Duration, Instant};

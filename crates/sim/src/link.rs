@@ -335,6 +335,16 @@ impl Link {
         self.base_delay.is_some()
     }
 
+    /// The configured (pre-spike) propagation delay. Shard lanes use
+    /// this as the conservative lookahead bound: a delay spike only
+    /// *raises* the live propagation above this baseline, so a window
+    /// sized by the baseline stays safe through every fault plan.
+    pub fn base_propagation(&self) -> Duration {
+        self.base_delay
+            .map(|(propagation, _)| propagation)
+            .unwrap_or(self.params.propagation)
+    }
+
     /// Counters so far.
     pub fn stats(&self) -> LinkStats {
         self.stats

@@ -18,8 +18,9 @@ use catenet::accounting::ledger::Ledger;
 use catenet::accounting::report::ReportCollector;
 use catenet::ip::build_ipv4;
 use catenet::sim::Rng;
+use catenet::stack::ShardKind;
 use catenet::wire::{IpProtocol, Ipv4Address, Ipv4Repr, Tos};
-use catenet_bench::e16_accountability::run_reconcile;
+use catenet_bench::e16_accountability::{run_reconcile, run_reconcile_barrier_crash};
 
 fn case_rng(name: &str, case: u64) -> Rng {
     let tag: u64 = name.bytes().fold(0xcbf2_9ce4_8422_2325, |h, b| {
@@ -131,6 +132,42 @@ fn crash_storms_respect_the_retransmission_inflation_bound() {
             r.goodput,
             r.sent
         );
+    }
+}
+
+/// A crash landing *exactly* on a ledger-flush instant — which in
+/// sharded execution is also a coordinator barrier — must forfeit the
+/// identical ledger tail under K=1 and K>1. Faults apply before
+/// flushes at a shared instant (a power cut does not wait for
+/// bookkeeping), and that fault→sample→flush ordering is the likeliest
+/// thing lane windows could break: a lane that ran its window past the
+/// barrier before the crash applied would let the flush report bytes
+/// the crash should have forfeited. Seeded, so a failure names the
+/// (seed, K) pair that reproduces it.
+#[test]
+fn barrier_instant_crash_forfeits_the_same_tail_at_every_shard_count() {
+    for seed in [11u64, 19, 101] {
+        let (reference, ref_dumps) = run_reconcile_barrier_crash(seed, ShardKind::Single);
+        assert_eq!(reference.faults, 2, "seed {seed}: crash + restart applied");
+        assert!(reference.mid_epochs >= 1, "seed {seed}: the ledger saw the crash");
+        assert!(
+            reference.forfeited >= 1,
+            "seed {seed}: the colliding flush must lose to the crash — \
+             the tail is forfeited, not reported: {reference:?}"
+        );
+        assert!(reference.bounds_hold, "seed {seed}: {reference:?}");
+        for shards in [2usize, 5] {
+            let (sharded, dumps) =
+                run_reconcile_barrier_crash(seed, ShardKind::Sharded { shards });
+            assert_eq!(
+                reference, sharded,
+                "seed {seed} shards={shards}: books diverged at the barrier"
+            );
+            assert_eq!(
+                ref_dumps, dumps,
+                "seed {seed} shards={shards}: telemetry diverged at the barrier"
+            );
+        }
     }
 }
 

@@ -1,0 +1,168 @@
+//! Differential proof that sharded execution is observably identical
+//! to the single-lane reference event loop.
+//!
+//! Sharding partitions the node set into K contiguous lanes, each with
+//! its own scheduler, running conservative-lookahead windows and
+//! exchanging cross-lane frames at barrier instants. Every simulation
+//! result in this repo is only as trustworthy as the claim that this
+//! changes *nothing observable* — so, exactly as the scheduler-backend
+//! harness (`tests/scheduler_equivalence.rs`) earned the timer wheel
+//! its default slot, this harness runs the full experiment batteries at
+//! K ∈ {1, 2, 4, 8} and asserts byte identity:
+//!
+//! 1. **E11, chaos**: all 16 gauntlet scenarios across all 5 standard
+//!    seeds — outcome, delivered-stream digest, metrics dump,
+//!    time-series dump and flight-recorder ring, compared across every
+//!    K.
+//! 2. **E12, routing**: every ring size × fault kind — reconvergence
+//!    measurements and all telemetry dumps.
+//! 3. **E16, accounting**: crash-storm and clean reconciliation arms —
+//!    ledger books, forfeited-tail counts, and dumps. Flush ordering
+//!    across barriers is the likeliest casualty of sharding, so the
+//!    books get their own battery here and a barrier-instant crash
+//!    regression in `tests/accounting_reconciliation.rs`.
+//!
+//! The K > 1 arms run `ShardKind::Sharded` — the serial execution of
+//! the identical lane/window/barrier protocol — because these
+//! experiments attach invariant apps that share `Rc` state across
+//! nodes (the gauntlet's sender and sink both hold the stream checker),
+//! which the threaded arm forbids. The threaded arm (`Parallel`) runs
+//! the same lane code on scoped threads and is proven byte-identical
+//! by E17 (`catenet_bench::e17_parallel`, which asserts cross-K digest
+//! equality at every run) on a workload built for it.
+//!
+//! If lanes ever diverge, the failure message names the scenario, seed
+//! and shard count that exposed it — the reproduction recipe.
+
+use catenet::stack::ShardKind;
+use catenet_bench::e11_gauntlet::{run_with_shards, scenarios};
+use catenet_bench::{e12_reconvergence, e16_accountability, SEEDS};
+
+/// The shard counts every battery is swept across. K=1 is the
+/// single-lane reference arm (`ShardKind::Single`, the default and CI
+/// arm); the rest split the node set into real lanes with barriers.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn kind(k: usize) -> ShardKind {
+    if k == 1 {
+        ShardKind::Single
+    } else {
+        ShardKind::Sharded { shards: k }
+    }
+}
+
+/// E11: every gauntlet scenario, every standard seed, every shard
+/// count. `RunArtifacts` equality covers the scored outcome (including
+/// the delivered-stream digest) and all three telemetry dumps.
+#[test]
+fn e11_battery_is_bit_identical_across_shard_counts() {
+    for scenario in scenarios() {
+        for &seed in SEEDS.iter() {
+            let reference = run_with_shards(scenario, seed, kind(1));
+            // Either the transfer finished or it ended with an explicit
+            // error — a hung run would make "equal" vacuous.
+            assert!(
+                reference.outcome.completed || reference.outcome.aborted,
+                "unresolved run: scenario={} seed={seed}",
+                scenario.name
+            );
+            for &k in &SHARD_COUNTS[1..] {
+                let sharded = run_with_shards(scenario, seed, kind(k));
+                assert_eq!(
+                    reference.outcome, sharded.outcome,
+                    "outcome diverged: scenario={} seed={seed} shards={k}",
+                    scenario.name
+                );
+                assert_eq!(
+                    reference.metrics, sharded.metrics,
+                    "metrics dump diverged: scenario={} seed={seed} shards={k}",
+                    scenario.name
+                );
+                assert_eq!(
+                    reference.series, sharded.series,
+                    "series dump diverged: scenario={} seed={seed} shards={k}",
+                    scenario.name
+                );
+                assert_eq!(
+                    reference.flight, sharded.flight,
+                    "flight ring diverged: scenario={} seed={seed} shards={k}",
+                    scenario.name
+                );
+            }
+        }
+    }
+}
+
+/// E12: one disruption-then-heal cycle per (ring size, fault kind),
+/// comparing the reconvergence measurements and all telemetry dumps
+/// across every shard count.
+#[test]
+fn e12_reconvergence_is_bit_identical_across_shard_counts() {
+    for &gateways in e12_reconvergence::RING_SIZES.iter() {
+        for fault in e12_reconvergence::FaultKind::all() {
+            for &seed in &SEEDS[..2] {
+                let (recs_1, dumps_1) =
+                    e12_reconvergence::run_with_shards(gateways, fault, seed, kind(1));
+                assert!(
+                    !recs_1.is_empty(),
+                    "no heals measured: ring={gateways} fault={} seed={seed}",
+                    fault.name()
+                );
+                for &k in &SHARD_COUNTS[1..] {
+                    let (recs_k, dumps_k) =
+                        e12_reconvergence::run_with_shards(gateways, fault, seed, kind(k));
+                    assert_eq!(
+                        recs_1,
+                        recs_k,
+                        "reconvergence diverged: ring={gateways} fault={} seed={seed} shards={k}",
+                        fault.name()
+                    );
+                    for (i, name) in ["metrics", "series", "flight"].iter().enumerate() {
+                        assert_eq!(
+                            dumps_1[i],
+                            dumps_k[i],
+                            "{name} dump diverged: ring={gateways} fault={} seed={seed} shards={k}",
+                            fault.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// E16: the reconciliation arms — a crash storm repeatedly wiping the
+/// middle gateway's ledger, and the lossless control — produce
+/// byte-identical books, forfeited-tail counts, and telemetry at every
+/// shard count. This is where fault→sample→flush ordering at shared
+/// instants shows up as money, not just telemetry.
+#[test]
+fn e16_accounting_is_bit_identical_across_shard_counts() {
+    let arms: Vec<(u64, bool)> = SEEDS[..2]
+        .iter()
+        .map(|&s| (s, true))
+        .chain([(SEEDS[0], false)])
+        .collect();
+    for &(seed, storm) in &arms {
+        let (run_1, dumps_1) =
+            e16_accountability::run_reconcile_shards(seed, storm, kind(1));
+        assert!(
+            run_1.bounds_hold,
+            "reference bound failed: seed={seed} storm={storm}: {run_1:?}"
+        );
+        for &k in &SHARD_COUNTS[1..] {
+            let (run_k, dumps_k) =
+                e16_accountability::run_reconcile_shards(seed, storm, kind(k));
+            assert_eq!(
+                run_1, run_k,
+                "reconciliation diverged: seed={seed} storm={storm} shards={k}"
+            );
+            for (i, name) in ["metrics", "series", "flight"].iter().enumerate() {
+                assert_eq!(
+                    dumps_1[i], dumps_k[i],
+                    "{name} dump diverged: seed={seed} storm={storm} shards={k}"
+                );
+            }
+        }
+    }
+}
