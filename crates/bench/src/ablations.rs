@@ -90,19 +90,19 @@ pub fn run_collapse(seed: u64, senders: usize, bytes: usize, algo: CongestionAlg
 
     let completed = results
         .iter()
-        .filter(|r| r.borrow().completed_at.is_some())
+        .filter(|r| r.lock().unwrap().completed_at.is_some())
         .count();
     let goodput_bytes: usize = results
         .iter()
-        .map(|r| if r.borrow().completed_at.is_some() { bytes } else { 0 })
+        .map(|r| if r.lock().unwrap().completed_at.is_some() { bytes } else { 0 })
         .sum();
     let elapsed = results
         .iter()
-        .filter_map(|r| r.borrow().completed_at)
+        .filter_map(|r| r.lock().unwrap().completed_at)
         .map(|t| t.duration_since(start).secs_f64())
         .fold(0.0f64, f64::max)
         .max(1.0);
-    let retransmits = results.iter().map(|r| r.borrow().retransmits).sum();
+    let retransmits = results.iter().map(|r| r.lock().unwrap().retransmits).sum();
     // Efficiency of the network's work: frames delivered over frames
     // *presented* (including the ones the queue turned away).
     let (offered, delivered, _, overflowed) = net.link_totals();
@@ -373,7 +373,7 @@ pub fn run_quench(seed: u64, quench_enabled: bool) -> QuenchReport {
     net.attach_app(h1, Box::new(sender));
     net.run_for(Duration::from_secs(300));
     let (_, _, _, overflowed) = net.link_totals();
-    let result = result.borrow();
+    let result = result.lock().unwrap();
     QuenchReport {
         completed: result.completed_at.is_some(),
         duration_s: result.duration().map(|d| d.secs_f64()),

@@ -84,7 +84,7 @@ pub fn run(seed: u64, trunk: LinkClass, window: usize, transfer: usize) -> Reali
     let result = sender.result_handle();
     net.attach_app(h1, Box::new(sender));
     net.run_for(Duration::from_secs(600));
-    let result = result.borrow();
+    let result = result.lock().unwrap();
     let goodput = result.goodput_bps(transfer).unwrap_or(0.0);
     RealizationReport {
         trunk,

@@ -25,14 +25,13 @@
 
 use crate::table::Table;
 use catenet_core::app::{BulkSender, SinkServer};
-use catenet_core::{Endpoint, Network, ProgressWatchdog, StreamIntegrity, TcpConfig};
+use catenet_core::{shared, Endpoint, Network, ProgressWatchdog, StreamIntegrity, TcpConfig};
 use catenet_routing::{DvConfig, GuardPolicy};
 use catenet_sim::{
     ByzantineAttack, Duration, FaultAction, FaultPlan, Instant, LinkClass, Rng, SchedulerKind,
     ShardKind,
 };
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The named chaos archetypes the gauntlet runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -431,11 +430,14 @@ pub fn run_with(scenario: Scenario, seed: u64, kind: SchedulerKind) -> RunArtifa
 
 /// Run one scenario on an explicit shard mode and keep every observable
 /// artifact. The shard-equivalence harness runs the battery at K ∈
-/// {1, 2, 4, 8} and asserts the artifacts are byte-identical — the
+/// {1, 2, 4, 8} in both the serial `Sharded` arm and the scoped-thread
+/// `Parallel` arm and asserts the artifacts are byte-identical. The
 /// gauntlet's invariant apps share state across nodes (the sender and
-/// sink both hold the `StreamIntegrity` checker), so the serial
-/// `Sharded` arm is the right mode here, exercising the full barrier
-/// protocol without requiring `Send` apps.
+/// sink both hold the `StreamIntegrity` checker behind `Arc<Mutex>`),
+/// which the threaded arm carries fine: handles are only touched
+/// inside the owning lane's window, and the barrier joins window
+/// threads before cross-lane frames deliver, so outcomes are
+/// schedule-independent.
 pub fn run_with_shards(scenario: Scenario, seed: u64, shard: ShardKind) -> RunArtifacts {
     run_full(
         scenario,
@@ -510,9 +512,9 @@ fn run_full(
         max_retries: Some(10),
         ..TcpConfig::default()
     };
-    let integrity = Rc::new(RefCell::new(StreamIntegrity::new()));
+    let integrity = shared(StreamIntegrity::new());
     let dst = net.node(h2).primary_addr();
-    let sink = SinkServer::new(80, config.clone()).with_integrity(Rc::clone(&integrity));
+    let sink = SinkServer::new(80, config.clone()).with_integrity(Arc::clone(&integrity));
     net.attach_app(h2, Box::new(sink));
     let sender = BulkSender::new(
         Endpoint::new(dst, 80),
@@ -520,7 +522,7 @@ fn run_full(
         config,
         start + Duration::from_millis(100),
     )
-    .with_integrity(Rc::clone(&integrity));
+    .with_integrity(Arc::clone(&integrity));
     let result = sender.result_handle();
     net.attach_app(h1, Box::new(sender));
 
@@ -536,13 +538,13 @@ fn run_full(
         net.run_until(t);
         let path_up = !outages.iter().any(|&(from, to)| t >= from && t < to);
         watchdog.set_path_available(path_up, t);
-        watchdog.observe(result.borrow().bytes_acked, t);
+        watchdog.observe(result.lock().unwrap().bytes_acked, t);
         // First violation: snapshot the flight recorder — the black-box
         // readout of the causal neighborhood.
-        let violations_now = integrity.borrow().violations().len() + watchdog.stalls();
+        let violations_now = integrity.lock().unwrap().violations().len() + watchdog.stalls();
         if flight_dump.is_empty() && violations_now > 0 {
             let detail = integrity
-                .borrow()
+                .lock().unwrap()
                 .violations()
                 .iter()
                 .chain(watchdog.violations())
@@ -553,7 +555,7 @@ fn run_full(
             flight_dump = net.flight_dump();
         }
         let done = {
-            let r = result.borrow();
+            let r = result.lock().unwrap();
             r.completed_at.is_some() || r.aborted
         };
         if done {
@@ -561,8 +563,8 @@ fn run_full(
         }
     }
 
-    let result = result.borrow();
-    let integrity = integrity.borrow();
+    let result = result.lock().unwrap();
+    let integrity = integrity.lock().unwrap();
     let completed = result.completed_at.is_some();
     let outcome = Outcome {
         completed,

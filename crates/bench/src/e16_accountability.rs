@@ -40,7 +40,7 @@ use catenet_core::iface::Framing;
 use catenet_core::{Endpoint, Network, NodeId, TcpConfig};
 use catenet_sim::{Duration, FaultAction, FaultPlan, Instant, LinkClass, LinkParams, Rng, ShardKind};
 use catenet_wire::{checksum, crc32c, IpProtocol, Ipv4Address};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Ledger flush cadence in the reconciliation runs.
 pub const FLUSH_PERIOD: Duration = Duration::from_secs(2);
@@ -146,7 +146,7 @@ fn run_reconcile_config(
     let dst = net.node(h2).primary_addr();
     let src_addr = net.node(h1).primary_addr();
     let sink = SinkServer::new(80, TcpConfig::default());
-    let received = Rc::clone(&sink.received);
+    let received = Arc::clone(&sink.received);
     net.attach_app(h2, Box::new(sink));
     let sender = BulkSender::new(
         Endpoint::new(dst, 80),
@@ -190,9 +190,9 @@ fn run_reconcile_config(
             .map(|t| t.conversation_payload(src_addr, dst, IpProtocol::Tcp))
             .unwrap_or(0)
     });
-    let goodput = *received.borrow();
+    let goodput = *received.lock().unwrap();
     let (sent, completed) = {
-        let r = result.borrow();
+        let r = result.lock().unwrap();
         (r.bytes_sent, r.completed_at.is_some())
     };
     let bounds_hold = reconciled

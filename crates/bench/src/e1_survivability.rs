@@ -117,7 +117,7 @@ pub fn run(scenario: Scenario, seed: u64) -> Outcome {
 
     net.run_until(start + scenario.limit);
 
-    let result = result.borrow();
+    let result = result.lock().unwrap();
     Outcome {
         completed: result.completed_at.is_some(),
         duration: result.duration(),

@@ -19,7 +19,7 @@ use catenet_core::app::{CbrSink, CbrSource, TcpVoiceSink, TcpVoiceSource};
 use catenet_core::iface::Framing;
 use catenet_core::{Endpoint, Network, TcpConfig};
 use catenet_sim::{Duration, LinkParams, Summary};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Measured delivery behavior of one transport arm.
 #[derive(Debug, Clone)]
@@ -68,8 +68,8 @@ pub fn run_udp(seed: u64, loss: f64, seconds: u64) -> VoiceReport {
     let dst = net.node(h2).primary_addr();
     let start = net.now();
     let sink = CbrSink::new(5004);
-    let latencies = Rc::clone(&sink.latencies_ms);
-    let received = Rc::clone(&sink.received);
+    let latencies = Arc::clone(&sink.latencies_ms);
+    let received = Arc::clone(&sink.received);
     net.attach_app(h2, Box::new(sink));
     let source = CbrSource::new(
         Endpoint::new(dst, 5004),
@@ -78,12 +78,12 @@ pub fn run_udp(seed: u64, loss: f64, seconds: u64) -> VoiceReport {
         start + Duration::from_millis(100),
         start + Duration::from_secs(seconds),
     );
-    let sent = Rc::clone(&source.sent);
+    let sent = Arc::clone(&source.sent);
     net.attach_app(h1, Box::new(source));
     net.run_until(start + Duration::from_secs(seconds + 3));
-    let sent = *sent.borrow();
-    let received = *received.borrow();
-    let latency_ms = latencies.borrow().clone();
+    let sent = *sent.lock().unwrap();
+    let received = *received.lock().unwrap();
+    let latency_ms = latencies.lock().unwrap().clone();
     VoiceReport {
         sent,
         received,
@@ -102,8 +102,8 @@ pub fn run_tcp(seed: u64, loss: f64, seconds: u64) -> VoiceReport {
         ..TcpConfig::default()
     };
     let sink = TcpVoiceSink::new(5005, 160, config.clone());
-    let latencies = Rc::clone(&sink.latencies_ms);
-    let received = Rc::clone(&sink.received);
+    let latencies = Arc::clone(&sink.latencies_ms);
+    let received = Arc::clone(&sink.received);
     net.attach_app(h2, Box::new(sink));
     let source = TcpVoiceSource::new(
         Endpoint::new(dst, 5005),
@@ -113,12 +113,12 @@ pub fn run_tcp(seed: u64, loss: f64, seconds: u64) -> VoiceReport {
         start + Duration::from_millis(100),
         start + Duration::from_secs(seconds),
     );
-    let sent = Rc::clone(&source.sent);
+    let sent = Arc::clone(&source.sent);
     net.attach_app(h1, Box::new(source));
     net.run_until(start + Duration::from_secs(seconds + 10));
-    let sent = *sent.borrow();
-    let received = *received.borrow();
-    let latency_ms = latencies.borrow().clone();
+    let sent = *sent.lock().unwrap();
+    let received = *received.lock().unwrap();
+    let latency_ms = latencies.lock().unwrap().clone();
     VoiceReport {
         sent,
         received,

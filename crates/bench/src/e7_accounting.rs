@@ -20,7 +20,7 @@ use catenet_core::iface::Framing;
 use catenet_core::{Endpoint, Network, TcpConfig};
 use catenet_sim::{Duration, LinkClass, LinkParams};
 use catenet_wire::IpProtocol;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One operating point's accounting comparison.
 #[derive(Debug, Clone, Copy)]
@@ -73,7 +73,7 @@ pub fn run(seed: u64, loss: f64, transfer: usize) -> AccountingReport {
     let dst = net.node(h2).primary_addr();
     let src_addr = net.node(h1).primary_addr();
     let sink = SinkServer::new(80, TcpConfig::default());
-    let received = Rc::clone(&sink.received);
+    let received = Arc::clone(&sink.received);
     net.attach_app(h2, Box::new(sink));
     let sender = BulkSender::new(
         Endpoint::new(dst, 80),
@@ -91,8 +91,8 @@ pub fn run(seed: u64, loss: f64, transfer: usize) -> AccountingReport {
         .as_ref()
         .expect("ledger enabled")
         .conversation_bytes(src_addr, dst, IpProtocol::Tcp);
-    let goodput_bytes = *received.borrow();
-    let completed = result.borrow().completed_at.is_some();
+    let goodput_bytes = *received.lock().unwrap();
+    let completed = result.lock().unwrap().completed_at.is_some();
     AccountingReport {
         loss,
         billed_bytes: billed,

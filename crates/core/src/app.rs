@@ -7,18 +7,37 @@
 //! network whenever their node is serviced and may request timer wakes.
 //!
 //! Results are shared with the experiment harness through
-//! `Rc<RefCell<…>>` handles — the simulation is single-threaded by
-//! design, so this is safe and simple.
+//! [`Shared`] (`Arc<Mutex<…>>`) handles, so applications are `Send`
+//! and run unchanged on the serial arms, the threaded `Parallel` arm,
+//! and the real-I/O substrate. Lanes only touch a handle from inside
+//! their own window and the barrier joins threads before any
+//! cross-lane frame is delivered, so lock acquisition order — and
+//! therefore every observable outcome — is schedule-independent.
 
 use crate::invariant::StreamIntegrity;
 use crate::node::Node;
 use catenet_sim::{Duration, Instant, Summary};
 use catenet_tcp::{Endpoint, SocketConfig as TcpConfig, State as TcpState, TcpError};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+/// A thread-safe shared cell: how applications publish results to the
+/// driving harness. `Arc<Mutex>` rather than `Rc<RefCell>` so that the
+/// holder may live on a different thread than the node (the `Parallel`
+/// shard arm, or a real-I/O driver's operator thread).
+pub type Shared<T> = Arc<Mutex<T>>;
+
+/// A fresh [`Shared`] cell holding `value`.
+pub fn shared<T>(value: T) -> Shared<T> {
+    Arc::new(Mutex::new(value))
+}
 
 /// An application attached to a node.
-pub trait Application {
+///
+/// `Send` is a supertrait: applications are carried inside their node's
+/// lane, and lanes may run on scoped worker threads (`Parallel`) or be
+/// driven by a real-I/O event loop. State shared with the harness goes
+/// through [`Shared`] handles.
+pub trait Application: Send {
     /// Called whenever the node is serviced. The application may use any
     /// of the node's sockets and helpers.
     fn poll(&mut self, node: &mut Node, now: Instant);
@@ -79,11 +98,11 @@ pub struct BulkSender {
     closed: bool,
     done: bool,
     /// Shared outcome.
-    pub result: Rc<RefCell<BulkResult>>,
+    pub result: Shared<BulkResult>,
     /// Optional end-to-end integrity checker: every byte the transport
     /// accepts is recorded as "sent" (pair it with the receiving
     /// [`SinkServer`] recording "delivered").
-    integrity: Option<Rc<RefCell<StreamIntegrity>>>,
+    integrity: Option<Shared<StreamIntegrity>>,
 }
 
 impl BulkSender {
@@ -98,21 +117,21 @@ impl BulkSender {
             written: 0,
             closed: false,
             done: false,
-            result: Rc::new(RefCell::new(BulkResult::default())),
+            result: shared(BulkResult::default()),
             integrity: None,
         }
     }
 
     /// Record every accepted byte into `checker` (the sending half of a
     /// [`StreamIntegrity`] pair).
-    pub fn with_integrity(mut self, checker: Rc<RefCell<StreamIntegrity>>) -> BulkSender {
+    pub fn with_integrity(mut self, checker: Shared<StreamIntegrity>) -> BulkSender {
         self.integrity = Some(checker);
         self
     }
 
     /// Handle to the shared result.
-    pub fn result_handle(&self) -> Rc<RefCell<BulkResult>> {
-        Rc::clone(&self.result)
+    pub fn result_handle(&self) -> Shared<BulkResult> {
+        Arc::clone(&self.result)
     }
 }
 
@@ -126,10 +145,10 @@ impl Application for BulkSender {
                 match node.tcp_connect(self.remote, self.config.clone(), now) {
                     Ok(handle) => {
                         self.handle = Some(handle);
-                        self.result.borrow_mut().started_at = Some(now);
+                        self.result.lock().unwrap().started_at = Some(now);
                     }
                     Err(_) => {
-                        self.result.borrow_mut().aborted = true;
+                        self.result.lock().unwrap().aborted = true;
                         self.done = true;
                     }
                 }
@@ -138,7 +157,7 @@ impl Application for BulkSender {
         };
         let Some(socket) = node.tcp_sockets.get_mut(handle) else {
             // Host crashed: fate-sharing destroyed the socket.
-            self.result.borrow_mut().aborted = true;
+            self.result.lock().unwrap().aborted = true;
             self.done = true;
             return;
         };
@@ -159,13 +178,13 @@ impl Application for BulkSender {
                 Ok(0) => break,
                 Ok(n) => {
                     if let Some(integrity) = &self.integrity {
-                        integrity.borrow_mut().record_sent(&pattern[..n]);
+                        integrity.lock().unwrap().record_sent(&pattern[..n]);
                     }
                     self.written += n;
                 }
                 Err(TcpError::InvalidState) if socket.state() == TcpState::SynSent => break,
                 Err(_) => {
-                    self.result.borrow_mut().aborted = true;
+                    self.result.lock().unwrap().aborted = true;
                     self.done = true;
                     return;
                 }
@@ -182,7 +201,7 @@ impl Application for BulkSender {
         }
         // Completion: our FIN acked (FinWait2/TimeWait/Closed) with all
         // data acknowledged.
-        let mut result = self.result.borrow_mut();
+        let mut result = self.result.lock().unwrap();
         result.bytes_acked = socket.stats.bytes_acked;
         result.bytes_sent = socket.stats.bytes_sent;
         result.retransmits = socket.stats.retransmits;
@@ -220,12 +239,12 @@ pub struct SinkServer {
     config: TcpConfig,
     handle: Option<usize>,
     /// Bytes received so far (shared).
-    pub received: Rc<RefCell<u64>>,
+    pub received: Shared<u64>,
     /// Set when the peer's FIN arrived and the stream drained.
-    pub finished: Rc<RefCell<Option<Instant>>>,
+    pub finished: Shared<Option<Instant>>,
     /// Optional end-to-end integrity checker: every delivered byte is
     /// recorded and checked against the sender's record.
-    integrity: Option<Rc<RefCell<StreamIntegrity>>>,
+    integrity: Option<Shared<StreamIntegrity>>,
 }
 
 impl SinkServer {
@@ -235,15 +254,15 @@ impl SinkServer {
             port,
             config,
             handle: None,
-            received: Rc::new(RefCell::new(0)),
-            finished: Rc::new(RefCell::new(None)),
+            received: shared(0),
+            finished: shared(None),
             integrity: None,
         }
     }
 
     /// Record every delivered byte into `checker` (the receiving half
     /// of a [`StreamIntegrity`] pair).
-    pub fn with_integrity(mut self, checker: Rc<RefCell<StreamIntegrity>>) -> SinkServer {
+    pub fn with_integrity(mut self, checker: Shared<StreamIntegrity>) -> SinkServer {
         self.integrity = Some(checker);
         self
     }
@@ -268,12 +287,12 @@ impl Application for SinkServer {
                 Ok(0) => break,
                 Ok(n) => {
                     if let Some(integrity) = &self.integrity {
-                        integrity.borrow_mut().record_delivered(&buf[..n]);
+                        integrity.lock().unwrap().record_delivered(&buf[..n]);
                     }
-                    *self.received.borrow_mut() += n as u64;
+                    *self.received.lock().unwrap() += n as u64;
                 }
                 Err(TcpError::Finished) => {
-                    let mut finished = self.finished.borrow_mut();
+                    let mut finished = self.finished.lock().unwrap();
                     if finished.is_none() {
                         *finished = Some(now);
                         socket.close();
@@ -305,7 +324,7 @@ pub struct CbrSource {
     seq: u64,
     socket: Option<usize>,
     /// Datagrams sent (shared).
-    pub sent: Rc<RefCell<u64>>,
+    pub sent: Shared<u64>,
 }
 
 impl CbrSource {
@@ -328,7 +347,7 @@ impl CbrSource {
             next_send: start_at,
             seq: 0,
             socket: None,
-            sent: Rc::new(RefCell::new(0)),
+            sent: shared(0),
         }
     }
 }
@@ -344,7 +363,7 @@ impl Application for CbrSource {
             payload[8..16].copy_from_slice(&now.total_micros().to_be_bytes());
             if let Some(sock) = node.udp_sockets.get_mut(socket) {
                 sock.send_to(self.remote, &payload);
-                *self.sent.borrow_mut() += 1;
+                *self.sent.lock().unwrap() += 1;
             }
             self.seq += 1;
             self.next_send += self.interval;
@@ -362,11 +381,11 @@ pub struct CbrSink {
     socket: Option<usize>,
     highest_seq: Option<u64>,
     /// One-way latencies in milliseconds (shared).
-    pub latencies_ms: Rc<RefCell<Summary>>,
+    pub latencies_ms: Shared<Summary>,
     /// Datagrams received (shared).
-    pub received: Rc<RefCell<u64>>,
+    pub received: Shared<u64>,
     /// Datagrams arriving with a sequence lower than one already seen.
-    pub reordered: Rc<RefCell<u64>>,
+    pub reordered: Shared<u64>,
 }
 
 impl CbrSink {
@@ -376,9 +395,9 @@ impl CbrSink {
             port,
             socket: None,
             highest_seq: None,
-            latencies_ms: Rc::new(RefCell::new(Summary::new())),
-            received: Rc::new(RefCell::new(0)),
-            reordered: Rc::new(RefCell::new(0)),
+            latencies_ms: shared(Summary::new()),
+            received: shared(0),
+            reordered: shared(0),
         }
     }
 }
@@ -397,11 +416,11 @@ impl Application for CbrSink {
             let sent_us = u64::from_be_bytes(dgram.payload[8..16].try_into().expect("8 bytes"));
             let latency_us = dgram.at.total_micros().saturating_sub(sent_us);
             self.latencies_ms
-                .borrow_mut()
+                .lock().unwrap()
                 .record(latency_us as f64 / 1000.0);
-            *self.received.borrow_mut() += 1;
+            *self.received.lock().unwrap() += 1;
             match self.highest_seq {
-                Some(highest) if seq < highest => *self.reordered.borrow_mut() += 1,
+                Some(highest) if seq < highest => *self.reordered.lock().unwrap() += 1,
                 _ => self.highest_seq = Some(self.highest_seq.unwrap_or(0).max(seq)),
             }
         }
@@ -423,7 +442,7 @@ pub struct TcpVoiceSource {
     handle: Option<usize>,
     config: TcpConfig,
     /// Frames written into the stream (shared).
-    pub sent: Rc<RefCell<u64>>,
+    pub sent: Shared<u64>,
 }
 
 impl TcpVoiceSource {
@@ -447,7 +466,7 @@ impl TcpVoiceSource {
             seq: 0,
             handle: None,
             config,
-            sent: Rc::new(RefCell::new(0)),
+            sent: shared(0),
         }
     }
 }
@@ -477,7 +496,7 @@ impl Application for TcpVoiceSource {
             match socket.send_slice(&frame) {
                 Ok(n) if n == frame.len() => {
                     self.seq += 1;
-                    *self.sent.borrow_mut() += 1;
+                    *self.sent.lock().unwrap() += 1;
                 }
                 // Buffer full: the stream is already blocked; the frame
                 // is simply late (skip it — voice can't wait).
@@ -500,9 +519,9 @@ pub struct TcpVoiceSink {
     frame_size: usize,
     pending: Vec<u8>,
     /// Per-frame latencies in milliseconds (shared).
-    pub latencies_ms: Rc<RefCell<Summary>>,
+    pub latencies_ms: Shared<Summary>,
     /// Frames received (shared).
-    pub received: Rc<RefCell<u64>>,
+    pub received: Shared<u64>,
 }
 
 impl TcpVoiceSink {
@@ -514,8 +533,8 @@ impl TcpVoiceSink {
             config,
             frame_size,
             pending: Vec::new(),
-            latencies_ms: Rc::new(RefCell::new(Summary::new())),
-            received: Rc::new(RefCell::new(0)),
+            latencies_ms: shared(Summary::new()),
+            received: shared(0),
         }
     }
 }
@@ -545,9 +564,9 @@ impl Application for TcpVoiceSink {
             let sent_us = u64::from_be_bytes(frame[8..16].try_into().expect("8 bytes"));
             let latency_us = now.total_micros().saturating_sub(sent_us);
             self.latencies_ms
-                .borrow_mut()
+                .lock().unwrap()
                 .record(latency_us as f64 / 1000.0);
-            *self.received.borrow_mut() += 1;
+            *self.received.lock().unwrap() += 1;
         }
     }
 }
@@ -561,7 +580,7 @@ pub struct UdpEchoServer {
     port: u16,
     socket: Option<usize>,
     /// Datagrams echoed (shared).
-    pub echoed: Rc<RefCell<u64>>,
+    pub echoed: Shared<u64>,
 }
 
 impl UdpEchoServer {
@@ -570,7 +589,7 @@ impl UdpEchoServer {
         UdpEchoServer {
             port,
             socket: None,
-            echoed: Rc::new(RefCell::new(0)),
+            echoed: shared(0),
         }
     }
 }
@@ -588,7 +607,7 @@ impl Application for UdpEchoServer {
         for (to, payload) in replies {
             if let Some(sock) = node.udp_sockets.get_mut(socket) {
                 sock.send_to(to, &payload);
-                *self.echoed.borrow_mut() += 1;
+                *self.echoed.lock().unwrap() += 1;
             }
         }
     }
@@ -605,11 +624,11 @@ pub struct Pinger {
     next_seq: u16,
     sent_at: std::collections::HashMap<u16, Instant>,
     /// Round-trip times in milliseconds (shared).
-    pub rtts_ms: Rc<RefCell<Summary>>,
+    pub rtts_ms: Shared<Summary>,
     /// Replies received (shared).
-    pub replies: Rc<RefCell<u64>>,
+    pub replies: Shared<u64>,
     /// Unreachable/time-exceeded errors received (shared).
-    pub errors: Rc<RefCell<u64>>,
+    pub errors: Shared<u64>,
 }
 
 impl Pinger {
@@ -630,9 +649,9 @@ impl Pinger {
             stop_at,
             next_seq: 0,
             sent_at: std::collections::HashMap::new(),
-            rtts_ms: Rc::new(RefCell::new(Summary::new())),
-            replies: Rc::new(RefCell::new(0)),
-            errors: Rc::new(RefCell::new(0)),
+            rtts_ms: shared(Summary::new()),
+            replies: shared(0),
+            errors: shared(0),
         }
     }
 }
@@ -651,14 +670,14 @@ impl Application for Pinger {
                     if let Some(sent) = self.sent_at.remove(&seq_no) {
                         let rtt = event.at.duration_since(sent);
                         self.rtts_ms
-                            .borrow_mut()
+                            .lock().unwrap()
                             .record(rtt.total_micros() as f64 / 1000.0);
-                        *self.replies.borrow_mut() += 1;
+                        *self.replies.lock().unwrap() += 1;
                     }
                 }
                 catenet_wire::Icmpv4Message::DstUnreachable(_)
                 | catenet_wire::Icmpv4Message::TimeExceeded(_) => {
-                    *self.errors.borrow_mut() += 1;
+                    *self.errors.lock().unwrap() += 1;
                 }
                 _ => {}
             }
@@ -687,7 +706,7 @@ mod tests {
         let dst = net.node(h2).primary_addr();
 
         let sink = SinkServer::new(80, TcpConfig::default());
-        let received = Rc::clone(&sink.received);
+        let received = Arc::clone(&sink.received);
         net.attach_app(h2, Box::new(sink));
 
         let sender = BulkSender::new(
@@ -700,11 +719,11 @@ mod tests {
         net.attach_app(h1, Box::new(sender));
 
         net.run_for(Duration::from_secs(120));
-        let result = result.borrow();
+        let result = result.lock().unwrap();
         assert!(!result.aborted);
         assert!(result.completed_at.is_some(), "transfer completed");
         assert_eq!(result.bytes_acked, 50_000);
-        assert_eq!(*received.borrow(), 50_000);
+        assert_eq!(*received.lock().unwrap(), 50_000);
         assert!(result.goodput_bps(50_000).unwrap() > 10_000.0);
     }
 
@@ -729,8 +748,8 @@ mod tests {
         );
         let dst = net.node(h2).primary_addr();
 
-        let checker = Rc::new(RefCell::new(StreamIntegrity::new()));
-        let sink = SinkServer::new(80, TcpConfig::default()).with_integrity(Rc::clone(&checker));
+        let checker = shared(StreamIntegrity::new());
+        let sink = SinkServer::new(80, TcpConfig::default()).with_integrity(Arc::clone(&checker));
         net.attach_app(h2, Box::new(sink));
         let sender = BulkSender::new(
             Endpoint::new(dst, 80),
@@ -738,13 +757,13 @@ mod tests {
             TcpConfig::default(),
             Instant::from_millis(10),
         )
-        .with_integrity(Rc::clone(&checker));
+        .with_integrity(Arc::clone(&checker));
         let result = sender.result_handle();
         net.attach_app(h1, Box::new(sender));
 
         net.run_for(Duration::from_secs(300));
-        assert!(result.borrow().completed_at.is_some(), "transfer completed");
-        let checker = checker.borrow();
+        assert!(result.lock().unwrap().completed_at.is_some(), "transfer completed");
+        let checker = checker.lock().unwrap();
         assert!(checker.is_complete(), "violations: {:?}", checker.violations());
         assert_eq!(checker.delivered_len(), 40_000);
         assert_eq!(checker.delivered_digest(), checker.sent_digest());
@@ -759,8 +778,8 @@ mod tests {
         let dst = net.node(h2).primary_addr();
 
         let sink = CbrSink::new(5004);
-        let latencies = Rc::clone(&sink.latencies_ms);
-        let received = Rc::clone(&sink.received);
+        let latencies = Arc::clone(&sink.latencies_ms);
+        let received = Arc::clone(&sink.received);
         net.attach_app(h2, Box::new(sink));
 
         let source = CbrSource::new(
@@ -770,15 +789,15 @@ mod tests {
             Instant::from_millis(100),
             Instant::from_secs(5),
         );
-        let sent = Rc::clone(&source.sent);
+        let sent = Arc::clone(&source.sent);
         net.attach_app(h1, Box::new(source));
 
         net.run_for(Duration::from_secs(6));
-        let sent = *sent.borrow();
-        let received = *received.borrow();
+        let sent = *sent.lock().unwrap();
+        let received = *received.lock().unwrap();
         assert!(sent >= 240, "sent {sent}");
         assert!(received as f64 >= sent as f64 * 0.95, "received {received}/{sent}");
-        let lat = latencies.borrow();
+        let lat = latencies.lock().unwrap();
         // One T1 hop: ~30 ms propagation + ~1 ms serialization + jitter.
         assert!(lat.median() >= 30.0 && lat.median() <= 40.0, "median {}", lat.median());
     }
@@ -792,7 +811,7 @@ mod tests {
         let dst = net.node(h2).primary_addr();
 
         let server = UdpEchoServer::new(7);
-        let echoed = Rc::clone(&server.echoed);
+        let echoed = Arc::clone(&server.echoed);
         net.attach_app(h2, Box::new(server));
 
         let sock = net.node_mut(h1).udp_bind(7777);
@@ -800,7 +819,7 @@ mod tests {
         net.kick(h1);
         net.run_for(Duration::from_secs(1));
 
-        assert_eq!(*echoed.borrow(), 1);
+        assert_eq!(*echoed.lock().unwrap(), 1);
         let back = net.node_mut(h1).udp_sockets[sock].recv().unwrap();
         assert_eq!(back.payload, b"echo me");
     }
@@ -820,13 +839,13 @@ mod tests {
             Instant::from_millis(10),
             Instant::from_secs(5),
         );
-        let rtts = Rc::clone(&pinger.rtts_ms);
-        let replies = Rc::clone(&pinger.replies);
+        let rtts = Arc::clone(&pinger.rtts_ms);
+        let replies = Arc::clone(&pinger.replies);
         net.attach_app(h1, Box::new(pinger));
 
         net.run_for(Duration::from_secs(7));
-        assert!(*replies.borrow() >= 8, "replies {}", *replies.borrow());
-        let rtts = rtts.borrow();
+        assert!(*replies.lock().unwrap() >= 8, "replies {}", *replies.lock().unwrap());
+        let rtts = rtts.lock().unwrap();
         // Satellite: ~250 ms each way.
         assert!(rtts.median() >= 500.0, "median {}", rtts.median());
         assert!(rtts.median() <= 530.0, "median {}", rtts.median());

@@ -40,7 +40,7 @@ mod tests {
     use crate::Endpoint;
     use catenet_sim::{Duration, Instant, LinkClass};
     use catenet_tcp::SocketConfig as TcpConfig;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn line_net(seed: u64) -> (Network, NodeId, NodeId, NodeId) {
         let mut net = Network::new(seed);
@@ -58,7 +58,7 @@ mod tests {
         enable(&mut net, g);
         let dst = net.node(h2).primary_addr();
         let sink = SinkServer::new(80, TcpConfig::default());
-        let received = Rc::clone(&sink.received);
+        let received = Arc::clone(&sink.received);
         net.attach_app(h2, Box::new(sink));
         let sender = BulkSender::new(
             Endpoint::new(dst, 80),
@@ -69,8 +69,8 @@ mod tests {
         let result = sender.result_handle();
         net.attach_app(h1, Box::new(sender));
         net.run_for(Duration::from_secs(60));
-        assert!(result.borrow().completed_at.is_some(), "VC mode forwards fine");
-        assert_eq!(*received.borrow(), 20_000);
+        assert!(result.lock().unwrap().completed_at.is_some(), "VC mode forwards fine");
+        assert_eq!(*received.lock().unwrap(), 20_000);
         // Both directions of the connection installed circuits.
         assert_eq!(circuit_count(&net, g), 2);
     }

@@ -65,6 +65,7 @@ pub mod pool;
 pub mod realization;
 pub mod socket;
 
+pub use app::{shared, Application, Shared};
 pub use catenet_sim::ShardKind;
 pub use catenet_tcp::{Endpoint, Socket as TcpSocket, SocketConfig as TcpConfig};
 pub use invariant::{ProgressWatchdog, ReconvergenceBound, StreamIntegrity, Violation};

@@ -6,11 +6,17 @@
 //! own scoped thread. The views are disjoint by construction
 //! (`split_views` carves every per-node vector with `split_at_mut`),
 //! so the only thing standing between them and `std::thread::scope` is
-//! `Send`: nodes hold `Rc`-based packet pools and `dyn Application`
-//! boxes that are not `Send`, even though no clone of those `Rc`s ever
-//! lives outside the owning lane once the split re-homed every pool
-//! (`Network::ensure_split` rebuilds per-lane pools and severs every
-//! pooled buffer that predates the split).
+//! `Send`: nodes hold `Rc`-based packet pools that are not `Send`,
+//! even though no clone of those `Rc`s ever lives outside the owning
+//! lane once the split re-homed every pool (`Network::ensure_split`
+//! rebuilds per-lane pools and severs every pooled buffer that
+//! predates the split). Applications are *not* part of the assertion:
+//! `Application: Send` is a supertrait bound, and app result handles
+//! are `Arc<Mutex>` (see `app::Shared`), so a checker shared between a
+//! sender and a sink in different lanes is genuinely thread-safe —
+//! window outcomes stay schedule-independent because each lane touches
+//! shared handles only inside its own window and cross-lane frames
+//! deliver only after the scope joins.
 //!
 //! [`SendView`] asserts exactly that invariant. It is the one unsafe
 //! impl in the workspace, and the safety argument is confinement, not
@@ -28,13 +34,14 @@ pub(crate) struct SendView<'a>(pub LaneView<'a>);
 // SAFETY: a `LaneView` is a set of mutable borrows that are disjoint
 // across views (distinct lanes, distinct node ranges) plus shared
 // references to immutable topology. The non-`Send` interior (`Rc`
-// packet pools inside nodes/buffers, `Rc` attestation registries,
-// `dyn Application` boxes) is confined: `ensure_split` gives each lane
-// a private pool and detaches every buffer allocated before the split,
-// re-homing severs cross-lane `Rc` sharing, and attestation-bearing
-// networks are demoted to serial execution before this type is ever
-// constructed. Each `SendView` is moved to exactly one thread and the
-// scope joins before any other access.
+// packet pools inside nodes/buffers, `Rc` attestation registries) is
+// confined: `ensure_split` gives each lane a private pool and detaches
+// every buffer allocated before the split, re-homing severs cross-lane
+// `Rc` sharing, and attestation-bearing networks are demoted to serial
+// execution before this type is ever constructed. `dyn Application`
+// boxes need no argument — `Application: Send` is a trait bound. Each
+// `SendView` is moved to exactly one thread and the scope joins before
+// any other access.
 #[allow(unsafe_code)]
 unsafe impl Send for SendView<'_> {}
 

@@ -1,0 +1,17 @@
+//! `vhost` — drive one catenet *host* (static routes, no RIP) over
+//! real UDP-tunnel links, with an operator REPL on stdin/stdout.
+//!
+//! ```text
+//! vhost h1.cfg
+//! ```
+//!
+//! See `catenet_substrate::config` for the file format and
+//! `catenet_substrate::repl` for the command set.
+
+use catenet_core::NodeRole;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    catenet_substrate::driver::run(NodeRole::Host, &args)
+}

@@ -1,0 +1,18 @@
+//! `vrouter` — drive one catenet *router* (distance-vector RIP) over
+//! real UDP-tunnel links, with an operator REPL on stdin/stdout.
+//!
+//! ```text
+//! vrouter r1.cfg
+//! ```
+//!
+//! Two `vrouter` processes pointed at each other's sockets exchange
+//! RIP over the tunnel, converge routes to each other's stub prefixes,
+//! and can carry TCP end to end — that is the loopback interop test.
+
+use catenet_core::NodeRole;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    catenet_substrate::driver::run(NodeRole::Gateway, &args)
+}

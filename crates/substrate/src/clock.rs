@@ -1,0 +1,135 @@
+//! The timer driver behind a real-I/O realization.
+//!
+//! The simulator *is* its own clock — virtual time advances exactly to
+//! the next scheduled event. A real substrate has no such luxury: time
+//! passes whether the process is ready or not, and "sleep until the
+//! next TCP retransmit timer" must become an actual OS sleep. [`Clock`]
+//! is that seam. [`WallClock`] is the production driver (monotonic OS
+//! time mapped to the architecture's microsecond [`Instant`]s);
+//! [`TestClock`] advances instantly so unit tests of the real backend's
+//! event loop never actually wait.
+
+use catenet_sim::{Duration, Instant};
+
+/// A source of time plus the ability to wait for it to pass.
+///
+/// Instants are catenet instants: microseconds since the clock's epoch
+/// (process start for [`WallClock`]), the same representation virtual
+/// time uses, so `Node` and the TCP RTO machinery are oblivious to
+/// which realization is driving them.
+pub trait Clock: Send {
+    /// Microseconds elapsed since this clock's epoch.
+    fn now(&self) -> Instant;
+
+    /// Block until roughly `deadline`, or return early if woken. A
+    /// clock may sleep in shorter slices; callers must re-check
+    /// [`Clock::now`] and loop.
+    fn sleep_until(&mut self, deadline: Instant);
+}
+
+/// Monotonic wall-clock time, the real-I/O driver.
+pub struct WallClock {
+    epoch: std::time::Instant,
+    /// Longest single sleep slice. Frames can arrive from the OS at
+    /// any moment, so the driver caps sleeps and re-polls its sockets;
+    /// 1 ms keeps REPL echo and tunnel ingress snappy while costing
+    /// ~no CPU (the process is asleep between slices).
+    pub max_slice: Duration,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is "now".
+    pub fn new() -> WallClock {
+        WallClock {
+            epoch: std::time::Instant::now(),
+            max_slice: Duration::from_millis(1),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Instant {
+        Instant::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn sleep_until(&mut self, deadline: Instant) {
+        let now = self.now();
+        if deadline <= now {
+            return;
+        }
+        let remaining = deadline.duration_since(now).min(self.max_slice);
+        std::thread::sleep(std::time::Duration::from_micros(remaining.total_micros()));
+    }
+}
+
+/// A clock that never waits: `sleep_until` jumps straight to the
+/// deadline. Lets tests drive [`crate::real::RealSubstrate`]'s event
+/// loop through hours of protocol time in milliseconds of test time
+/// (sockets are still real, but on loopback delivery is immediate).
+pub struct TestClock {
+    now: Instant,
+}
+
+impl TestClock {
+    /// A test clock starting at 0.
+    pub fn new() -> TestClock {
+        TestClock { now: Instant::ZERO }
+    }
+}
+
+impl Default for TestClock {
+    fn default() -> TestClock {
+        TestClock::new()
+    }
+}
+
+impl Clock for TestClock {
+    fn now(&self) -> Instant {
+        self.now
+    }
+
+    fn sleep_until(&mut self, deadline: Instant) {
+        if deadline > self.now {
+            self.now = deadline;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic_and_advances() {
+        let mut clock = WallClock::new();
+        let a = clock.now();
+        clock.sleep_until(a + Duration::from_millis(2));
+        let b = clock.now();
+        assert!(b >= a + Duration::from_millis(1), "slept {a:?} -> {b:?}");
+    }
+
+    #[test]
+    fn wall_clock_sleep_is_sliced() {
+        let mut clock = WallClock::new();
+        let start = clock.now();
+        // A deadline far in the future must return after one slice,
+        // not block for an hour.
+        clock.sleep_until(start + Duration::from_secs(3600));
+        assert!(clock.now() < start + Duration::from_secs(1));
+    }
+
+    #[test]
+    fn test_clock_jumps() {
+        let mut clock = TestClock::new();
+        clock.sleep_until(Instant::from_secs(100));
+        assert_eq!(clock.now(), Instant::from_secs(100));
+        clock.sleep_until(Instant::from_secs(50)); // never goes back
+        assert_eq!(clock.now(), Instant::from_secs(100));
+    }
+}

@@ -1,0 +1,343 @@
+//! The real-I/O realization: one OS process, one node, links as UDP
+//! tunnels.
+//!
+//! Where the simulator realizes a link as a pair of delay/loss queues
+//! inside one process, [`RealSubstrate`] realizes it as a pair of OS
+//! UDP sockets: each frame the node emits is wrapped in the
+//! [`crate::tunnel`] header and sent to the peer's socket; each
+//! datagram the OS delivers is defensively decoded and handed to
+//! [`Node::handle_frame`] exactly as a simulated frame would be. The
+//! node — ARP, IP forwarding, DV routing, TCP, sockets, applications —
+//! cannot tell the difference; that is the paper's architecture/
+//! realization split made executable.
+//!
+//! Time is the other half of the realization. Virtual time jumps from
+//! event to event; here a [`Clock`] maps monotonic wall time onto the
+//! same microsecond [`Instant`]s, and [`RealSubstrate::run_until`]
+//! alternates short sleeps with socket polls, so RIP periodics and TCP
+//! retransmission timers fire within a millisecond-ish of schedule.
+//! Determinism is *not* promised on this arm — the OS schedules
+//! delivery — which is exactly why the simulator remains the CI arm
+//! for every byte-pinned experiment.
+//!
+//! The [`LinkEndpoint`] trait is the seam a future TUN backend plugs
+//! into (see the crate docs): `RealSubstrate` only ever asks an
+//! endpoint to ship or poll frames.
+
+use crate::clock::{Clock, WallClock};
+use crate::config::NodeConfig;
+use crate::tunnel::{self, TunnelStats, MAX_FRAME, TUNNEL_HEADER};
+use crate::Substrate;
+use catenet_core::app::Application;
+use catenet_core::iface::{Framing, Iface};
+use catenet_core::{Node, NodeRole};
+use catenet_sim::{Duration, Instant};
+use catenet_wire::EthernetAddress;
+use std::io;
+use std::net::UdpSocket;
+
+/// One end of a realized link: ships frames out, polls frames in.
+///
+/// Implementations must never block: the substrate's event loop owns
+/// the only thread. `send_frame` is best-effort — real networks drop —
+/// and `recv_frame` returns `None` when nothing is pending.
+pub trait LinkEndpoint: Send {
+    /// Ship a frame to the peer (best-effort).
+    fn send_frame(&mut self, frame: &[u8]);
+
+    /// Poll one pending frame, without blocking.
+    fn recv_frame(&mut self) -> Option<Vec<u8>>;
+
+    /// Ingress accounting (accepted / dropped-by-reason).
+    fn stats(&self) -> TunnelStats;
+}
+
+/// A UDP-tunnel link endpoint: frames ride [`crate::tunnel`] datagrams
+/// between two bound sockets.
+pub struct UdpTunnel {
+    socket: UdpSocket,
+    link_id: u16,
+    stats: TunnelStats,
+    recv_buf: [u8; TUNNEL_HEADER + MAX_FRAME + 64],
+}
+
+impl UdpTunnel {
+    /// Bind `local` and aim at `remote`. The socket is connected, so
+    /// datagrams from other sources are filtered by the OS, and set
+    /// non-blocking, so the event loop can poll it.
+    pub fn new(local: &str, remote: &str, link_id: u16) -> io::Result<UdpTunnel> {
+        let socket = UdpSocket::bind(local)?;
+        socket.connect(remote)?;
+        socket.set_nonblocking(true)?;
+        Ok(UdpTunnel {
+            socket,
+            link_id,
+            stats: TunnelStats::default(),
+            recv_buf: [0; TUNNEL_HEADER + MAX_FRAME + 64],
+        })
+    }
+
+    /// The local socket address actually bound (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.socket.local_addr()
+    }
+}
+
+impl LinkEndpoint for UdpTunnel {
+    fn send_frame(&mut self, frame: &[u8]) {
+        // Best-effort, like the wire: a full socket buffer or an
+        // unreachable peer is a dropped frame, and TCP/RIP recover
+        // exactly as they do from simulated loss.
+        let _ = self.socket.send(&tunnel::encode(self.link_id, frame));
+    }
+
+    fn recv_frame(&mut self) -> Option<Vec<u8>> {
+        loop {
+            let n = match self.socket.recv(&mut self.recv_buf) {
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return None,
+                // Connected UDP surfaces ICMP errors (peer not yet
+                // up) as recv failures; treat like loss and move on.
+                Err(_) => return None,
+            };
+            match tunnel::decode(self.link_id, &self.recv_buf[..n]) {
+                Ok(frame) => {
+                    self.stats.accepted += 1;
+                    return Some(frame.to_vec());
+                }
+                Err(reason) => self.stats.record(reason),
+            }
+        }
+    }
+
+    fn stats(&self) -> TunnelStats {
+        self.stats
+    }
+}
+
+/// The endpoint behind a stub (`local`) interface: a connected prefix
+/// with no wire. Egress frames vanish (exactly what a LAN with no
+/// other hosts does); nothing ever arrives.
+pub struct StubLink;
+
+impl LinkEndpoint for StubLink {
+    fn send_frame(&mut self, _frame: &[u8]) {}
+
+    fn recv_frame(&mut self) -> Option<Vec<u8>> {
+        None
+    }
+
+    fn stats(&self) -> TunnelStats {
+        TunnelStats::default()
+    }
+}
+
+/// A node realized over real I/O: one [`Node`], one [`LinkEndpoint`]
+/// per interface, a [`Clock`] driving timers.
+pub struct RealSubstrate {
+    node: Node,
+    links: Vec<Box<dyn LinkEndpoint>>,
+    apps: Vec<Box<dyn Application>>,
+    clock: Box<dyn Clock>,
+}
+
+impl RealSubstrate {
+    /// Realize `config` with the wall clock — the production driver.
+    pub fn from_config(config: &NodeConfig) -> io::Result<RealSubstrate> {
+        RealSubstrate::with_clock(config, Box::new(WallClock::new()))
+    }
+
+    /// Realize `config` over an explicit clock (tests use
+    /// [`crate::clock::TestClock`] so protocol hours cost test
+    /// milliseconds).
+    pub fn with_clock(config: &NodeConfig, clock: Box<dyn Clock>) -> io::Result<RealSubstrate> {
+        let mut node = Node::new(config.name.clone(), config.role);
+        let mut links: Vec<Box<dyn LinkEndpoint>> = Vec::new();
+        for (index, iface) in config.ifaces.iter().enumerate() {
+            let endpoint: Box<dyn LinkEndpoint> = match (&iface.bind, &iface.remote) {
+                (Some(bind), Some(remote)) => {
+                    Box::new(UdpTunnel::new(bind, remote, iface.link_id)?)
+                }
+                _ => Box::new(StubLink),
+            };
+            // Tunnels are point-to-point: raw IP framing, no ARP. The
+            // hardware address is still required by the interface
+            // record; derive a stable locally-administered one.
+            node.attach_iface(Iface {
+                addr: iface.addr,
+                cidr: iface.cidr(),
+                hardware: EthernetAddress::new(0x02, 0xC4, 0x7E, 0, 0, index as u8),
+                peer: iface.peer.unwrap_or(iface.addr),
+                ip_mtu: 1500,
+                framing: Framing::RawIp,
+                up: true,
+            });
+            links.push(endpoint);
+        }
+        for route in &config.routes {
+            let iface = config
+                .ifaces
+                .iter()
+                .position(|i| i.peer == Some(route.via))
+                .expect("config::parse validated the next hop");
+            node.static_routes
+                .insert(route.prefix, (iface, Some(route.via)));
+        }
+        Ok(RealSubstrate {
+            node,
+            links,
+            apps: Vec::new(),
+            clock,
+        })
+    }
+
+    /// One non-blocking pass of the event loop: ingest every pending
+    /// tunnel datagram, service the node (timers, RIP, TCP), poll
+    /// applications, flush the outbox to the tunnels. Returns the
+    /// number of frames ingested.
+    pub fn pump(&mut self) -> usize {
+        let now = self.clock.now();
+        let mut ingested = 0;
+        for iface in 0..self.links.len() {
+            while let Some(frame) = self.links[iface].recv_frame() {
+                // A frame for a downed interface is dropped at the
+                // door, exactly as the simulator's link would not have
+                // delivered it.
+                if self.node.ifaces.get(iface).map(|i| i.up) == Some(true) {
+                    self.node.handle_frame(now, iface, frame);
+                    ingested += 1;
+                }
+            }
+        }
+        self.node.service(now);
+        for app in &mut self.apps {
+            app.poll(&mut self.node, now);
+        }
+        for (iface, frame) in self.node.take_outbox() {
+            if let Some(link) = self.links.get_mut(iface) {
+                link.send_frame(&frame);
+            }
+        }
+        ingested
+    }
+
+    /// Earliest instant anything wants a wake: node timers or app
+    /// schedules.
+    fn next_wake(&self, now: Instant) -> Option<Instant> {
+        let mut wake = self.node.poll_at(now);
+        for app in &self.apps {
+            wake = match (wake, app.next_wake()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        wake
+    }
+
+    /// Administratively raise or drop interface `iface` — the REPL's
+    /// `up`/`down`. Mirrors what the simulator's `set_link_up` does to
+    /// *one* end: the interface flag flips and the DV engine fails or
+    /// re-learns the connected prefix. The peer is *not* told — on a
+    /// real substrate it only finds out when RIP times the routes out,
+    /// which is the paper's point about distributed failure detection.
+    pub fn set_iface_up(&mut self, iface: usize, up: bool) {
+        if iface >= self.node.ifaces.len() {
+            return;
+        }
+        self.node.ifaces[iface].up = up;
+        let now = self.clock.now();
+        let cidr = self.node.ifaces[iface].cidr.network();
+        if let Some(dv) = &mut self.node.dv {
+            if up {
+                dv.add_connected(cidr, iface);
+            } else {
+                dv.remove_connected(&cidr);
+                dv.fail_iface(iface, now);
+            }
+        }
+    }
+
+    /// Ingress statistics for interface `iface`.
+    pub fn link_stats(&self, iface: usize) -> TunnelStats {
+        self.links
+            .get(iface)
+            .map(|l| l.stats())
+            .unwrap_or_default()
+    }
+
+    /// Feed a raw tunnel payload through interface `iface`'s decode
+    /// path as if it had arrived from the socket — the fuzz harness's
+    /// direct line to the ingress hardening without needing a peer
+    /// process.
+    pub fn ingest_payload(&mut self, iface: usize, payload: &[u8], stats: &mut TunnelStats) {
+        let link_id = iface as u16;
+        let now = self.clock.now();
+        match tunnel::decode(link_id, payload) {
+            Ok(frame) => {
+                stats.accepted += 1;
+                self.node.handle_frame(now, iface, frame.to_vec());
+            }
+            Err(reason) => stats.record(reason),
+        }
+    }
+
+    /// The node's display name.
+    pub fn name(&self) -> &str {
+        &self.node.name
+    }
+
+    /// Whether this node runs DV routing (router) or static routes
+    /// (host).
+    pub fn role(&self) -> NodeRole {
+        self.node.role
+    }
+}
+
+impl Substrate for RealSubstrate {
+    fn now(&self) -> Instant {
+        self.clock.now()
+    }
+
+    fn run_until(&mut self, deadline: Instant) {
+        loop {
+            self.pump();
+            let now = self.clock.now();
+            if now >= deadline {
+                return;
+            }
+            // Sleep toward the earliest of: the deadline, the next
+            // timer. Never sleep less than a sliver (a stale timer
+            // must not spin the loop hot) — the clock's own slice cap
+            // keeps socket polling responsive regardless.
+            let mut target = deadline;
+            if let Some(wake) = self.next_wake(now) {
+                target = target.min(wake);
+            }
+            let floor = now + Duration::from_micros(200);
+            self.clock.sleep_until(target.max(floor).min(deadline).max(now));
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        1
+    }
+
+    fn node(&self, index: usize) -> &Node {
+        assert_eq!(index, 0, "a real substrate hosts one node");
+        &self.node
+    }
+
+    fn node_mut(&mut self, index: usize) -> &mut Node {
+        assert_eq!(index, 0, "a real substrate hosts one node");
+        &mut self.node
+    }
+
+    fn attach_app(&mut self, index: usize, app: Box<dyn Application>) {
+        assert_eq!(index, 0, "a real substrate hosts one node");
+        self.apps.push(app);
+    }
+
+    fn kick(&mut self, _index: usize) {
+        self.pump();
+    }
+}

@@ -1,0 +1,441 @@
+//! The operator REPL shared by `vhost` and `vrouter`.
+//!
+//! The REPL is the driver seat for one real-I/O node: inspect
+//! interfaces, sockets and routes; raise and drop interfaces; open TCP
+//! connections and move bytes — including whole files, hash-printed on
+//! both ends so two operators (or the interop test) can compare
+//! transfers without comparing contents. Commands:
+//!
+//! ```text
+//! help                      this list
+//! li                        list interfaces
+//! ls                        list sockets
+//! lr | routes               list routes (static + learned)
+//! up <iface> | down <iface> raise / drop an interface
+//! connect <ip> <port>       open a TCP connection; prints the socket id
+//! listen <port>             passive-open a TCP socket
+//! send <sock> <text…>       write text into a socket
+//! recv <sock> <n>           read up to n bytes from a socket
+//! sendfile <path> <ip> <port>   stream a file over a fresh connection
+//! recvfile <path> <port>        accept one connection, write to file
+//! stats                     tunnel ingress counters per interface
+//! quit | q                  exit
+//! ```
+//!
+//! Output goes to stdout one line at a time with stable prefixes
+//! (`sendfile done:`, `recvfile done:`, `route …`), so the loopback
+//! interop test can drive two processes through pipes and assert on
+//! what the operator would see. All input is untrusted: a malformed
+//! command prints an error line, never panics.
+
+use crate::real::RealSubstrate;
+use crate::Substrate;
+use catenet_core::NodeRole;
+use catenet_tcp::{Endpoint, SocketConfig as TcpConfig, TcpError};
+use catenet_wire::Ipv4Address;
+use std::fs;
+use std::io::Write;
+
+/// FNV-1a 64-bit — the repo's standard content digest, so the hashes
+/// the REPL prints line up with what the experiment harnesses compute.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+struct SendTransfer {
+    handle: usize,
+    label: String,
+    data: Vec<u8>,
+    written: usize,
+    closed: bool,
+}
+
+struct RecvTransfer {
+    handle: usize,
+    path: String,
+    file: fs::File,
+    bytes: u64,
+    hash: u64,
+}
+
+/// REPL state: pending file transfers riding the substrate's sockets.
+pub struct Repl {
+    sends: Vec<SendTransfer>,
+    recvs: Vec<RecvTransfer>,
+}
+
+/// What one command asked of the driver loop.
+pub struct ReplAction {
+    /// Lines to print.
+    pub output: Vec<String>,
+    /// The operator asked to exit.
+    pub quit: bool,
+}
+
+impl Default for Repl {
+    fn default() -> Repl {
+        Repl::new()
+    }
+}
+
+impl Repl {
+    /// A fresh REPL with no transfers in flight.
+    pub fn new() -> Repl {
+        Repl {
+            sends: Vec::new(),
+            recvs: Vec::new(),
+        }
+    }
+
+    /// Execute one command line.
+    pub fn exec(&mut self, line: &str, sub: &mut RealSubstrate) -> ReplAction {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let mut out = Vec::new();
+        let mut quit = false;
+        match words.first().copied() {
+            None => {}
+            Some("help") => out.push(HELP.trim_end().to_string()),
+            Some("quit") | Some("q") => quit = true,
+            Some("li") => self.list_ifaces(sub, &mut out),
+            Some("ls") => self.list_sockets(sub, &mut out),
+            Some("lr") | Some("routes") => self.list_routes(sub, &mut out),
+            Some("up") | Some("down") => {
+                let up = words[0] == "up";
+                match words.get(1).and_then(|w| w.parse::<usize>().ok()) {
+                    Some(iface) if iface < sub.node(0).ifaces.len() => {
+                        sub.set_iface_up(iface, up);
+                        out.push(format!("iface {iface} {}", if up { "up" } else { "down" }));
+                    }
+                    _ => out.push("error: usage: up|down <iface>".into()),
+                }
+            }
+            Some("connect") => match parse_endpoint(&words[1..]) {
+                Some(remote) => {
+                    let now = Substrate::now(sub);
+                    match sub.node_mut(0).tcp_connect(remote, TcpConfig::default(), now) {
+                        Ok(handle) => out.push(format!("socket {handle} connecting to {remote}")),
+                        Err(e) => out.push(format!("error: connect: {e:?}")),
+                    }
+                }
+                None => out.push("error: usage: connect <ip> <port>".into()),
+            },
+            Some("listen") => match words.get(1).and_then(|w| w.parse::<u16>().ok()) {
+                Some(port) => {
+                    let handle = sub.node_mut(0).tcp_listen(port, TcpConfig::default());
+                    out.push(format!("socket {handle} listening on {port}"));
+                }
+                None => out.push("error: usage: listen <port>".into()),
+            },
+            Some("send") => {
+                let Some(handle) = words.get(1).and_then(|w| w.parse::<usize>().ok()) else {
+                    out.push("error: usage: send <sock> <text…>".into());
+                    return ReplAction { output: out, quit };
+                };
+                let text = line
+                    .splitn(3, char::is_whitespace)
+                    .nth(2)
+                    .unwrap_or("")
+                    .as_bytes();
+                match sub.node_mut(0).tcp_sockets.get_mut(handle) {
+                    Some(socket) => match socket.send_slice(text) {
+                        Ok(n) => out.push(format!("sent {n} bytes on socket {handle}")),
+                        Err(e) => out.push(format!("error: send: {e:?}")),
+                    },
+                    None => out.push(format!("error: no socket {handle}")),
+                }
+            }
+            Some("recv") => {
+                let handle = words.get(1).and_then(|w| w.parse::<usize>().ok());
+                let want = words.get(2).and_then(|w| w.parse::<usize>().ok());
+                match (handle, want) {
+                    (Some(handle), Some(want)) => {
+                        match sub.node_mut(0).tcp_sockets.get_mut(handle) {
+                            Some(socket) => {
+                                let mut buf = vec![0u8; want.min(65_536)];
+                                match socket.recv_slice(&mut buf) {
+                                    Ok(n) => out.push(format!(
+                                        "recv {n} bytes on socket {handle}: {}",
+                                        String::from_utf8_lossy(&buf[..n])
+                                    )),
+                                    Err(TcpError::Finished) => {
+                                        out.push(format!("socket {handle}: stream finished"))
+                                    }
+                                    Err(e) => out.push(format!("error: recv: {e:?}")),
+                                }
+                            }
+                            None => out.push(format!("error: no socket {handle}")),
+                        }
+                    }
+                    _ => out.push("error: usage: recv <sock> <n>".into()),
+                }
+            }
+            Some("sendfile") => match (words.get(1), parse_endpoint(&words[2..])) {
+                (Some(path), Some(remote)) => match fs::read(path) {
+                    Ok(data) => {
+                        let now = Substrate::now(sub);
+                        match sub.node_mut(0).tcp_connect(remote, TcpConfig::default(), now) {
+                            Ok(handle) => {
+                                out.push(format!(
+                                    "sendfile {path}: {} bytes to {remote} on socket {handle}",
+                                    data.len()
+                                ));
+                                self.sends.push(SendTransfer {
+                                    handle,
+                                    label: path.to_string(),
+                                    data,
+                                    written: 0,
+                                    closed: false,
+                                });
+                            }
+                            Err(e) => out.push(format!("error: sendfile connect: {e:?}")),
+                        }
+                    }
+                    Err(e) => out.push(format!("error: sendfile read {path}: {e}")),
+                },
+                _ => out.push("error: usage: sendfile <path> <ip> <port>".into()),
+            },
+            Some("recvfile") => {
+                let port = words.get(2).and_then(|w| w.parse::<u16>().ok());
+                match (words.get(1), port) {
+                    (Some(path), Some(port)) => match fs::File::create(path) {
+                        Ok(file) => {
+                            let handle = sub.node_mut(0).tcp_listen(port, TcpConfig::default());
+                            out.push(format!(
+                                "recvfile {path}: listening on {port}, socket {handle}"
+                            ));
+                            self.recvs.push(RecvTransfer {
+                                handle,
+                                path: path.to_string(),
+                                file,
+                                bytes: 0,
+                                hash: 0xcbf2_9ce4_8422_2325,
+                            });
+                        }
+                        Err(e) => out.push(format!("error: recvfile create {path}: {e}")),
+                    },
+                    _ => out.push("error: usage: recvfile <path> <port>".into()),
+                }
+            }
+            Some("stats") => {
+                for iface in 0..sub.node(0).ifaces.len() {
+                    let s = sub.link_stats(iface);
+                    out.push(format!(
+                        "iface {iface}: accepted {} dropped {} (truncated {} bad_magic {} \
+                         bad_version {} length_mismatch {} oversized {} wrong_link {})",
+                        s.accepted,
+                        s.dropped(),
+                        s.truncated,
+                        s.bad_magic,
+                        s.bad_version,
+                        s.length_mismatch,
+                        s.oversized,
+                        s.wrong_link,
+                    ));
+                }
+            }
+            Some(other) => out.push(format!("error: unknown command {other:?} (try help)")),
+        }
+        ReplAction { output: out, quit }
+    }
+
+    /// Advance in-flight file transfers; returns progress lines
+    /// (`sendfile done:` / `recvfile done:` / `… error:`).
+    pub fn tick(&mut self, sub: &mut RealSubstrate) -> Vec<String> {
+        let mut out = Vec::new();
+        let node = sub.node_mut(0);
+
+        self.sends.retain_mut(|t| {
+            let Some(socket) = node.tcp_sockets.get_mut(t.handle) else {
+                out.push(format!("sendfile {} error: socket gone", t.label));
+                return false;
+            };
+            while t.written < t.data.len() {
+                let room = socket.send_room().min(8_192);
+                if room == 0 {
+                    break;
+                }
+                let end = (t.written + room).min(t.data.len());
+                match socket.send_slice(&t.data[t.written..end]) {
+                    Ok(0) => break,
+                    Ok(n) => t.written += n,
+                    Err(TcpError::InvalidState)
+                        if socket.state() == catenet_tcp::State::SynSent =>
+                    {
+                        break;
+                    }
+                    Err(e) => {
+                        out.push(format!("sendfile {} error: {e:?}", t.label));
+                        return false;
+                    }
+                }
+            }
+            if t.written == t.data.len()
+                && !t.closed
+                && matches!(
+                    socket.state(),
+                    catenet_tcp::State::Established | catenet_tcp::State::CloseWait
+                )
+            {
+                socket.close();
+                t.closed = true;
+            }
+            if socket.has_timed_out() || (socket.is_closed() && !socket.all_acked()) {
+                out.push(format!("sendfile {} error: connection lost", t.label));
+                return false;
+            }
+            if t.closed
+                && socket.all_acked()
+                && matches!(
+                    socket.state(),
+                    catenet_tcp::State::FinWait2
+                        | catenet_tcp::State::TimeWait
+                        | catenet_tcp::State::Closed
+                )
+            {
+                out.push(format!(
+                    "sendfile done: {} bytes fnv64={:#018x}",
+                    t.data.len(),
+                    fnv64(&t.data)
+                ));
+                return false;
+            }
+            true
+        });
+
+        self.recvs.retain_mut(|t| {
+            let Some(socket) = node.tcp_sockets.get_mut(t.handle) else {
+                out.push(format!("recvfile {} error: socket gone", t.path));
+                return false;
+            };
+            let mut buf = [0u8; 4096];
+            loop {
+                match socket.recv_slice(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        for &b in &buf[..n] {
+                            t.hash ^= u64::from(b);
+                            t.hash = t.hash.wrapping_mul(0x100_0000_01b3);
+                        }
+                        t.bytes += n as u64;
+                        if let Err(e) = t.file.write_all(&buf[..n]) {
+                            out.push(format!("recvfile {} error: {e}", t.path));
+                            return false;
+                        }
+                    }
+                    Err(TcpError::Finished) => {
+                        socket.close();
+                        let _ = t.file.flush();
+                        out.push(format!(
+                            "recvfile done: {} bytes fnv64={:#018x}",
+                            t.bytes, t.hash
+                        ));
+                        return false;
+                    }
+                    Err(TcpError::InvalidState) => break, // still listening
+                    Err(e) => {
+                        out.push(format!("recvfile {} error: {e:?}", t.path));
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+
+        out
+    }
+
+    fn list_ifaces(&self, sub: &RealSubstrate, out: &mut Vec<String>) {
+        for (index, iface) in sub.node(0).ifaces.iter().enumerate() {
+            out.push(format!(
+                "iface {index} {}/{} peer {} {}",
+                iface.addr,
+                iface.cidr.prefix_len(),
+                iface.peer,
+                if iface.up { "up" } else { "down" },
+            ));
+        }
+    }
+
+    fn list_sockets(&self, sub: &RealSubstrate, out: &mut Vec<String>) {
+        let node = sub.node(0);
+        for (index, socket) in node.tcp_sockets.iter().enumerate() {
+            out.push(format!(
+                "socket {index} tcp {:?} local {} remote {}",
+                socket.state(),
+                socket.local(),
+                socket.remote(),
+            ));
+        }
+        for (index, socket) in node.udp_sockets.iter().enumerate() {
+            out.push(format!("socket {index} udp local port {}", socket.local_port));
+        }
+        if out.is_empty() {
+            out.push("no sockets".into());
+        }
+    }
+
+    fn list_routes(&self, sub: &RealSubstrate, out: &mut Vec<String>) {
+        let node = sub.node(0);
+        for (prefix, (iface, via)) in node.static_routes.iter() {
+            match via {
+                Some(via) => out.push(format!("route {prefix} via {via} iface {iface} static")),
+                None => out.push(format!("route {prefix} connected iface {iface} static")),
+            }
+        }
+        if let Some(dv) = &node.dv {
+            for (prefix, route) in dv.routes() {
+                match route.next_hop.gateway() {
+                    Some(via) => out.push(format!(
+                        "route {prefix} via {via} iface {} metric {}",
+                        route.next_hop.iface(),
+                        route.metric
+                    )),
+                    None => out.push(format!(
+                        "route {prefix} connected iface {} metric {}",
+                        route.next_hop.iface(),
+                        route.metric
+                    )),
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push("no routes".into());
+        }
+    }
+}
+
+fn parse_endpoint(words: &[&str]) -> Option<Endpoint> {
+    let addr: Ipv4Address = words.first()?.parse().ok()?;
+    let port: u16 = words.get(1)?.parse().ok()?;
+    Some(Endpoint::new(addr, port))
+}
+
+/// `help` text.
+pub const HELP: &str = "\
+commands:
+  li                           list interfaces
+  ls                           list sockets
+  lr | routes                  list routes (static + learned)
+  up <iface> | down <iface>    raise / drop an interface
+  connect <ip> <port>          open a TCP connection
+  listen <port>                passive-open a TCP socket
+  send <sock> <text…>          write text into a socket
+  recv <sock> <n>              read up to n bytes from a socket
+  sendfile <path> <ip> <port>  stream a file over a fresh connection
+  recvfile <path> <port>       accept one connection, write to file
+  stats                        tunnel ingress counters per interface
+  quit | q                     exit
+";
+
+/// Suppress dead-code warnings for role helpers used by binaries only.
+pub fn role_name(role: NodeRole) -> &'static str {
+    match role {
+        NodeRole::Host => "host",
+        NodeRole::Gateway => "router",
+    }
+}

@@ -1,0 +1,219 @@
+//! The realization proof at full distance: two **separate OS
+//! processes** (`vrouter` binaries) joined only by UDP datagrams on
+//! 127.0.0.1, driven through their stdin/stdout REPLs exactly as an
+//! operator would drive them. The test asserts that they
+//!
+//! 1. exchange RIP over the tunnel and converge routes to each other's
+//!    stub prefixes (visible in `routes` output),
+//! 2. carry a TCP file transfer end to end, and
+//! 3. print matching FNV-1a-64 content hashes on both ends — and the
+//!    received file is byte-identical to the sent one.
+//!
+//! Everything is wall-clock bounded; on timeout the children are
+//! killed and their collected output is dumped for diagnosis.
+
+use catenet_sim::Rng;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const PAYLOAD_BYTES: usize = 96_000;
+const OVERALL_DEADLINE: Duration = Duration::from_secs(120);
+
+/// A child `vrouter` with its stdout captured line-by-line in the
+/// background and its stdin held open for commands. Killed on drop so
+/// a panicking test never leaves processes behind.
+struct Router {
+    child: Child,
+    stdin: ChildStdin,
+    lines: Arc<Mutex<Vec<String>>>,
+    tag: &'static str,
+}
+
+impl Router {
+    fn spawn(tag: &'static str, config_path: &std::path::Path) -> Router {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_vrouter"))
+            .arg(config_path)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn vrouter");
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&lines);
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                sink.lock().unwrap().push(line);
+            }
+        });
+        Router {
+            child,
+            stdin,
+            lines,
+            tag,
+        }
+    }
+
+    fn command(&mut self, line: &str) {
+        writeln!(self.stdin, "{line}").expect("child stdin open");
+        self.stdin.flush().expect("child stdin flush");
+    }
+
+    /// Poll collected output until a line satisfies `pred` or
+    /// `deadline` passes. Returns the matching line.
+    fn wait_for(
+        &self,
+        deadline: Instant,
+        mut pred: impl FnMut(&str) -> bool,
+    ) -> Option<String> {
+        let mut seen = 0;
+        loop {
+            {
+                let lines = self.lines.lock().unwrap();
+                while seen < lines.len() {
+                    if pred(&lines[seen]) {
+                        return Some(lines[seen].clone());
+                    }
+                    seen += 1;
+                }
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    fn dump(&self) -> String {
+        let lines = self.lines.lock().unwrap();
+        format!("--- {} output ---\n{}\n", self.tag, lines.join("\n"))
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn free_ports() -> (u16, u16) {
+    let a = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind");
+    let b = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind");
+    let pa = a.local_addr().expect("addr").port();
+    let pb = b.local_addr().expect("addr").port();
+    drop((a, b));
+    (pa, pb)
+}
+
+#[test]
+fn two_processes_converge_and_transfer_a_file() {
+    let dir = std::env::temp_dir().join(format!("catenet-interop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Deterministic payload, seeded like every other harness in the
+    // repo; the bytes cross a process boundary so determinism of the
+    // *content* is all we can (and need to) pin.
+    let mut rng = Rng::from_seed(0x1A7E_2026);
+    let payload: Vec<u8> = (0..PAYLOAD_BYTES).map(|_| rng.next_u32() as u8).collect();
+    let send_path = dir.join("payload.bin");
+    let recv_path = dir.join("received.bin");
+    std::fs::write(&send_path, &payload).expect("write payload");
+
+    let (pa, pb) = free_ports();
+    let r1_cfg = dir.join("r1.cfg");
+    let r2_cfg = dir.join("r2.cfg");
+    std::fs::write(
+        &r1_cfg,
+        format!(
+            "# left router: tunnel to r2 plus a stub LAN\n\
+             node router r1\n\
+             iface 0 10.1.0.1/30 peer 10.1.0.2 link 7 bind 127.0.0.1:{pa} remote 127.0.0.1:{pb}\n\
+             iface 1 10.9.1.1/30 local\n"
+        ),
+    )
+    .expect("write r1.cfg");
+    std::fs::write(
+        &r2_cfg,
+        format!(
+            "# right router: tunnel to r1 plus a stub LAN\n\
+             node router r2\n\
+             iface 0 10.1.0.2/30 peer 10.1.0.1 link 7 bind 127.0.0.1:{pb} remote 127.0.0.1:{pa}\n\
+             iface 1 10.9.2.1/30 local\n"
+        ),
+    )
+    .expect("write r2.cfg");
+
+    let deadline = Instant::now() + OVERALL_DEADLINE;
+    let mut r1 = Router::spawn("r1", &r1_cfg);
+    let mut r2 = Router::spawn("r2", &r2_cfg);
+
+    // The receiver listens immediately — a passive open needs no
+    // routes. The transfer target is r2's *stub* address, so the
+    // sendfile below cannot work until RIP has actually converged.
+    r2.command(&format!("recvfile {} 5555", recv_path.display()));
+    assert!(
+        r2.wait_for(deadline, |l| l.contains("listening on 5555")).is_some(),
+        "r2 never listened\n{}{}",
+        r1.dump(),
+        r2.dump()
+    );
+
+    // Poll r1's routing table until it has learned r2's stub prefix
+    // across the tunnel (triggered updates make this fast, but the
+    // boot advertisement can race the peer's bind — periodics repair).
+    let learned = loop {
+        r1.command("routes");
+        if let Some(line) = r1.wait_for(
+            Instant::now() + Duration::from_millis(400),
+            |l| l.starts_with("route 10.9.2.0/30 via 10.1.0.2"),
+        ) {
+            break Some(line);
+        }
+        if Instant::now() >= deadline {
+            break None;
+        }
+    };
+    let learned = learned.unwrap_or_else(|| {
+        panic!("r1 never learned r2's stub prefix\n{}{}", r1.dump(), r2.dump())
+    });
+    assert!(
+        learned.contains("iface 0"),
+        "learned route crosses the wrong interface: {learned}"
+    );
+
+    // Converged: stream the file to the far stub address.
+    r1.command(&format!("sendfile {} 10.9.2.1 5555", send_path.display()));
+    let sent = r1
+        .wait_for(deadline, |l| l.starts_with("sendfile done:"))
+        .unwrap_or_else(|| panic!("send side never finished\n{}{}", r1.dump(), r2.dump()));
+    let received = r2
+        .wait_for(deadline, |l| l.starts_with("recvfile done:"))
+        .unwrap_or_else(|| panic!("recv side never finished\n{}{}", r1.dump(), r2.dump()));
+
+    // Both ends printed `… done: N bytes fnv64=0x…` — operator-visible
+    // proof of an intact transfer, asserted here mechanically.
+    let sent_hash = sent.split("fnv64=").nth(1).expect("send hash");
+    let recv_hash = received.split("fnv64=").nth(1).expect("recv hash");
+    assert_eq!(sent_hash, recv_hash, "content hashes differ\n{sent}\n{received}");
+    assert!(
+        sent.contains(&format!("{PAYLOAD_BYTES} bytes")),
+        "unexpected byte count: {sent}"
+    );
+
+    // Belt and braces: the file that landed is the file that left.
+    let landed = std::fs::read(&recv_path).expect("read received file");
+    assert_eq!(landed.len(), payload.len());
+    assert_eq!(landed, payload, "received bytes differ from sent bytes");
+
+    // Clean shutdown path (Drop would kill them anyway).
+    r1.command("quit");
+    r2.command("quit");
+    drop(r1);
+    drop(r2);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -14,9 +14,8 @@ use catenet::sim::{Duration, LinkParams};
 use catenet::stack::app::{BulkSender, SinkServer, UdpEchoServer};
 use catenet::stack::iface::Framing;
 use catenet::stack::{Endpoint, Network, TcpConfig};
-use std::cell::RefCell;
 use std::fs::File;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 fn main() -> std::io::Result<()> {
     let mut net = Network::new(2024);
@@ -40,13 +39,13 @@ fn main() -> std::io::Result<()> {
         Framing::RawIp,
     );
 
-    let writer = Rc::new(RefCell::new(PcapWriter::new(
+    let writer = Arc::new(Mutex::new(PcapWriter::new(
         File::create("catenet.pcap")?,
         LinkType::RawIp,
     )?));
-    let tap_writer = Rc::clone(&writer);
+    let tap_writer = Arc::clone(&writer);
     net.set_tap(Box::new(move |at, frame| {
-        let _ = tap_writer.borrow_mut().record(at, frame);
+        let _ = tap_writer.lock().unwrap().record(at, frame);
     }));
 
     net.converge_routing(Duration::from_secs(30));
@@ -72,15 +71,15 @@ fn main() -> std::io::Result<()> {
 
     net.run_for(Duration::from_secs(120));
 
-    let packets = writer.borrow().packets();
+    let packets = writer.lock().unwrap().packets();
     drop(net); // release the tap's clone of the writer
-    Rc::try_unwrap(writer).expect("tap released")
-        .into_inner()
-        .finish()?;
+    let Ok(writer) = Arc::try_unwrap(writer) else { panic!("tap released") };
+    writer.into_inner().expect("writer lock clean").finish()?;
+    let result = result.lock().unwrap();
     println!(
         "wrote catenet.pcap: {packets} frames (transfer {}, {} retransmits)",
-        if result.borrow().completed_at.is_some() { "completed" } else { "incomplete" },
-        result.borrow().retransmits,
+        if result.completed_at.is_some() { "completed" } else { "incomplete" },
+        result.retransmits,
     );
     Ok(())
 }

@@ -14,9 +14,8 @@
 
 use catenet::sim::{Duration, FaultPlan, LinkClass, Rng};
 use catenet::stack::app::{BulkSender, SinkServer};
-use catenet::stack::{Endpoint, Network, StreamIntegrity, TcpConfig};
-use std::cell::RefCell;
-use std::rc::Rc;
+use catenet::stack::{shared, Endpoint, Network, StreamIntegrity, TcpConfig};
+use std::sync::Arc;
 
 fn main() {
     let mut net = Network::new(1988);
@@ -60,19 +59,19 @@ fn main() {
     net.attach_fault_plan(plan);
 
     // A 1 MB transfer with an end-to-end integrity checker attached.
-    let integrity = Rc::new(RefCell::new(StreamIntegrity::new()));
+    let integrity = shared(StreamIntegrity::new());
     let dst = net.node(h2).primary_addr();
-    let sink = SinkServer::new(80, TcpConfig::default()).with_integrity(Rc::clone(&integrity));
-    let received = Rc::clone(&sink.received);
+    let sink = SinkServer::new(80, TcpConfig::default()).with_integrity(Arc::clone(&integrity));
+    let received = Arc::clone(&sink.received);
     net.attach_app(h2, Box::new(sink));
     let sender = BulkSender::new(Endpoint::new(dst, 80), 1_000_000, TcpConfig::default(), t0)
-        .with_integrity(Rc::clone(&integrity));
+        .with_integrity(Arc::clone(&integrity));
     let result = sender.result_handle();
     net.attach_app(h1, Box::new(sender));
 
     net.run_for(Duration::from_secs(180));
 
-    let result = result.borrow();
+    let result = result.lock().unwrap();
     let elapsed = result
         .completed_at
         .map(|at| at.duration_since(t0).secs_f64());
@@ -86,10 +85,10 @@ fn main() {
         ),
         None => println!("transfer did NOT complete: {result:?}"),
     }
-    let integrity = integrity.borrow();
+    let integrity = integrity.lock().unwrap();
     println!(
         "delivered {} B — integrity checker: {} ({} violations)",
-        received.borrow(),
+        received.lock().unwrap(),
         if integrity.is_clean() { "CLEAN" } else { "VIOLATED" },
         integrity.violations().len()
     );

@@ -52,7 +52,7 @@ fn main() {
     let result = sender.result_handle();
     net.attach_app(h1, Box::new(sender));
     net.run_for(Duration::from_secs(60));
-    assert!(result.borrow().completed_at.is_some());
+    assert!(result.lock().unwrap().completed_at.is_some());
 
     // 1. The registry: monotone counters, scoped and queryable.
     println!("== metrics registry (excerpt) ==");

@@ -13,7 +13,7 @@
 use catenet::sim::{Duration, LinkClass};
 use catenet::stack::app::{BulkSender, SinkServer};
 use catenet::stack::{Endpoint, Network, TcpConfig};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     let mut net = Network::new(1988);
@@ -36,7 +36,7 @@ fn main() {
 
     let dst = net.node(h2).primary_addr();
     let sink = SinkServer::new(80, TcpConfig::default());
-    let received = Rc::clone(&sink.received);
+    let received = Arc::clone(&sink.received);
     net.attach_app(h2, Box::new(sink));
     let start = net.now();
     let sender = BulkSender::new(Endpoint::new(dst, 80), 600_000, TcpConfig::default(), start);
@@ -49,7 +49,7 @@ fn main() {
     for step in 0..40 {
         net.run_for(Duration::from_secs(2));
         let t = net.now();
-        let bytes = *received.borrow();
+        let bytes = *received.lock().unwrap();
         let via_gd = net.node(gd).stats.ip_forwarded;
         let via_gc = net.node(gc1).stats.ip_forwarded;
         println!(
@@ -70,12 +70,12 @@ fn main() {
             net.set_link_up(l2, true);
             restart_done = true;
         }
-        if result.borrow().completed_at.is_some() {
+        if result.lock().unwrap().completed_at.is_some() {
             break;
         }
     }
 
-    let result = result.borrow();
+    let result = result.lock().unwrap();
     match result.duration() {
         Some(duration) => println!(
             "\ntransfer COMPLETED in {duration} with {} retransmits and {} RTO events.\n\

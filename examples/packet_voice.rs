@@ -14,7 +14,7 @@ use catenet::sim::{Duration, Instant, LinkParams, Summary};
 use catenet::stack::app::{CbrSink, CbrSource, TcpVoiceSink, TcpVoiceSource};
 use catenet::stack::iface::Framing;
 use catenet::stack::{Endpoint, Network, TcpConfig};
-use std::rc::Rc;
+use std::sync::Arc;
 
 const LOSS: f64 = 0.02;
 const SECONDS: u64 = 30;
@@ -63,7 +63,7 @@ fn main() {
         let dst = net.node(listener).primary_addr();
         let start = net.now();
         let sink = CbrSink::new(5004);
-        let (lat, rcv) = (Rc::clone(&sink.latencies_ms), Rc::clone(&sink.received));
+        let (lat, rcv) = (Arc::clone(&sink.latencies_ms), Arc::clone(&sink.received));
         net.attach_app(listener, Box::new(sink));
         let source = CbrSource::new(
             Endpoint::new(dst, 5004),
@@ -72,10 +72,10 @@ fn main() {
             start,
             start + Duration::from_secs(SECONDS),
         );
-        let sent = Rc::clone(&source.sent);
+        let sent = Arc::clone(&source.sent);
         net.attach_app(talker, Box::new(source));
         net.run_until(start + Duration::from_secs(SECONDS + 3));
-        print_report("UDP (IP+UDP):", *sent.borrow(), *rcv.borrow(), &lat.borrow());
+        print_report("UDP (IP+UDP):", *sent.lock().unwrap(), *rcv.lock().unwrap(), &lat.lock().unwrap());
     }
 
     // --- Arm 2: TCP, the rejected single-service world. ---
@@ -89,7 +89,7 @@ fn main() {
             ..TcpConfig::default()
         };
         let sink = TcpVoiceSink::new(5005, 160, config.clone());
-        let (lat, rcv) = (Rc::clone(&sink.latencies_ms), Rc::clone(&sink.received));
+        let (lat, rcv) = (Arc::clone(&sink.latencies_ms), Arc::clone(&sink.received));
         net.attach_app(listener, Box::new(sink));
         let source = TcpVoiceSource::new(
             Endpoint::new(dst, 5005),
@@ -99,10 +99,10 @@ fn main() {
             start,
             start + Duration::from_secs(SECONDS),
         );
-        let sent = Rc::clone(&source.sent);
+        let sent = Arc::clone(&source.sent);
         net.attach_app(talker, Box::new(source));
         net.run_until(start + Duration::from_secs(SECONDS + 10));
-        print_report("TCP stream:", *sent.borrow(), *rcv.borrow(), &lat.borrow());
+        print_report("TCP stream:", *sent.lock().unwrap(), *rcv.lock().unwrap(), &lat.lock().unwrap());
     }
 
     println!(

@@ -37,7 +37,7 @@ fn main() {
 
     // --- Type of service #2: the reliable byte stream (TCP). ---
     let sink = SinkServer::new(80, TcpConfig::default());
-    let received = std::rc::Rc::clone(&sink.received);
+    let received = std::sync::Arc::clone(&sink.received);
     net.attach_app(h2, Box::new(sink));
 
     let start = net.now();
@@ -47,10 +47,10 @@ fn main() {
 
     net.run_for(Duration::from_secs(60));
 
-    let result = result.borrow();
+    let result = result.lock().unwrap();
     println!(
         "transferred {} bytes in {} ({:.0} kb/s), {} retransmits",
-        *received.borrow(),
+        *received.lock().unwrap(),
         result.duration().expect("completed"),
         result.goodput_bps(100_000).expect("completed") / 1000.0,
         result.retransmits,

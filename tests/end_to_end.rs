@@ -5,7 +5,7 @@ use catenet::sim::{Duration, LinkClass, LinkParams};
 use catenet::stack::app::{BulkSender, SinkServer, UdpEchoServer};
 use catenet::stack::iface::Framing;
 use catenet::stack::{Endpoint, Network, TcpConfig};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// h1 — g1 — g2 — h2 over the given trunk classes.
 fn two_gateway_net(seed: u64, trunk1: LinkClass, trunk2: LinkClass) -> (Network, usize, usize) {
@@ -47,7 +47,7 @@ fn bulk_transfer_over_corrupting_satellite_path() {
 
     let dst = net.node(h2).primary_addr();
     let sink = SinkServer::new(80, TcpConfig::default());
-    let received = Rc::clone(&sink.received);
+    let received = Arc::clone(&sink.received);
     net.attach_app(h2, Box::new(sink));
     let start = net.now();
     let sender = BulkSender::new(Endpoint::new(dst, 80), 150_000, TcpConfig::default(), start);
@@ -55,9 +55,9 @@ fn bulk_transfer_over_corrupting_satellite_path() {
     net.attach_app(h1, Box::new(sender));
     net.run_for(Duration::from_secs(300));
 
-    assert!(result.borrow().completed_at.is_some(), "completed despite corruption");
-    assert_eq!(*received.borrow(), 150_000, "every byte intact");
-    assert!(result.borrow().retransmits > 0, "corruption forced retransmission");
+    assert!(result.lock().unwrap().completed_at.is_some(), "completed despite corruption");
+    assert_eq!(*received.lock().unwrap(), 150_000, "every byte intact");
+    assert!(result.lock().unwrap().retransmits > 0, "corruption forced retransmission");
     // The receiving host must have discarded corrupted segments.
     let h2_stats = net.node(h2).stats;
     assert!(
@@ -107,7 +107,7 @@ fn udp_echo_across_heterogeneous_path_with_fragmentation() {
     let dst = net.node(h2).primary_addr();
     let echoed = {
         let server = UdpEchoServer::new(7);
-        let echoed = Rc::clone(&server.echoed);
+        let echoed = Arc::clone(&server.echoed);
         net.attach_app(h2, Box::new(server));
         echoed
     };
@@ -117,7 +117,7 @@ fn udp_echo_across_heterogeneous_path_with_fragmentation() {
     net.node_mut(h1).udp_sockets[sock].send_to(Endpoint::new(dst, 7), &payload);
     net.kick(h1);
     net.run_for(Duration::from_secs(30));
-    assert_eq!(*echoed.borrow(), 1);
+    assert_eq!(*echoed.lock().unwrap(), 1);
     let back = net.node_mut(h1).udp_sockets[sock].recv().expect("echo returned");
     assert_eq!(back.payload, payload, "fragmented, reassembled, twice, intact");
 }
@@ -131,22 +131,19 @@ fn workspace_level_determinism() {
             two_gateway_net(seed, LinkClass::PacketRadio, LinkClass::T1Terrestrial);
         let dst = net.node(h2).primary_addr();
         let sink = SinkServer::new(80, TcpConfig::default());
-        let received = Rc::clone(&sink.received);
+        let received = Arc::clone(&sink.received);
         net.attach_app(h2, Box::new(sink));
         let start = net.now();
         let sender = BulkSender::new(Endpoint::new(dst, 80), 30_000, TcpConfig::default(), start);
         let result = sender.result_handle();
         net.attach_app(h1, Box::new(sender));
         net.run_for(Duration::from_secs(120));
-        let timings = vec![
-            result
-                .borrow()
-                .completed_at
-                .map(|t| t.total_micros())
-                .unwrap_or(0),
-            result.borrow().retransmits,
-        ];
-        let received = *received.borrow();
+        // One guard for both reads: two `lock()` temporaries in a single
+        // statement would deadlock (the first guard lives to the `;`).
+        let r = result.lock().unwrap();
+        let timings = vec![r.completed_at.map(|t| t.total_micros()).unwrap_or(0), r.retransmits];
+        drop(r);
+        let received = *received.lock().unwrap();
         (received, net.frames_offered, timings)
     };
     assert_eq!(run(1234), run(1234));

@@ -48,7 +48,7 @@ fn tcp_survives_total_partition_shorter_than_its_patience() {
     let mut r = redundant(55);
     let dst = r.net.node(r.h2).primary_addr();
     let sink = SinkServer::new(80, TcpConfig::default());
-    let received = std::rc::Rc::clone(&sink.received);
+    let received = std::sync::Arc::clone(&sink.received);
     r.net.attach_app(r.h2, Box::new(sink));
     let start = r.net.now();
     let sender = BulkSender::new(Endpoint::new(dst, 80), 300_000, TcpConfig::default(), start);
@@ -62,7 +62,7 @@ fn tcp_survives_total_partition_shorter_than_its_patience() {
     r.net.set_link_up(r.backup_b, false);
     r.net.run_for(Duration::from_secs(15));
     assert!(
-        result.borrow().completed_at.is_none(),
+        result.lock().unwrap().completed_at.is_none(),
         "nothing crosses a total partition"
     );
     // Heal the backup path only.
@@ -70,11 +70,11 @@ fn tcp_survives_total_partition_shorter_than_its_patience() {
     r.net.set_link_up(r.backup_b, true);
     r.net.run_for(Duration::from_secs(180));
     assert!(
-        result.borrow().completed_at.is_some(),
+        result.lock().unwrap().completed_at.is_some(),
         "transfer resumed over the healed path: {:?}",
-        result.borrow()
+        result.lock().unwrap()
     );
-    assert_eq!(*received.borrow(), 300_000);
+    assert_eq!(*received.lock().unwrap(), 300_000);
 }
 
 #[test]
@@ -96,9 +96,9 @@ fn flapping_primary_link_does_not_kill_the_connection() {
     r.net.set_link_up(r.primary, true);
     r.net.run_for(Duration::from_secs(240));
     assert!(
-        result.borrow().completed_at.is_some(),
+        result.lock().unwrap().completed_at.is_some(),
         "survived four flaps: {:?}",
-        result.borrow()
+        result.lock().unwrap()
     );
 }
 
@@ -160,9 +160,8 @@ fn tcp_aborts_with_explicit_error_under_permanent_partition() {
     // turns the silence into an explicit TimedOut abort, and everything
     // delivered before the cut is still intact.
     use catenet::sim::FaultPlan;
-    use catenet::stack::StreamIntegrity;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use catenet::stack::{shared, StreamIntegrity};
+    use std::sync::Arc;
 
     let mut r = redundant(59);
     let dst = r.net.node(r.h2).primary_addr();
@@ -170,12 +169,12 @@ fn tcp_aborts_with_explicit_error_under_permanent_partition() {
         max_retries: Some(6),
         ..TcpConfig::default()
     };
-    let integrity = Rc::new(RefCell::new(StreamIntegrity::new()));
-    let sink = SinkServer::new(80, config.clone()).with_integrity(Rc::clone(&integrity));
+    let integrity = shared(StreamIntegrity::new());
+    let sink = SinkServer::new(80, config.clone()).with_integrity(Arc::clone(&integrity));
     r.net.attach_app(r.h2, Box::new(sink));
     let start = r.net.now();
     let sender = BulkSender::new(Endpoint::new(dst, 80), 400_000, config, start)
-        .with_integrity(Rc::clone(&integrity));
+        .with_integrity(Arc::clone(&integrity));
     let result = sender.result_handle();
     r.net.attach_app(r.h1, Box::new(sender));
 
@@ -186,7 +185,7 @@ fn tcp_aborts_with_explicit_error_under_permanent_partition() {
     r.net.attach_fault_plan(plan);
 
     r.net.run_for(Duration::from_secs(400));
-    let result = result.borrow();
+    let result = result.lock().unwrap();
     assert!(
         result.completed_at.is_none(),
         "nothing completes across a permanent partition: {result:?}"
@@ -196,7 +195,7 @@ fn tcp_aborts_with_explicit_error_under_permanent_partition() {
         "the connection must die with an explicit error, not hang: {result:?}"
     );
     assert!(result.bytes_acked > 0, "some data flowed before the cut");
-    let integrity = integrity.borrow();
+    let integrity = integrity.lock().unwrap();
     assert!(integrity.is_clean(), "partial delivery still a clean prefix");
 }
 

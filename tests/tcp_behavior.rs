@@ -4,7 +4,7 @@
 use catenet::sim::{Duration, LinkClass};
 use catenet::stack::app::{BulkSender, SinkServer};
 use catenet::stack::{Endpoint, Network, TcpConfig};
-use std::rc::Rc;
+use std::sync::Arc;
 
 #[test]
 fn tcp_crosses_a_smaller_mtu_than_its_mss_via_ip_fragmentation() {
@@ -21,7 +21,7 @@ fn tcp_crosses_a_smaller_mtu_than_its_mss_via_ip_fragmentation() {
 
     let dst = net.node(h2).primary_addr();
     let sink = SinkServer::new(80, TcpConfig::default());
-    let received = Rc::clone(&sink.received);
+    let received = Arc::clone(&sink.received);
     net.attach_app(h2, Box::new(sink));
     let start = net.now();
     let sender = BulkSender::new(Endpoint::new(dst, 80), 20_000, TcpConfig::default(), start);
@@ -29,8 +29,8 @@ fn tcp_crosses_a_smaller_mtu_than_its_mss_via_ip_fragmentation() {
     net.attach_app(h1, Box::new(sender));
     net.run_for(Duration::from_secs(120));
 
-    assert!(result.borrow().completed_at.is_some(), "{:?}", result.borrow());
-    assert_eq!(*received.borrow(), 20_000);
+    assert!(result.lock().unwrap().completed_at.is_some(), "{:?}", result.lock().unwrap());
+    assert_eq!(*received.lock().unwrap(), 20_000);
     assert!(
         net.node(g).stats.frags_created > 0,
         "the gateway fragmented TCP segments"
@@ -76,7 +76,7 @@ fn competing_connections_share_a_bottleneck_fairly_enough() {
     let durations: Vec<f64> = handles
         .iter()
         .map(|h| {
-            h.borrow()
+            h.lock().unwrap()
                 .duration()
                 .expect("both transfers complete")
                 .secs_f64()
@@ -159,7 +159,7 @@ fn many_sequential_connections_reuse_the_listener_host() {
 
     for round in 0..5 {
         let sink = SinkServer::new(8000 + round, TcpConfig::default());
-        let received = Rc::clone(&sink.received);
+        let received = Arc::clone(&sink.received);
         net.attach_app(h2, Box::new(sink));
         let start = net.now();
         let sender = BulkSender::new(
@@ -172,11 +172,11 @@ fn many_sequential_connections_reuse_the_listener_host() {
         net.attach_app(h1, Box::new(sender));
         net.run_for(Duration::from_secs(30));
         assert!(
-            result.borrow().completed_at.is_some(),
+            result.lock().unwrap().completed_at.is_some(),
             "round {round}: {:?}",
-            result.borrow()
+            result.lock().unwrap()
         );
-        assert_eq!(*received.borrow(), 5_000, "round {round}");
+        assert_eq!(*received.lock().unwrap(), 5_000, "round {round}");
     }
     // Distinct ephemeral ports were used for each connection.
     let ports: std::collections::HashSet<u16> = net
