@@ -33,6 +33,13 @@ fn main() {
         .windows(2)
         .find(|w| w[0] == "--shards")
         .and_then(|w| w[1].parse().ok());
+    // `--partitioner` switches every e17 K>1 run to the
+    // latency-aware-partitioner arm; CI diffs the check JSON against a
+    // partitioner-off run (partition choice must be byte-neutral).
+    let partitioner = args.iter().any(|a| a == "--partitioner");
+    // `--full` selects the e17 scale tier (5,120 gateways, ~10⁵
+    // flows); CI uploads its timing JSON as an artifact.
+    let full = args.iter().any(|a| a == "--full");
     let selected: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -135,20 +142,43 @@ fn main() {
         eprintln!("  wrote BENCH_e16.json");
     }
     if want("e17") {
+        let tier = if full {
+            e17_parallel::Tier::Huge
+        } else if fast || check {
+            e17_parallel::Tier::Check
+        } else {
+            e17_parallel::Tier::Full
+        };
         let counts: Vec<usize> = match shards {
             Some(k) => vec![k],
+            // The scale tier defaults to the reference and the CI-core
+            // count — K=8 on a 4-core runner doubles the wall clock for
+            // no extra signal at 5,120 gateways.
+            None if full => vec![1, 4],
             None => e17_parallel::SHARD_COUNTS.to_vec(),
         };
-        eprintln!("running e17 (sharded parallel execution) at K={counts:?}...");
+        eprintln!(
+            "running e17 (sharded parallel execution) at K={counts:?} \
+             tier={tier:?} partitioner={partitioner}..."
+        );
         let start = std::time::Instant::now();
-        let results = e17_parallel::run_battery(fast || check, SEEDS[0], &counts);
+        let results = e17_parallel::run_battery_arms(tier, SEEDS[0], &counts, partitioner);
         eprintln!("  e17 done in {:.1}s", start.elapsed().as_secs_f64());
         println!("{}", e17_parallel::table(&results));
         assert!(
             results.all_equal,
-            "e17: dumps diverged across shard counts — a real ordering bug"
+            "e17: dumps diverged across shard counts/arms — a real ordering bug"
         );
-        let json = e17_parallel::to_json(&results, !check);
+        // The misaligned partitioner demo rides the standard full
+        // battery only (the scale and check tiers have their own jobs).
+        let misaligned = (tier == e17_parallel::Tier::Full).then(|| {
+            eprintln!("running e17b (misaligned-ring partitioner demo)...");
+            let demo = e17_parallel::run_misaligned(SEEDS[0]);
+            println!("{}", e17_parallel::misaligned_table(&demo));
+            assert!(demo.all_equal, "e17b: partition choice changed bytes");
+            demo
+        });
+        let json = e17_parallel::to_json(&results, !check, misaligned.as_ref());
         std::fs::write("BENCH_e17.json", &json).expect("write BENCH_e17.json");
         eprintln!("  wrote BENCH_e17.json");
     }

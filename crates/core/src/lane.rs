@@ -13,17 +13,22 @@
 //!
 //! - **cross-lane frames** ([`CrossFrame`]): buffered during the
 //!   window, scheduled into the destination lane at the barrier. The
-//!   conservative lookahead (window length = minimum cross-lane link
-//!   propagation) plus the ≥ 1 µs serialization floor guarantee every
-//!   crossing frame lands strictly after the barrier, so absorbing it
-//!   never rewinds a lane.
+//!   conservative per-pair lookahead (lane i's window ends strictly
+//!   before anything any peer does next could reach it — see
+//!   `Network::run_until` and DESIGN.md "The lane protocol") plus the
+//!   ≥ 1 µs serialization floor guarantee every crossing frame lands
+//!   after the sender's own limit, so absorbing it never rewinds a
+//!   lane.
 //! - **harvest entries** ([`HarvestEntry`]): telemetry-relevant state
 //!   changes *detected* lane-side but *applied* coordinator-side, in
 //!   `(instant, token)` order. The token is the smallest delivery key
 //!   that touched the node at that instant, which is exactly the order
 //!   the single-lane arm services nodes — so recorder rows, counters
 //!   and convergence-tracer calls land in the same order for every K,
-//!   and the dumps cannot tell how many lanes produced them.
+//!   and the dumps cannot tell how many lanes produced them. Because
+//!   per-pair limits are heterogeneous, the coordinator banks these
+//!   and applies only up to the round's global safe horizon
+//!   (`min` of all lane limits).
 //!
 //! Determinism across K rests on the delivery *key*: every scheduled
 //! event carries `(origin node) << 32 | per-origin sequence`, and a

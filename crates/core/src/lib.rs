@@ -61,12 +61,13 @@ mod lane;
 pub mod network;
 pub mod node;
 mod par;
+pub mod partition;
 pub mod pool;
 pub mod realization;
 pub mod socket;
 
 pub use app::{shared, Application, Shared};
-pub use catenet_sim::ShardKind;
+pub use catenet_sim::{ShardKind, ShardStats};
 pub use catenet_tcp::{Endpoint, Socket as TcpSocket, SocketConfig as TcpConfig};
 pub use invariant::{ProgressWatchdog, ReconvergenceBound, StreamIntegrity, Violation};
 pub use network::{LinkId, Network, NodeId};

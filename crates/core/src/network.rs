@@ -27,11 +27,12 @@ use crate::lane::{
 };
 use crate::node::{Node, NodeRole};
 use crate::par::{self, SendView};
+use crate::partition::{self, CutLink};
 use crate::pool::{PacketPool, PoolStats};
 use catenet_routing::{Attestor, GuardPolicy, MacKey, OriginId, OriginRegistry};
 use catenet_sim::{
     ByzantineAttack, Duration, FaultAction, FaultPlan, Instant, Link, LinkClass, LinkParams,
-    SchedStats, Scheduler, SchedulerKind, ShardKind, TraceOp,
+    SchedStats, Scheduler, SchedulerKind, ShardKind, ShardStats, TraceOp,
 };
 use catenet_telemetry::{EventKind, Scope, Telemetry};
 use catenet_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
@@ -146,6 +147,41 @@ pub struct Network {
     /// Last harvested accounting counters per node, for delta-counting
     /// into the registry.
     last_acct: Vec<AcctCounters>,
+    /// The per-lane-pair lookahead closure, flattened K×K row-major in
+    /// microseconds (`reach[j*k + i]` = lane j → lane i), built once at
+    /// the split. Entry (j, i), j ≠ i, is the cheapest multi-hop relay
+    /// chain from any node of lane j to any node of lane i, each hop
+    /// priced at its link's base propagation plus the 1 µs
+    /// serialization floor (`Link::tx_time` never rounds below one
+    /// microsecond, so arrival is *strictly* later than the send even
+    /// on a zero-propagation link). The diagonal is the cheapest cycle
+    /// *through* the lane — a frame that leaves lane i can come back,
+    /// and its return bounds how far i may run ahead of itself.
+    /// `u64::MAX` = unreachable. Empty until a K>1 split.
+    lane_reach: Vec<u64>,
+    /// When set before the first run, `ensure_split` chooses lane
+    /// boundaries with the latency-aware partitioner instead of equal
+    /// chunks (see [`crate::partition`]). Performance-only: the reach
+    /// matrix is computed from whatever lanes exist, so dumps are
+    /// byte-identical either way.
+    partitioner: bool,
+    /// The PR 8 baseline arm for A/B pricing: one global window bound
+    /// (minimum cross-lane base propagation) anchored at the round's
+    /// earliest instant, every lane dispatched every round. Off by
+    /// default; E17 and the lane-window regressions flip it to compare
+    /// protocols on identical topologies.
+    global_lookahead: bool,
+    /// Window-protocol counters (all zero for single-lane execution).
+    stats: ShardStats,
+    /// Harvested telemetry the barrier may not apply yet. Under
+    /// per-lane limits a fast lane can harvest an entry whose instant a
+    /// slow lane has not reached; replaying it into the recorder early
+    /// would reorder the flight dump against the serial reference. The
+    /// barrier therefore banks entries here and applies only those at
+    /// or below the global safe horizon (`min` of the round's limits) —
+    /// everything later stays banked, flushed before any coordinator op
+    /// and at run end. Kept `(at, token)`-sorted.
+    pending_harvests: Vec<HarvestEntry>,
 }
 
 impl Network {
@@ -206,7 +242,47 @@ impl Network {
             last_pool: PoolStats::default(),
             accounting: None,
             last_acct: Vec::new(),
+            lane_reach: Vec::new(),
+            partitioner: false,
+            global_lookahead: false,
+            stats: ShardStats::default(),
+            pending_harvests: Vec::new(),
         }
+    }
+
+    /// Choose lane boundaries with the latency-aware partitioner (see
+    /// [`crate::partition`]) instead of equal `NodeId` chunks. Must be
+    /// set before the first `run_until` freezes the topology. Changes
+    /// which links become cross-lane — never what the simulation
+    /// computes: dumps stay byte-identical across on/off (E17 asserts
+    /// it).
+    pub fn set_partitioner(&mut self, on: bool) {
+        assert!(!self.frozen, "partitioner must be chosen before the split");
+        self.partitioner = on;
+    }
+
+    /// Run the PR 8 baseline window protocol: a single global lookahead
+    /// (the minimum cross-lane base propagation) anchored at each
+    /// round's earliest pending instant, with every lane dispatched
+    /// every round. Exists so E17 can price the per-pair matrix against
+    /// its predecessor on the same topology; byte-identical dumps
+    /// either way.
+    pub fn set_global_lookahead(&mut self, on: bool) {
+        assert!(!self.frozen, "lookahead mode must be chosen before the split");
+        self.global_lookahead = on;
+    }
+
+    /// Window-protocol execution counters (zero under single-lane
+    /// execution). Performance observables only — they vary across K
+    /// and lookahead modes while dumps stay byte-identical.
+    pub fn shard_stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// The `(lo, hi)` node ranges of the execution lanes (one `(0, n)`
+    /// range before a K>1 split).
+    pub fn lane_bounds(&self) -> Vec<(usize, usize)> {
+        self.lanes.iter().map(|l| (l.lo, l.hi)).collect()
     }
 
     /// The shard mode this network executes under.
@@ -928,15 +1004,40 @@ impl Network {
         self.frozen = true;
         let parallel = matches!(self.shard, ShardKind::Parallel { .. });
         let kind = self.lanes[0].sched.kind();
+        // Lane boundaries: equal `NodeId` chunks by default; with the
+        // partitioner on, boundaries slide (within a 25 % balance
+        // slack) to maximize the cheapest cut link, so LANs and other
+        // zero/low-latency links stay lane-internal without the
+        // builder arranging node order for it. Read latencies before
+        // the boot lane (which still homes every link) is popped.
+        let bounds: Vec<(usize, usize)> = if self.partitioner {
+            let links: Vec<CutLink> = self
+                .links_meta
+                .iter()
+                .enumerate()
+                .map(|(id, meta)| CutLink {
+                    a: meta.a.node,
+                    b: meta.b.node,
+                    micros: self
+                        .link_dir(id, true)
+                        .base_propagation()
+                        .total_micros()
+                        .min(self.link_dir(id, false).base_propagation().total_micros())
+                        .saturating_add(1),
+                })
+                .collect();
+            partition::partition(n, k, &links).bounds
+        } else {
+            (0..k).map(|i| (i * n / k, (i + 1) * n / k)).collect()
+        };
+        debug_assert_eq!(bounds.len(), k, "partitioner preserves the lane count");
         let boot = self.lanes.pop().expect("boot lane");
         debug_assert_eq!(
             boot.sched.stats().processed,
             0,
             "split must happen before the first event pops"
         );
-        for i in 0..k {
-            let lo = i * n / k;
-            let hi = (i + 1) * n / k;
+        for (i, &(lo, hi)) in bounds.iter().enumerate() {
             let pool = if parallel {
                 // Lane-private pool: `Rc`-based recycling cannot cross
                 // threads. Carries the zero-copy mode of the shared one.
@@ -989,13 +1090,70 @@ impl Network {
                 self.nodes[id].rehome_pool(pool);
             }
         }
+        self.build_lane_reach();
     }
 
-    /// The conservative lookahead: the minimum base propagation delay of
+    /// Build [`Network::lane_reach`]: directed per-lane-pair minimum
+    /// hop latencies (base propagation + the 1 µs serialization floor),
+    /// closed over relay chains with Floyd–Warshall. The closure is
+    /// load-bearing, not pedantry: an *empty* lane imposes no
+    /// next-event bound, yet can still relay a frame — lane A's frame
+    /// can reach lane C through an idle lane B, so C's window must be
+    /// bounded by `T_A + reach(A→C)` even with no direct A→C link. The
+    /// diagonal starts at `MAX` (not zero) so Floyd–Warshall computes
+    /// each lane's cheapest round-trip cycle: a lane far ahead of its
+    /// peers can be re-entered by its own earlier output.
+    fn build_lane_reach(&mut self) {
+        let k = self.lanes.len();
+        let mut reach = vec![u64::MAX; k * k];
+        for (id, meta) in self.links_meta.iter().enumerate() {
+            for ab in [true, false] {
+                let (s, d) = if ab {
+                    (meta.a.node, meta.b.node)
+                } else {
+                    (meta.b.node, meta.a.node)
+                };
+                let (lj, li) = (self.lane_of[s] as usize, self.lane_of[d] as usize);
+                if lj != li {
+                    let hop = self
+                        .link_dir(id, ab)
+                        .base_propagation()
+                        .total_micros()
+                        .saturating_add(1);
+                    let cell = &mut reach[lj * k + li];
+                    *cell = (*cell).min(hop);
+                }
+            }
+        }
+        for m in 0..k {
+            for j in 0..k {
+                let jm = reach[j * k + m];
+                if jm == u64::MAX {
+                    continue;
+                }
+                for i in 0..k {
+                    let mi = reach[m * k + i];
+                    if mi == u64::MAX {
+                        continue;
+                    }
+                    let via = jm.saturating_add(mi);
+                    let cell = &mut reach[j * k + i];
+                    if via < *cell {
+                        *cell = via;
+                    }
+                }
+            }
+        }
+        self.lane_reach = reach;
+    }
+
+    /// The PR 8 global lookahead: the minimum base propagation delay of
     /// any cross-lane link, in microseconds. `None` means no cross-lane
     /// link exists (single lane) and windows are unbounded. Delay spikes
     /// only *add* delay on top of the base, so the bound stays sound
-    /// under every fault the plan can inject.
+    /// under every fault the plan can inject. Kept as the baseline arm
+    /// (see [`Network::set_global_lookahead`]); the default protocol
+    /// uses [`Network::lane_reach`] instead.
     fn cross_lookahead(&self) -> Option<u64> {
         let mut lookahead: Option<u64> = None;
         for (id, meta) in self.links_meta.iter().enumerate() {
@@ -1035,10 +1193,11 @@ impl Network {
         view.run_window(limit);
     }
 
-    /// Run every lane's window on its own scoped thread. Only called
-    /// when no coordinator-shared state (tap, attestation registry) can
-    /// leak into a lane.
-    fn run_windows_threaded(&mut self, limit: Instant) {
+    /// Run the dispatched lanes' windows on scoped threads, each to its
+    /// own per-pair limit. Only called when no coordinator-shared state
+    /// (tap, attestation registry) can leak into a lane. Skipped lanes
+    /// cost no thread spawn — their chunks are carved and dropped.
+    fn run_windows_threaded(&mut self, limits: &[Instant], dispatch: &[bool]) {
         fn chunks<'a, T>(
             mut slice: &'a mut [T],
             bounds: &[(usize, usize)],
@@ -1066,35 +1225,34 @@ impl Network {
         let mut last_harvest = chunks(&mut self.last_harvest, &bounds);
         let mut last_acct = chunks(&mut self.last_acct, &bounds);
         let mut last_guard = chunks(&mut self.last_guard, &bounds);
-        let views: Vec<SendView<'_>> = self
-            .lanes
-            .iter_mut()
-            .enumerate()
-            .map(|(lane_index, lane)| {
-                SendView(LaneView {
-                    lo: lane.lo,
-                    lane,
-                    lane_index,
-                    nodes: nodes.next().expect("one chunk per lane"),
-                    apps: apps.next().expect("one chunk per lane"),
-                    next_wake: next_wake.next().expect("one chunk per lane"),
-                    event_seq: event_seq.next().expect("one chunk per lane"),
-                    service_count: service_count.next().expect("one chunk per lane"),
-                    byz: byz.next().expect("one chunk per lane"),
-                    last_dv_version: last_dv_version.next().expect("one chunk per lane"),
-                    last_rto_total: last_rto_total.next().expect("one chunk per lane"),
-                    last_harvest: last_harvest.next().expect("one chunk per lane"),
-                    last_acct: last_acct.next().expect("one chunk per lane"),
-                    last_guard: last_guard.next().expect("one chunk per lane"),
-                    endpoint_index: &self.endpoint_index,
-                    links_meta: &self.links_meta,
-                    link_home: &self.link_home,
-                    lane_of: &self.lane_of,
-                    tap: None,
-                })
-            })
-            .collect();
-        par::run_each_threaded(views, limit);
+        let mut views: Vec<(SendView<'_>, Instant)> = Vec::with_capacity(self.lanes.len());
+        for (lane_index, lane) in self.lanes.iter_mut().enumerate() {
+            let view = LaneView {
+                lo: lane.lo,
+                lane,
+                lane_index,
+                nodes: nodes.next().expect("one chunk per lane"),
+                apps: apps.next().expect("one chunk per lane"),
+                next_wake: next_wake.next().expect("one chunk per lane"),
+                event_seq: event_seq.next().expect("one chunk per lane"),
+                service_count: service_count.next().expect("one chunk per lane"),
+                byz: byz.next().expect("one chunk per lane"),
+                last_dv_version: last_dv_version.next().expect("one chunk per lane"),
+                last_rto_total: last_rto_total.next().expect("one chunk per lane"),
+                last_harvest: last_harvest.next().expect("one chunk per lane"),
+                last_acct: last_acct.next().expect("one chunk per lane"),
+                last_guard: last_guard.next().expect("one chunk per lane"),
+                endpoint_index: &self.endpoint_index,
+                links_meta: &self.links_meta,
+                link_home: &self.link_home,
+                lane_of: &self.lane_of,
+                tap: None,
+            };
+            if dispatch[lane_index] {
+                views.push((SendView(view), limits[lane_index]));
+            }
+        }
+        par::run_each_threaded(views);
     }
 
     /// Barrier absorb: fold lane counters into the network totals,
@@ -1103,16 +1261,15 @@ impl Network {
     /// window that produced it), and apply harvested telemetry in
     /// `(instant, token)` order — exactly the order the single-lane arm
     /// would have written it inline.
-    fn absorb(&mut self) {
+    fn absorb(&mut self, horizon: Instant) {
         let mut offered = 0;
         let mut unconnected = 0;
         let mut crosses: Vec<CrossFrame> = Vec::new();
-        let mut harvests: Vec<HarvestEntry> = Vec::new();
         for lane in &mut self.lanes {
             offered += core::mem::take(&mut lane.frames_offered);
             unconnected += core::mem::take(&mut lane.unconnected_drops);
             crosses.append(&mut lane.cross);
-            harvests.append(&mut lane.harvests);
+            self.pending_harvests.append(&mut lane.harvests);
         }
         self.frames_offered += offered;
         self.unconnected_drops += unconnected;
@@ -1132,13 +1289,31 @@ impl Network {
                 },
             );
         }
-        if self.lanes.len() > 1 {
-            // Each lane's list is already (at, token)-sorted; the merge
-            // recovers the global service order. Tokens are delivery
-            // keys, unique across lanes, so the order is total.
-            harvests.sort_unstable_by_key(|h| (h.at, h.token));
+        // Each lane's list is already (at, token)-sorted; the merge
+        // recovers the global service order. Tokens are delivery keys,
+        // unique across lanes, so the order is total. Only entries at
+        // or below the horizon are complete — every lane has executed
+        // past them, so no later-harvested entry can sort before them.
+        // The rest stay banked for a later barrier (or an op flush).
+        self.pending_harvests.sort_unstable_by_key(|h| (h.at, h.token));
+        let done = self
+            .pending_harvests
+            .partition_point(|h| h.at <= horizon);
+        for entry in self.pending_harvests.drain(..done).collect::<Vec<_>>() {
+            self.apply_harvest(entry);
         }
-        for entry in harvests {
+    }
+
+    /// Apply every banked harvest entry, in order. Called before a
+    /// coordinator op runs (the op's own recorder writes and registry
+    /// reads must see all earlier traffic — every banked entry is
+    /// strictly earlier, because traffic windows are capped one
+    /// microsecond short of the next op instant) and at run end.
+    fn flush_harvests(&mut self) {
+        if self.pending_harvests.is_empty() {
+            return;
+        }
+        for entry in core::mem::take(&mut self.pending_harvests) {
             self.apply_harvest(entry);
         }
     }
@@ -1202,19 +1377,47 @@ impl Network {
     /// at a fault instant sees the post-fault world), then ledger
     /// flushes, then ordinary events.
     ///
-    /// Execution proceeds in windows: from the earliest pending instant
-    /// `at`, every lane runs independently up to
-    /// `min(t, next-op-instant − 1 µs, at + lookahead)`, then the
-    /// barrier absorbs cross-lane frames and harvested telemetry. With
-    /// one lane the lookahead is infinite and this collapses to the
-    /// classic serial loop (one window per op-free span).
+    /// Execution proceeds in rounds. From the earliest pending instant
+    /// `at`, each lane `i` runs up to its own limit
+    /// `min(t, next-op-instant − 1 µs, A_i − 1 µs)`, where
+    /// `A_i = min over lanes j of (T_j + reach(j→i))` is the earliest
+    /// instant any peer's pending work (`T_j`, lane j's next event)
+    /// could possibly reach lane i — the CMB-style per-pair bound, with
+    /// `reach` the relay-closed lane-pair latency matrix (see
+    /// [`Network::lane_reach`]); the diagonal term bounds a lane
+    /// against its own round-tripped output. Lanes with nothing due
+    /// inside their window are skipped (no view built, no thread
+    /// spawned), then the barrier absorbs cross-lane frames and
+    /// harvested telemetry. With one lane there is no bound and this
+    /// collapses to the classic serial loop (one window per op-free
+    /// span).
+    ///
+    /// Safety of the per-pair bound (why dumps stay byte-identical):
+    /// every future cross-lane arrival into lane i happens at or after
+    /// `A_i` — by induction over sends, a send from lane j is either a
+    /// pre-scheduled event (time ≥ `T_j`) or descends from an earlier
+    /// arrival, and each hop adds at least its link's base propagation
+    /// plus the 1 µs serialization floor, which is exactly what `reach`
+    /// sums. Lane i only executes instants strictly below `A_i`, so no
+    /// event it processes can be preempted by a later-scheduled one,
+    /// and same-instant batches stay complete. Progress is guaranteed:
+    /// the lane owning `at` always has `A ≥ at + 1`, so it executes.
     pub fn run_until(&mut self, t: Instant) {
         self.ensure_split();
-        let lookahead = self.cross_lookahead();
+        let k = self.lanes.len();
         let threaded = matches!(self.shard, ShardKind::Parallel { .. })
-            && self.lanes.len() > 1
+            && k > 1
             && self.tap.is_none()
             && self.attest_master.is_none();
+        // The PR 8 baseline arm prices the old protocol: one global
+        // bound anchored at `at`, every lane dispatched every round.
+        let global_w = if self.global_lookahead {
+            self.cross_lookahead()
+        } else {
+            None
+        };
+        let mut limits: Vec<Instant> = vec![Instant::ZERO; k];
+        let mut dispatch: Vec<bool> = vec![true; k];
         loop {
             let lane_at = self.next_event_at();
             let fault_at = self.fault_plan.as_ref().and_then(|p| p.next_at());
@@ -1237,16 +1440,29 @@ impl Network {
             }
             self.now = at;
             if fault_at == Some(at) {
-                let event = self
-                    .fault_plan
-                    .as_mut()
-                    .and_then(|p| p.pop_due(at))
-                    .expect("fault peeked as due");
-                self.apply_fault(&event.action);
+                self.flush_harvests();
+                // Batched dispatch: a dense plan often schedules many
+                // actions at one instant; draining them all here costs
+                // one barrier interruption instead of one per action.
+                let mut applied = 0u64;
+                while let Some(event) = self.fault_plan.as_mut().and_then(|p| p.pop_due(at)) {
+                    self.apply_fault(&event.action);
+                    applied += 1;
+                }
+                debug_assert!(applied > 0, "fault peeked as due");
+                if k > 1 {
+                    self.stats.op_batches += 1;
+                    self.stats.ops_applied += applied;
+                }
                 continue;
             }
             if sample_at == Some(at) {
+                self.flush_harvests();
                 self.take_sample(at);
+                if k > 1 {
+                    self.stats.op_batches += 1;
+                    self.stats.ops_applied += 1;
+                }
                 continue;
             }
             // Ledger flushes ride the same timeline, after faults (a
@@ -1254,31 +1470,103 @@ impl Network {
             // reported — power cuts don't wait for bookkeeping) and
             // after samples.
             if flush_at == Some(at) {
+                self.flush_harvests();
                 self.flush_ledgers();
+                if k > 1 {
+                    self.stats.op_batches += 1;
+                    self.stats.ops_applied += 1;
+                }
                 continue;
             }
-            // A window of pure traffic: no op is due at `at` (the
-            // continues above dispatched any), so the window may run up
-            // to just before the next op instant, capped by the
-            // conservative lookahead and by `t` itself.
-            let mut end = t;
-            if let Some(op) = [fault_at, sample_at, flush_at].into_iter().flatten().min() {
-                end = end.min(Instant::from_micros(op.total_micros() - 1));
-            }
-            if let Some(w) = lookahead {
-                end = end.min(Instant::from_micros(at.total_micros().saturating_add(w)));
-            }
-            debug_assert!(end >= at);
-            if threaded {
-                self.run_windows_threaded(end);
+            // A round of pure traffic: no op is due at `at` (the
+            // continues above dispatched any), so lanes may run up to
+            // just before the next op instant, capped by `t` and each
+            // lane's lookahead bound.
+            let cap_t = t.total_micros();
+            let op_us = [fault_at, sample_at, flush_at]
+                .into_iter()
+                .flatten()
+                .min()
+                .map(|op| op.total_micros() - 1);
+            let cap = op_us.map_or(cap_t, |op| op.min(cap_t));
+            let at_us = at.total_micros();
+            let mut stalled = false;
+            if k == 1 {
+                limits[0] = Instant::from_micros(cap);
+            } else if self.global_lookahead {
+                let la = global_w.map_or(u64::MAX, |w| at_us.saturating_add(w));
+                if op_us.is_some_and(|op| op < cap_t && la > op) {
+                    stalled = true;
+                }
+                if la < cap && la == at_us {
+                    self.stats.collapsed += k as u64;
+                }
+                let end = Instant::from_micros(la.min(cap));
+                limits.iter_mut().for_each(|l| *l = end);
             } else {
-                for lane_index in 0..self.lanes.len() {
-                    self.run_lane_window(lane_index, end);
+                for (i, slot) in limits.iter_mut().enumerate() {
+                    let mut bound = u64::MAX;
+                    for (j, lane) in self.lanes.iter().enumerate() {
+                        if let Some(tj) = lane.sched.peek_time() {
+                            let r = self.lane_reach[j * k + i];
+                            if r != u64::MAX {
+                                bound = bound.min(tj.total_micros().saturating_add(r));
+                            }
+                        }
+                    }
+                    // Strictly below the earliest possible arrival: the
+                    // 1 µs floor in `reach` makes `bound − 1` safe and
+                    // still ≥ `at` for the lane owning the round start.
+                    let la = bound.saturating_sub(1);
+                    if op_us.is_some_and(|op| op < cap_t && la > op) {
+                        stalled = true;
+                    }
+                    let lim = la.min(cap);
+                    debug_assert!(lim >= at_us, "every lane window includes the round start");
+                    if la < cap && lim == at_us {
+                        self.stats.collapsed += 1;
+                    }
+                    *slot = Instant::from_micros(lim);
                 }
             }
-            self.absorb();
-            self.now = end;
+            if threaded {
+                for (i, lane) in self.lanes.iter().enumerate() {
+                    dispatch[i] = self.global_lookahead
+                        || lane.sched.peek_time().is_some_and(|ti| ti <= limits[i]);
+                }
+                self.run_windows_threaded(&limits, &dispatch);
+            } else {
+                // Serial: a lane's window never schedules into another
+                // lane's queue (cross frames buffer until the absorb),
+                // so the due-check stays valid as earlier lanes run.
+                for i in 0..k {
+                    let due = self.global_lookahead
+                        || self.lanes[i].sched.peek_time().is_some_and(|ti| ti <= limits[i]);
+                    dispatch[i] = due;
+                    if due {
+                        self.run_lane_window(i, limits[i]);
+                    }
+                }
+            }
+            if k > 1 {
+                self.stats.windows += 1;
+                if stalled {
+                    self.stats.barrier_stalls += 1;
+                }
+                for (i, &lim) in limits.iter().enumerate() {
+                    self.stats.span_us += lim.total_micros() - at_us;
+                    if dispatch[i] {
+                        self.stats.lanes_dispatched += 1;
+                    } else {
+                        self.stats.lanes_skipped += 1;
+                    }
+                }
+            }
+            let horizon = limits.iter().copied().min().unwrap_or(at);
+            self.absorb(horizon);
+            self.now = horizon;
         }
+        self.flush_harvests();
         self.now = t;
     }
 
@@ -1330,7 +1618,7 @@ impl Network {
         // Token 0: a kick is absorbed by itself, never merge-sorted
         // against window entries.
         view.service_node(id, now, 0);
-        self.absorb();
+        self.absorb(now);
     }
 
     // -------------------------------------------------- observability

@@ -45,14 +45,16 @@ pub(crate) struct SendView<'a>(pub LaneView<'a>);
 #[allow(unsafe_code)]
 unsafe impl Send for SendView<'_> {}
 
-/// Run each view's window to `limit` on its own scoped thread. Panics
-/// in lane threads propagate to the caller (a determinism assertion
-/// failing inside a lane must fail the run, not vanish).
-pub(crate) fn run_each_threaded(views: Vec<SendView<'_>>, limit: catenet_sim::Instant) {
+/// Run each view's window to its paired limit on its own scoped
+/// thread — limits are per lane under the per-pair lookahead, not one
+/// global bound. Panics in lane threads propagate to the caller (a
+/// determinism assertion failing inside a lane must fail the run, not
+/// vanish).
+pub(crate) fn run_each_threaded(views: Vec<(SendView<'_>, catenet_sim::Instant)>) {
     std::thread::scope(|scope| {
         let handles: Vec<_> = views
             .into_iter()
-            .map(|view| {
+            .map(|(view, limit)| {
                 scope.spawn(move || {
                     // Move the whole wrapper, not `view.0`: edition-2021
                     // disjoint capture would otherwise grab the inner

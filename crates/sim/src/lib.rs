@@ -50,6 +50,6 @@ pub use event::{SchedStats, Scheduler, SchedulerKind, TraceOp};
 pub use fault::{ByzantineAttack, FaultAction, FaultEvent, FaultPlan};
 pub use link::{DropReason, Link, LinkClass, LinkOutcome, LinkParams};
 pub use rng::Rng;
-pub use shard::ShardKind;
+pub use shard::{ShardKind, ShardStats};
 pub use stats::Summary;
 pub use time::{Duration, Instant};

@@ -42,6 +42,45 @@ pub enum ShardKind {
     },
 }
 
+/// Window-protocol execution counters, maintained by the coordinator
+/// of a K>1 lane split (all zero under `ShardKind::Single`).
+///
+/// These are *performance* observables, not simulation observables:
+/// they describe how the barrier protocol carved virtual time into
+/// windows, never what the simulation computed — so they are allowed
+/// to differ across K and across lookahead modes while every telemetry
+/// dump stays byte-identical. E17 prices the protocol with them, and
+/// the regression tests in `tests/lane_windows.rs` pin the two failure
+/// shapes they exist to expose: a zero-latency boundary link collapsing
+/// windows, and a dense fault plan stalling barriers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Traffic window rounds executed (one barrier per round).
+    pub windows: u64,
+    /// Sum over rounds and lanes of each lane's window span in
+    /// microseconds (`limit − round start`). Average per lane-window =
+    /// `span_us / (lanes_dispatched + lanes_skipped)`.
+    pub span_us: u64,
+    /// Lane-windows whose lookahead bound collapsed the span to zero —
+    /// the signature of a zero/low-latency link crossing a lane
+    /// boundary. Correctness survives; speedup does not.
+    pub collapsed: u64,
+    /// Rounds truncated by a pending coordinator op (fault, sample, or
+    /// ledger flush) before the lookahead bound was reached.
+    pub barrier_stalls: u64,
+    /// Lane-windows actually executed (the lane had an event due
+    /// inside its window).
+    pub lanes_dispatched: u64,
+    /// Lane-windows skipped because nothing was due inside the window —
+    /// the batched-dispatch win over running every lane every round.
+    pub lanes_skipped: u64,
+    /// Coordinator dispatch instants (each may batch several same-time
+    /// fault actions into one barrier interruption).
+    pub op_batches: u64,
+    /// Individual coordinator ops applied across all batches.
+    pub ops_applied: u64,
+}
+
 impl ShardKind {
     /// Short stable name for tables and JSON dumps.
     pub fn name(self) -> &'static str {
